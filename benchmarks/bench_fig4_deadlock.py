@@ -1,0 +1,24 @@
+"""Figure 4: the hardware deadlock, plus both of the paper's remedies.
+
+Cached lock variables on the PF2 platform wedge the system exactly as
+Fig 4 describes; uncached locks (software lock / Bakery) and the
+hardware lock register complete.
+"""
+
+from conftest import report, run_once
+
+from repro.core.deadlock import SOLUTIONS, run_deadlock_demo
+
+
+def _run_all():
+    return [run_deadlock_demo(solution) for solution in SOLUTIONS]
+
+
+def test_fig4_deadlock_and_remedies(benchmark):
+    outcomes = run_once(benchmark, _run_all)
+    text = "\n".join(outcome.render() for outcome in outcomes)
+    report(benchmark, "Figure 4 - hardware deadlock", text)
+    by_solution = {outcome.solution: outcome for outcome in outcomes}
+    assert by_solution["none"].deadlocked
+    for remedy in ("uncached-locks", "lock-register", "bakery"):
+        assert not by_solution[remedy].deadlocked

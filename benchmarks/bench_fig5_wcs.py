@@ -1,0 +1,43 @@
+"""Figure 5: worst-case scenario (both tasks hammer the same block).
+
+Regenerates the WCS curves: execution-time ratio against the
+cache-disabled baseline for software vs proposed solutions, over the
+paper's sweep (1..32 accessed cache lines; exec_time 1, 2, 4).
+
+Paper shape: both cached solutions far below 1.0; proposed at least as
+good as software; the improvement over cache-disabled grows with
+exec_time (the paper quotes 57.66 % at exec_time = 4 — our uncached
+baseline is costlier per access, so we measure a larger improvement;
+see EXPERIMENTS.md).
+"""
+
+from conftest import report, run_once
+
+from repro.analysis import figure5_wcs
+
+LINE_COUNTS = (1, 2, 4, 8, 16, 32)
+EXEC_TIMES = (1, 2, 4)
+ITERATIONS = 8
+
+
+def test_figure5_wcs(benchmark):
+    figure = run_once(
+        benchmark,
+        figure5_wcs,
+        line_counts=LINE_COUNTS,
+        exec_times=EXEC_TIMES,
+        iterations=ITERATIONS,
+    )
+    report(benchmark, "Figure 5 - Worst case results", figure.render())
+    for exec_time in EXEC_TIMES:
+        for lines in LINE_COUNTS:
+            proposed = figure.get(f"proposed et={exec_time}", lines)
+            software = figure.get(f"software et={exec_time}", lines)
+            # Caching wins over disabled everywhere.
+            assert proposed < 1.0 and software < 1.0
+            # Proposed tracks software within the paper's small margin
+            # (the paper reports proposed ahead by >= 2.51 %; we land
+            # within a few percent either side, same ordering trend).
+            assert proposed < software * 1.02
+    # Improvement over the disabled baseline grows with exec_time.
+    assert figure.get("proposed et=4", 32) < figure.get("proposed et=1", 32)

@@ -1,0 +1,34 @@
+"""Figure 7: typical-case scenario (random block among 10 per tenure).
+
+Probabilistic reuse sits TCS between WCS and BCS: the proposed solution
+keeps cross-tenure survivors cached, the software solution cannot, and
+the gap widens with the block size.
+"""
+
+from conftest import report, run_once
+
+from repro.analysis import figure7_tcs
+
+LINE_COUNTS = (1, 2, 4, 8, 16, 32)
+EXEC_TIMES = (1, 2, 4)
+ITERATIONS = 8
+
+
+def test_figure7_tcs(benchmark):
+    figure = run_once(
+        benchmark,
+        figure7_tcs,
+        line_counts=LINE_COUNTS,
+        exec_times=EXEC_TIMES,
+        iterations=ITERATIONS,
+    )
+    report(benchmark, "Figure 7 - Typical case results", figure.render())
+    for exec_time in EXEC_TIMES:
+        for lines in LINE_COUNTS:
+            proposed = figure.get(f"proposed et={exec_time}", lines)
+            software = figure.get(f"software et={exec_time}", lines)
+            assert proposed < software  # proposed wins across the sweep
+    # TCS speedup at 32 lines sits between the WCS (~0) and BCS (~0.4)
+    # extremes.
+    speedup = 1 - figure.get("proposed et=1", 32) / figure.get("software et=1", 32)
+    assert 0.10 <= speedup <= 0.45

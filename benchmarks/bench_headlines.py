@@ -1,0 +1,24 @@
+"""The paper's quoted numbers, recomputed side by side.
+
+One benchmark that re-measures every headline claim of Section 4 and
+the abstract; EXPERIMENTS.md reproduces this output.
+"""
+
+from conftest import report, run_once
+
+from repro.analysis import compute_headlines, render_headlines
+
+
+def test_headlines(benchmark):
+    headlines = run_once(benchmark, compute_headlines, iterations=8, lines=32)
+    report(benchmark, "Headline comparison (paper vs measured)", render_headlines(headlines))
+    by_claim = {h.claim: h for h in headlines}
+    # BCS 32-line speedup lands within a few points of 38.22 %.
+    bcs = by_claim["BCS 32 lines, exec_time=1: proposed speedup vs software"]
+    assert abs(bcs.measured - bcs.paper_value) < 10
+    # High-penalty BCS speedup lands near the quoted ~76 %.
+    bcs96 = by_claim["BCS 32 lines, 96-cycle miss penalty: speedup vs software"]
+    assert abs(bcs96.measured - bcs96.paper_value) < 10
+    # WCS improvement over cache-disabled is large and positive.
+    wcs = by_claim["WCS exec_time=4: proposed improvement vs cache-disabled"]
+    assert wcs.measured > 50

@@ -1,0 +1,30 @@
+"""Model checking as a benchmark: the Section 2 claims, exhaustively.
+
+Regenerates the paper's central correctness argument in a form stronger
+than simulation: BFS over every reachable two-cache state for every
+protocol pair, wrapped (must all be safe) and unwrapped (the paper's
+incompatible pairs must be provably unsafe).
+"""
+
+from conftest import report, run_once
+
+from repro.verify.model_check import check_matrix
+
+
+def test_model_check_matrix(benchmark):
+    def run_both():
+        return check_matrix(wrapped=True), check_matrix(wrapped=False)
+
+    wrapped, unwrapped = run_once(benchmark, run_both)
+    lines = []
+    for (p0, p1), result in wrapped.items():
+        broken = unwrapped[(p0, p1)]
+        lines.append(
+            f"{p0:>5} + {p1:<5} wrapped: {'SAFE' if result.ok else 'UNSAFE'}  "
+            f"unwrapped: {'SAFE' if broken.ok else 'UNSAFE'}"
+        )
+    report(benchmark, "Model check - every protocol pair", "\n".join(lines))
+    assert all(result.ok for result in wrapped.values())
+    # The paper's incompatible pairs are provably unsafe without wrappers.
+    for pair in (("MESI", "MEI"), ("MSI", "MESI"), ("MOESI", "MEI")):
+        assert not unwrapped[pair].ok

@@ -1,0 +1,79 @@
+"""Substrate micro-benchmarks: simulator throughput, not paper figures.
+
+These keep an eye on the cost of the building blocks (event kernel, bus
+tenures, cache hits) so workload-level regressions can be attributed.
+Unlike the figure benchmarks they use multiple rounds — they measure
+wall-clock speed of the simulator itself.
+"""
+
+from repro.bus import AsbBus, BusOp, Transaction
+from repro.cache import CacheController, CacheGeometry, make_protocol
+from repro.mem import MainMemory, MemoryController, MemoryMap, Region
+from repro.sim import Clock, Simulator
+from repro.workloads import MicrobenchSpec, run_microbench
+
+
+def test_kernel_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(2000):
+                yield sim.timeout(5)
+
+        sim.process(ticker())
+        sim.run()
+        return sim.now
+
+    assert benchmark(run_events) == 10_000
+
+
+def test_bus_transaction_throughput(benchmark):
+    def run_txns():
+        sim = Simulator()
+        memory_map = MemoryMap([Region("ram", 0, 1 << 20)])
+        bus = AsbBus(
+            sim, Clock.from_mhz(50), MemoryController(MainMemory(), memory_map)
+        )
+
+        def master():
+            for i in range(300):
+                yield from bus.transact(
+                    Transaction(BusOp.READ, (i % 64) * 4, "m")
+                )
+
+        sim.process(master())
+        sim.run()
+        return bus.stats.get("bus.txns")
+
+    assert benchmark(run_txns) == 300
+
+
+def test_cache_hit_throughput(benchmark):
+    def run_hits():
+        sim = Simulator()
+        memory_map = MemoryMap([Region("ram", 0, 1 << 20)])
+        bus = AsbBus(
+            sim, Clock.from_mhz(50), MemoryController(MainMemory(), memory_map)
+        )
+        cache = CacheController(
+            "c", sim, bus, memory_map, CacheGeometry(4096, 32, 4),
+            make_protocol("MESI"),
+        )
+
+        def accessor():
+            yield from cache.read(0x100)  # one fill
+            for _ in range(500):
+                yield from cache.read(0x104)  # hits
+
+        sim.process(accessor())
+        sim.run()
+        return bus.stats.get("c.hits")
+
+    assert benchmark(run_hits) == 500
+
+
+def test_microbench_end_to_end_cost(benchmark):
+    spec = MicrobenchSpec("wcs", "proposed", lines=4, exec_time=1, iterations=4)
+    result = benchmark(run_microbench, spec)
+    assert result.elapsed_ns > 0

@@ -1,0 +1,96 @@
+"""Trace-driven cache characterisation (library-utility benchmarks).
+
+Uses the synthetic trace generators to sweep the classic curves on the
+platform's caches — working-set knee, stride behaviour, and sharing
+cost — sanity-anchoring the cache substrate the paper's numbers stand
+on.
+"""
+
+from conftest import report, run_once
+
+from repro.core import Platform, PlatformConfig
+from repro.cpu import preset_generic
+from repro.workloads.tracegen import (
+    producer_consumer_trace,
+    random_trace,
+    replay_trace,
+    sequential_trace,
+    strided_trace,
+)
+
+
+def fresh_platform(cache_size=1024):
+    return Platform(
+        PlatformConfig(
+            cores=(
+                preset_generic("p0", "MESI", cache_size=cache_size),
+                preset_generic("p1", "MESI", cache_size=cache_size),
+            )
+        )
+    )
+
+
+def test_working_set_knee(benchmark):
+    """Hit rate collapses once the footprint exceeds the cache."""
+    def sweep():
+        rows = []
+        cache_words = 1024 // 4  # 256 words capacity
+        for footprint in (64, 128, 256, 512, 1024):
+            platform = fresh_platform(cache_size=1024)
+            result = replay_trace(
+                platform, random_trace(1200, footprint, seed=7)
+            )
+            rows.append((footprint, result.hit_rate))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    text = "\n".join(
+        f"footprint={fp:>5} words  hit rate={hr:6.3f}" for fp, hr in rows
+    )
+    report(benchmark, "Trace - working-set knee", text)
+    rates = [hr for _fp, hr in rows]
+    assert rates == sorted(rates, reverse=True)   # monotone decline
+    assert rates[0] > 0.95                        # fits: nearly all hits
+    assert rates[-1] < 0.5                        # 4x the cache: thrashing
+
+
+def test_stride_behaviour(benchmark):
+    """Word-stride streams hit within lines; line-stride streams miss."""
+    def sweep():
+        rows = []
+        for stride in (4, 8, 16, 32, 64):
+            platform = fresh_platform()
+            result = replay_trace(platform, strided_trace(256, stride))
+            rows.append((stride, result.hit_rate))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    text = "\n".join(
+        f"stride={s:>3} B  hit rate={hr:6.3f}" for s, hr in rows
+    )
+    report(benchmark, "Trace - stride sweep", text)
+    by_stride = dict(rows)
+    assert by_stride[4] == max(by_stride.values())
+    assert by_stride[32] == 0.0  # one access per line
+    assert by_stride[64] == 0.0
+
+
+def test_sharing_cost(benchmark):
+    """Producer-consumer word handoff vs a private sequential walk."""
+    def run_pair():
+        shared = replay_trace(fresh_platform(), producer_consumer_trace(64))
+        private = replay_trace(
+            fresh_platform(), sequential_trace(128, write_every=2)
+        )
+        return shared, private
+
+    shared, private = run_once(benchmark, run_pair)
+    text = (
+        f"producer-consumer: {shared.elapsed_ns} ns, {shared.fills} fills\n"
+        f"private stream:    {private.elapsed_ns} ns, {private.fills} fills"
+    )
+    report(benchmark, "Trace - sharing cost", text)
+    # Cross-cache handoff forces far more fills per access than a
+    # private walk over the same number of accesses.
+    assert shared.fills > private.fills
+    assert shared.elapsed_ns > private.elapsed_ns

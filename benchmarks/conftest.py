@@ -1,0 +1,22 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+simulations are deterministic, so each benchmark runs a single round
+(`pedantic`) and attaches the regenerated rows/series to
+``benchmark.extra_info`` — run ``pytest benchmarks/ --benchmark-only -s``
+to also see them printed.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Execute ``func`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def report(benchmark, title: str, text: str) -> None:
+    """Print a regenerated artefact and attach it to the benchmark."""
+    print(f"\n===== {title} =====")
+    print(text)
+    benchmark.extra_info["artifact"] = text

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Building a custom platform with the low-level API.
+
+Shows the pieces the high-level helpers assemble for you:
+
+* a three-processor platform mixing MOESI, MESI and a non-coherent
+  core, with the reduction computed automatically;
+* hand-written assembly via the :class:`Assembler`;
+* bus/cache/IRQ tracing, printed as a timeline;
+* reading the per-component statistics after the run.
+
+Run:  python examples/custom_platform.py
+"""
+
+from repro import CoherenceChecker, Platform, PlatformConfig
+from repro.core import SCRATCH_BASE, SHARED_BASE, append_isr
+from repro.cpu import Assembler, preset_arm920t, preset_generic
+
+TOKEN = SCRATCH_BASE          # uncached turn token
+DATA = SHARED_BASE            # one shared line passed around the ring
+
+
+def ring_task(my_id, n_cores, rounds, isr_mailbox=None):
+    """Pass a counter around the ring: each core increments and hands on."""
+    asm = Assembler(name=f"ring{my_id}")
+    asm.li(1, TOKEN)
+    asm.li(2, DATA)
+    for round_no in range(rounds):
+        tag = f"{my_id}_{round_no}"
+        asm.li(3, round_no * n_cores + my_id)  # my expected turn number
+        asm.label(f"wait_{tag}")
+        asm.ld(4, 1)
+        asm.bne(4, 3, f"wait_{tag}")
+        asm.ld(5, 2)          # read the shared counter (may cross caches)
+        asm.addi(5, 5, 1)
+        asm.st(5, 2)          # increment it
+        asm.addi(4, 4, 1)
+        asm.st(4, 1)          # pass the token
+    asm.halt()
+    if isr_mailbox is not None:
+        append_isr(asm, isr_mailbox)
+    return asm.assemble()
+
+
+def main():
+    config = PlatformConfig(
+        cores=(
+            preset_generic("dsp", "MOESI", freq_mhz=100),
+            preset_generic("cpu", "MESI", freq_mhz=50),
+            preset_arm920t("io"),
+        ),
+        trace_channels=("irq",),   # record interrupt traffic
+    )
+    platform = Platform(config)
+    checker = CoherenceChecker(platform)
+
+    print(f"platform class: {platform.pf_class}")
+    print(f"integrated protocol: {platform.reduction.system_protocol}")
+    for cfg, policy in zip(config.cores, platform.reduction.policies):
+        print(f"  {cfg.name:>4}: {policy}")
+    print()
+
+    rounds = 4
+    platform.load_programs(
+        {
+            "dsp": ring_task(0, 3, rounds),
+            "cpu": ring_task(1, 3, rounds),
+            "io": ring_task(2, 3, rounds, isr_mailbox=platform.mailbox_base(2)),
+        }
+    )
+    elapsed = platform.run()
+
+    final = platform.memory.peek(DATA)  # may still be cached...
+    cached = [
+        c.array.lookup(DATA).data[0]
+        for c in platform.controllers
+        if c.array.lookup(DATA) is not None
+    ]
+    value = cached[0] if cached else final
+    print(f"ring of 3 cores x {rounds} rounds -> counter = {value} "
+          f"(expected {3 * rounds}); elapsed {elapsed} ns")
+    assert value == 3 * rounds
+
+    print(f"\ninterrupt timeline ({len(platform.tracer.records)} events):")
+    for record in platform.tracer.records[:12]:
+        print("  " + record.format())
+
+    print("\nselected statistics:")
+    for key in sorted(platform.stats.as_dict()):
+        if any(s in key for s in ("fills", "drains", "isr", "snoop_logic")):
+            print(f"  {key:<28} {platform.stats.get(key)}")
+
+    checker.check_all_lines()
+    print(f"\n{checker.summary()}")
+    assert checker.clean
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Network receive path with a coherent DMA engine (future work, built).
+
+The paper closes by proposing to apply the wrapper methodology "to
+emerging technologies that tightly integrate between a main processor
+and specialized I/O processors such as network processors".  This
+example builds that system:
+
+* a NIC model DMAs incoming packets into a shared-memory receive ring;
+* the PowerPC755 runs the "protocol stack": it polls the descriptor
+  words (uncached), checksums each payload straight out of the shared
+  ring — through its data cache — and frees the slot;
+* because the DMA engine is an ordinary bus master, every wrapper and
+  snoop-logic block sees its transfers: the CPU's cached copies of a
+  reused ring slot are invalidated by the DMA write, with **zero**
+  cache-management instructions in the driver.
+
+The same run with hardware coherence disabled silently checksums stale
+data — the I/O version of the paper's Table 2 problem — which the
+script demonstrates at the end.
+
+Run:  python examples/network_rx.py
+"""
+
+from repro.core import SCRATCH_BASE, SHARED_BASE, Platform, PlatformConfig
+from repro.cpu import Assembler, preset_arm920t, preset_powerpc755
+from repro.io import attach_nic
+
+RING = SCRATCH_BASE + 0x400     # descriptors: uncacheable scratch
+PAYLOAD = SHARED_BASE + 0x8000  # payloads: ordinary shared memory
+N_SLOTS = 4
+SLOT_BYTES = 64
+N_PACKETS = 10
+RESULTS = SCRATCH_BASE + 0x800  # uncached checksum table (host-visible)
+
+
+def make_packets():
+    return [
+        [(p * 17 + i) & 0xFFFF for i in range(1 + p % (SLOT_BYTES // 4 - 1))]
+        for p in range(N_PACKETS)
+    ]
+
+
+def build_stack_program(nic):
+    """The protocol-stack task: poll, checksum, store result, free."""
+    asm = Assembler(name="rx-stack")
+    for packet_no in range(N_PACKETS):
+        slot = packet_no % N_SLOTS
+        asm.li(1, nic.descriptor_addr(slot))
+        asm.label(f"poll_{packet_no}")
+        asm.ld(2, 1)                      # uncached descriptor read
+        asm.beq(2, 0, f"poll_{packet_no}")
+        # checksum r2 words of payload (cached reads through the dcache)
+        asm.li(3, nic.payload_addr(slot))
+        asm.li(4, 0)
+        asm.label(f"sum_{packet_no}")
+        asm.ld(5, 3)
+        asm.add(4, 4, 5)
+        asm.addi(3, 3, 4)
+        asm.subi(2, 2, 1)
+        asm.bne(2, 0, f"sum_{packet_no}")
+        asm.li(3, RESULTS + 4 * packet_no)
+        asm.st(4, 3)                      # publish checksum (uncached)
+        asm.st(0, 1)                      # free the slot
+    asm.halt()
+    return asm.assemble()
+
+
+def run(hardware_coherence):
+    platform = Platform(
+        PlatformConfig(
+            cores=(preset_powerpc755(), preset_arm920t()),
+            hardware_coherence=hardware_coherence,
+        )
+    )
+    nic = attach_nic(
+        platform, ring_base=RING, payload_base=PAYLOAD,
+        n_slots=N_SLOTS, slot_bytes=SLOT_BYTES,
+    )
+    idle = Assembler()
+    idle.halt()
+    if platform.snoop_logics[1] is not None:
+        from repro.core import append_isr
+
+        append_isr(idle, platform.mailbox_base(1))
+    platform.load_programs(
+        {"ppc755": build_stack_program(nic), "arm920t": idle.assemble()}
+    )
+    packets = make_packets()
+    for packet in packets:
+        nic.push_packet(packet)
+    elapsed = platform.run()
+    measured = [platform.memory.peek(RESULTS + 4 * p) for p in range(N_PACKETS)]
+    expected = [sum(packet) & 0xFFFFFFFF for packet in packets]
+    bad = [p for p in range(N_PACKETS) if measured[p] != expected[p]]
+    return elapsed, bad
+
+
+def main():
+    print(f"NIC receive path: {N_PACKETS} packets through a "
+          f"{N_SLOTS}-slot shared ring\n")
+
+    elapsed, bad = run(hardware_coherence=True)
+    print(f"with wrappers + snoop logic:   {elapsed:>7} ns, "
+          f"{N_PACKETS - len(bad)}/{N_PACKETS} checksums correct")
+    assert not bad, "coherent run must be correct"
+
+    elapsed, bad = run(hardware_coherence=False)
+    print(f"without hardware coherence:    {elapsed:>7} ns, "
+          f"{N_PACKETS - len(bad)}/{N_PACKETS} checksums correct "
+          f"(stale slots: {bad})")
+    assert bad, "the incoherent run should corrupt reused slots"
+    print(
+        "\nReused ring slots go stale without snooping: the CPU checksums\n"
+        "its cached copy of the previous packet. The paper's wrappers fix\n"
+        "exactly this, with no cache management in the driver."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Regenerate every figure and export CSV/JSON/Markdown artefacts.
+
+Produces, under ``results/`` (or the directory given as argv[1]):
+
+* ``figure5_wcs.csv`` / ``.json``  ... ``figure8_miss_penalty.csv`` / ``.json``
+* ``headlines.md`` — the paper-vs-measured table
+* ``report.md`` — all figures as Markdown tables
+
+Pass ``--quick`` for a reduced sweep (seconds instead of minutes).
+
+Run:  python examples/regenerate_results.py [outdir] [--quick]
+"""
+
+import json
+import os
+import sys
+
+from repro.analysis import (
+    compute_headlines,
+    figure5_wcs,
+    figure6_bcs,
+    figure7_tcs,
+    figure8_miss_penalty,
+    figure_to_csv,
+    figure_to_json,
+    figure_to_markdown,
+    headlines_to_markdown,
+)
+
+
+def main():
+    args = [a for a in sys.argv[1:]]
+    quick = "--quick" in args
+    args = [a for a in args if a != "--quick"]
+    outdir = args[0] if args else "results"
+    os.makedirs(outdir, exist_ok=True)
+
+    if quick:
+        sweep = dict(line_counts=(2, 8), exec_times=(1,), iterations=3)
+        fig8_kwargs = dict(penalties=(13, 96), line_counts=(8,), iterations=3)
+        headline_kwargs = dict(iterations=3, lines=8)
+    else:
+        sweep = dict(iterations=8)
+        fig8_kwargs = dict(iterations=8)
+        headline_kwargs = dict(iterations=8, lines=32)
+
+    figures = {
+        "figure5_wcs": figure5_wcs(**sweep),
+        "figure6_bcs": figure6_bcs(**sweep),
+        "figure7_tcs": figure7_tcs(**sweep),
+        "figure8_miss_penalty": figure8_miss_penalty(**fig8_kwargs),
+    }
+
+    report_sections = []
+    for name, figure in figures.items():
+        csv_path = os.path.join(outdir, f"{name}.csv")
+        json_path = os.path.join(outdir, f"{name}.json")
+        with open(csv_path, "w") as handle:
+            handle.write(figure_to_csv(figure))
+        with open(json_path, "w") as handle:
+            handle.write(figure_to_json(figure))
+        report_sections.append(figure_to_markdown(figure))
+        print(f"wrote {csv_path} and {json_path}")
+
+    headlines = compute_headlines(**headline_kwargs)
+    headline_md = headlines_to_markdown(headlines)
+    with open(os.path.join(outdir, "headlines.md"), "w") as handle:
+        handle.write("# Headline comparison\n\n" + headline_md + "\n")
+    with open(os.path.join(outdir, "report.md"), "w") as handle:
+        handle.write(
+            "# Regenerated evaluation\n\n"
+            + headline_md
+            + "\n\n"
+            + "\n\n".join(report_sections)
+            + "\n"
+        )
+    print(f"wrote {outdir}/headlines.md and {outdir}/report.md")
+
+
+if __name__ == "__main__":
+    main()

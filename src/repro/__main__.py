@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``headlines``
+    Re-measure the paper's quoted numbers and print paper-vs-measured.
+``figure {5,6,7,8}``
+    Regenerate one evaluation figure and print it as a text table.
+``tables``
+    Execute the Table 2 / Table 3 sequences with and without wrappers.
+``deadlock``
+    Run the Fig 4 scenario under all four lock strategies.
+``reduce P1 P2 [P3...]``
+    Print the integrated protocol and wrapper policies for a protocol
+    mix (use ``none`` for a processor without coherence hardware).
+``bench SCENARIO SOLUTION``
+    Run one microbenchmark configuration and print its statistics.
+``verify``
+    Exhaustively model-check every protocol pair, wrapped and
+    unwrapped, and print the verdict matrix.
+
+Every command accepts ``--iterations N`` to trade accuracy for speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    compute_headlines,
+    figure5_wcs,
+    figure6_bcs,
+    figure7_tcs,
+    figure8_miss_penalty,
+    render_headlines,
+)
+from .core.deadlock import SOLUTIONS, run_deadlock_demo
+from .core.reduction import reduce_protocols
+from .verify.model_check import check_matrix
+from .workloads import MicrobenchSpec, run_microbench, table2_demo, table3_demo
+
+_FIGURES = {
+    "5": figure5_wcs,
+    "6": figure6_bcs,
+    "7": figure7_tcs,
+    "8": figure8_miss_penalty,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Heterogeneous cache-coherence reproduction (DATE 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("headlines", help="paper-vs-measured headline numbers")
+    p.add_argument("--iterations", type=int, default=8)
+    p.add_argument("--lines", type=int, default=32)
+
+    p = sub.add_parser("figure", help="regenerate one evaluation figure")
+    p.add_argument("number", choices=sorted(_FIGURES))
+    p.add_argument("--iterations", type=int, default=8)
+
+    sub.add_parser("tables", help="run the Table 2/3 sequences")
+
+    sub.add_parser("deadlock", help="run the Fig 4 scenario + remedies")
+
+    p = sub.add_parser("reduce", help="integrate a protocol mix")
+    p.add_argument("protocols", nargs="+",
+                   help="protocol names (MEI/MSI/MESI/MOESI/DRAGON) or 'none'")
+
+    sub.add_parser("verify", help="model-check every protocol pair")
+
+    p = sub.add_parser("bench", help="run one microbenchmark configuration")
+    p.add_argument("scenario", choices=("wcs", "tcs", "bcs"))
+    p.add_argument("solution", choices=("disabled", "software", "proposed"))
+    p.add_argument("--lines", type=int, default=8)
+    p.add_argument("--exec-time", type=int, default=1)
+    p.add_argument("--iterations", type=int, default=8)
+    p.add_argument("--check", action="store_true",
+                   help="attach the coherence checker")
+    return parser
+
+
+def _cmd_headlines(args) -> int:
+    print(render_headlines(compute_headlines(args.iterations, args.lines)))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    figure = _FIGURES[args.number](iterations=args.iterations)
+    print(figure.render())
+    return 0
+
+
+def _cmd_tables(_args) -> int:
+    for demo in (table2_demo, table3_demo):
+        for wrapped in (False, True):
+            print(demo(wrapped).render())
+            print()
+    return 0
+
+
+def _cmd_deadlock(_args) -> int:
+    wedged = 0
+    for solution in SOLUTIONS:
+        outcome = run_deadlock_demo(solution)
+        wedged += outcome.deadlocked
+        print(outcome.render())
+    return 0 if wedged == 1 else 1
+
+
+def _cmd_reduce(args) -> int:
+    protocols = [None if p.lower() == "none" else p for p in args.protocols]
+    result = reduce_protocols(protocols)
+    print(f"system protocol: {result.system_protocol}")
+    for name, policy in zip(args.protocols, result.policies):
+        print(f"  {name:>6}: {policy}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    spec = MicrobenchSpec(
+        scenario=args.scenario,
+        solution=args.solution,
+        lines=args.lines,
+        exec_time=args.exec_time,
+        iterations=args.iterations,
+    )
+    result = run_microbench(spec, check=args.check)
+    print(f"{spec.scenario}/{spec.solution}: {result.elapsed_ns} ns "
+          f"({result.elapsed_us:.1f} us), {result.isr_entries} ISR entries")
+    for key in sorted(result.stats):
+        if key.startswith("bus."):
+            print(f"  {key:<24} {result.stats[key]}")
+    return 0
+
+
+def _cmd_verify(_args) -> int:
+    failures = 0
+    for wrapped in (True, False):
+        label = "wrapped (reduction policies)" if wrapped else "unwrapped (identity)"
+        print(f"-- {label} --")
+        for (p0, p1), result in check_matrix(wrapped=wrapped).items():
+            status = "SAFE  " if result.ok else "UNSAFE"
+            print(f"  {p0:>5} + {p1:<5} {status} ({result.reachable_states} states)")
+            if wrapped and not result.ok:
+                failures += 1
+    return 1 if failures else 0
+
+
+_COMMANDS = {
+    "headlines": _cmd_headlines,
+    "figure": _cmd_figure,
+    "tables": _cmd_tables,
+    "deadlock": _cmd_deadlock,
+    "reduce": _cmd_reduce,
+    "bench": _cmd_bench,
+    "verify": _cmd_verify,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Analysis: figure sweeps, headline comparisons, ablations."""
+
+from .ablations import (
+    AblationRow,
+    ablation_arbitration,
+    ablation_interrupt,
+    ablation_locks,
+    ablation_wrapper,
+    render_rows,
+)
+from .export import (
+    figure_to_csv,
+    figure_to_json,
+    figure_to_markdown,
+    headlines_to_markdown,
+    write_figure_csv,
+)
+from .figures import (
+    DEFAULT_EXEC_TIMES,
+    DEFAULT_LINE_COUNTS,
+    DEFAULT_PENALTIES,
+    FigureData,
+    Series,
+    figure5_wcs,
+    figure6_bcs,
+    figure7_tcs,
+    figure8_miss_penalty,
+    scenario_figure,
+)
+from .headlines import Headline, compute_headlines, render_headlines
+from .utilization import BusUtilization, bus_utilization
+
+__all__ = [
+    "FigureData",
+    "Series",
+    "figure5_wcs",
+    "figure6_bcs",
+    "figure7_tcs",
+    "figure8_miss_penalty",
+    "scenario_figure",
+    "DEFAULT_LINE_COUNTS",
+    "DEFAULT_EXEC_TIMES",
+    "DEFAULT_PENALTIES",
+    "Headline",
+    "compute_headlines",
+    "render_headlines",
+    "AblationRow",
+    "ablation_wrapper",
+    "ablation_locks",
+    "ablation_interrupt",
+    "ablation_arbitration",
+    "render_rows",
+    "figure_to_csv",
+    "figure_to_json",
+    "figure_to_markdown",
+    "headlines_to_markdown",
+    "write_figure_csv",
+    "BusUtilization",
+    "bus_utilization",
+]

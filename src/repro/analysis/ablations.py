@@ -1,0 +1,119 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+* :func:`ablation_wrapper` — wrappers on/off on mismatched-protocol
+  pairs (the live version of Tables 2/3: stale reads and invariant
+  violations appear exactly when the wrapper is off).
+* :func:`ablation_locks` — lock implementation (uncached spinlock,
+  Bakery, hardware lock register) under the TCS workload.
+* :func:`ablation_interrupt` — sensitivity of the proposed solution to
+  the ARM's interrupt response/entry cost (the PF2-vs-PF3 discussion:
+  "platforms without need for a special ISR would perform even better").
+* :func:`ablation_arbitration` — fixed-priority vs round-robin bus
+  arbitration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..cpu.presets import preset_arm920t, preset_powerpc755
+from ..workloads.microbench import MicrobenchSpec, run_microbench
+from ..workloads.sequences import run_sequence
+
+__all__ = [
+    "AblationRow",
+    "ablation_wrapper",
+    "ablation_locks",
+    "ablation_interrupt",
+    "ablation_arbitration",
+    "render_rows",
+]
+
+
+@dataclass
+class AblationRow:
+    """One configuration and its measured outcome."""
+
+    label: str
+    value: float
+    unit: str
+
+    def render(self) -> str:
+        """Aligned one-line rendering."""
+        return f"{self.label:52s} {self.value:12.1f} {self.unit}"
+
+
+def render_rows(title: str, rows: Sequence[AblationRow]) -> str:
+    """A titled block of ablation rows."""
+    return "\n".join([title] + [row.render() for row in rows])
+
+
+def ablation_wrapper(
+    pairs: Sequence[Tuple[str, str]] = (("MESI", "MEI"), ("MSI", "MESI"), ("MESI", "MOESI")),
+) -> List[AblationRow]:
+    """Stale reads with and without the wrapper, per protocol pair."""
+    rows = []
+    for pair in pairs:
+        for wrapped in (False, True):
+            result = run_sequence(pair, wrapped=wrapped)
+            mode = "wrapped" if wrapped else "unwrapped"
+            rows.append(
+                AblationRow(
+                    f"{pair[0]}+{pair[1]} {mode}: stale reads",
+                    result.stale_reads, "reads",
+                )
+            )
+    return rows
+
+
+def ablation_locks(
+    kinds: Sequence[str] = ("swap", "bakery", "hw"),
+    lines: int = 8,
+    iterations: int = 8,
+) -> List[AblationRow]:
+    """TCS execution time per lock implementation (proposed solution)."""
+    rows = []
+    for kind in kinds:
+        spec = MicrobenchSpec(
+            "tcs", "proposed", lines=lines, iterations=iterations, lock=kind
+        )
+        result = run_microbench(spec)
+        rows.append(AblationRow(f"TCS proposed, {kind} lock", result.elapsed_ns, "ns"))
+    return rows
+
+
+def ablation_interrupt(
+    entry_cycles: Sequence[int] = (1, 4, 8, 16),
+    lines: int = 8,
+    iterations: int = 8,
+) -> List[AblationRow]:
+    """WCS proposed execution time vs ARM interrupt entry cost."""
+    rows = []
+    for cycles in entry_cycles:
+        cores = (
+            preset_powerpc755(),
+            preset_arm920t().with_(interrupt_entry_cycles=cycles),
+        )
+        spec = MicrobenchSpec("wcs", "proposed", lines=lines, iterations=iterations)
+        result = run_microbench(spec, cores=cores)
+        rows.append(
+            AblationRow(
+                f"WCS proposed, interrupt entry = {cycles} cycles",
+                result.elapsed_ns, "ns",
+            )
+        )
+    return rows
+
+
+def ablation_arbitration(
+    lines: int = 8,
+    iterations: int = 8,
+) -> List[AblationRow]:
+    """WCS execution time under both arbitration policies."""
+    rows = []
+    for policy in ("fixed", "round-robin"):
+        spec = MicrobenchSpec("wcs", "proposed", lines=lines, iterations=iterations)
+        result = run_microbench(spec, arbitration=policy)
+        rows.append(AblationRow(f"WCS proposed, {policy} arbitration", result.elapsed_ns, "ns"))
+    return rows

@@ -1,0 +1,112 @@
+"""Bus-utilization analysis.
+
+The shared bus is the bottleneck resource in every one of the paper's
+scenarios; this module decomposes how a run spent it:
+
+* overall utilisation (busy ticks / elapsed),
+* per-master busy share (who held the bus),
+* per-operation transaction counts, grouped into traffic classes
+  (fills, write-backs/drains, uncached data, lock traffic, upgrades).
+
+Works from the statistics any :class:`Platform` or
+:class:`~repro.workloads.MicrobenchResult` collects — no tracing needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Union
+
+from ..workloads.microbench import MicrobenchResult
+
+__all__ = ["BusUtilization", "bus_utilization", "TRAFFIC_CLASSES"]
+
+#: bus-operation -> traffic-class mapping
+TRAFFIC_CLASSES = {
+    "read-line": "fills",
+    "read-line-excl": "fills",
+    "write-line": "writebacks",
+    "read": "uncached",
+    "write": "uncached",
+    "swap": "locks",
+    "invalidate": "upgrades",
+    "update": "updates",
+}
+
+
+@dataclass
+class BusUtilization:
+    """Decomposed bus occupancy for one run."""
+
+    elapsed_ns: int
+    busy_ns: int
+    transactions: int
+    retries: int
+    by_master_ns: Dict[str, int] = field(default_factory=dict)
+    by_class: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of wall time the bus was held (0..1)."""
+        return self.busy_ns / self.elapsed_ns if self.elapsed_ns else 0.0
+
+    def master_share(self, master: str) -> float:
+        """Fraction of *busy* time attributed to ``master``."""
+        if not self.busy_ns:
+            return 0.0
+        return self.by_master_ns.get(master, 0) / self.busy_ns
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"bus utilization: {100 * self.utilization:.1f}% "
+            f"({self.busy_ns} / {self.elapsed_ns} ns), "
+            f"{self.transactions} transactions, {self.retries} retries",
+        ]
+        for master, busy in sorted(
+            self.by_master_ns.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(
+                f"  {master:<12} {busy:>9} ns  ({100 * self.master_share(master):5.1f}% of busy)"
+            )
+        if self.by_class:
+            classes = "  ".join(
+                f"{name}={count}" for name, count in sorted(self.by_class.items())
+            )
+            lines.append(f"  traffic: {classes}")
+        return "\n".join(lines)
+
+
+def bus_utilization(
+    source: Union[MicrobenchResult, Mapping[str, int]],
+    elapsed_ns: int = 0,
+) -> BusUtilization:
+    """Build a :class:`BusUtilization` from a result or raw stats.
+
+    Pass a :class:`MicrobenchResult` directly, or a stats mapping plus
+    the run's ``elapsed_ns``.
+    """
+    if isinstance(source, MicrobenchResult):
+        stats = source.stats
+        elapsed_ns = source.elapsed_ns
+    else:
+        stats = dict(source)
+    by_master = {
+        key[len("bus.busy."):]: value
+        for key, value in stats.items()
+        if key.startswith("bus.busy.") and key != "bus.busy_ticks"
+    }
+    by_class: Dict[str, int] = {}
+    for key, value in stats.items():
+        if key.startswith("bus.op."):
+            op = key[len("bus.op."):]
+            klass = TRAFFIC_CLASSES.get(op, op)
+            by_class[klass] = by_class.get(klass, 0) + value
+    return BusUtilization(
+        elapsed_ns=elapsed_ns,
+        busy_ns=stats.get("bus.busy_ticks", 0),
+        transactions=stats.get("bus.txns", 0),
+        retries=stats.get("bus.retries", 0),
+        by_master_ns=by_master,
+        by_class=by_class,
+    )

@@ -1,0 +1,19 @@
+"""Shared system bus: transactions, arbitration, the ASB-like bus model."""
+
+from .arbiter import Arbiter, FixedPriorityArbiter, RoundRobinArbiter
+from .asb import AsbBus, Snooper
+from .types import BusOp, BusResult, Priority, SnoopAction, SnoopReply, Transaction
+
+__all__ = [
+    "AsbBus",
+    "Snooper",
+    "BusOp",
+    "BusResult",
+    "Priority",
+    "SnoopAction",
+    "SnoopReply",
+    "Transaction",
+    "Arbiter",
+    "FixedPriorityArbiter",
+    "RoundRobinArbiter",
+]

@@ -1,0 +1,125 @@
+"""Bus arbitration.
+
+The arbiter hands out exclusive bus tenures.  Requests carry a
+:class:`~repro.bus.types.Priority`:
+
+* ``DRAIN`` — snoop pushes (write-backs forced by a snoop hit).  The
+  paper's platforms hand the bus to the snooping processor immediately
+  after ARTRY (BOFF on the Intel486 side, ARTRY/BG on the PowerPC side);
+  drains therefore always win.
+* ``RETRY`` — a master re-issuing a transaction that was ARTRY'd.
+* ``NORMAL`` — fresh requests.
+
+Within a level, requests are served FIFO (``FixedPriorityArbiter``) or
+round-robin over masters (``RoundRobinArbiter``) — an ablation knob.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..errors import BusError
+from ..sim import Event, Simulator
+from .types import Priority
+
+__all__ = ["Arbiter", "FixedPriorityArbiter", "RoundRobinArbiter"]
+
+
+class Arbiter:
+    """Base arbiter: three priority bands, exclusive grant semantics.
+
+    Masters call :meth:`request` (an event to wait on) and must call
+    :meth:`release` when their tenure ends.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._queues: dict[Priority, Deque[Tuple[str, Event]]] = {
+            level: deque() for level in Priority
+        }
+        self._holder: Optional[str] = None
+        self.grants = 0
+
+    @property
+    def holder(self) -> Optional[str]:
+        """Name of the master currently holding the bus, if any."""
+        return self._holder
+
+    @property
+    def busy(self) -> bool:
+        """True while a tenure is in progress."""
+        return self._holder is not None
+
+    def request(self, master: str, priority: Priority = Priority.NORMAL) -> Event:
+        """Queue a bus request; the returned event fires on grant."""
+        grant = self.sim.event()
+        self._queues[priority].append((master, grant))
+        if not self.busy:
+            self._grant_next()
+        return grant
+
+    def release(self, master: str) -> None:
+        """End the current tenure (must be called by the holder)."""
+        if self._holder != master:
+            raise BusError(f"{master} released the bus but {self._holder} holds it")
+        self._holder = None
+        self._grant_next()
+
+    def pending(self) -> int:
+        """Number of queued requests across all levels."""
+        return sum(len(q) for q in self._queues.values())
+
+    # -- selection policy --------------------------------------------------
+    def _grant_next(self) -> None:
+        choice = self._select()
+        if choice is None:
+            return
+        master, grant = choice
+        self._holder = master
+        self.grants += 1
+        grant.succeed(master)
+
+    def _select(self) -> Optional[Tuple[str, Event]]:
+        raise NotImplementedError
+
+
+class FixedPriorityArbiter(Arbiter):
+    """FIFO within each band; bands strictly ordered (default policy)."""
+
+    def _select(self) -> Optional[Tuple[str, Event]]:
+        for level in Priority:
+            queue = self._queues[level]
+            if queue:
+                return queue.popleft()
+        return None
+
+
+class RoundRobinArbiter(Arbiter):
+    """Round-robin across masters inside the NORMAL band.
+
+    DRAIN and RETRY stay FIFO (they are correctness-critical orderings);
+    fairness only matters for fresh requests.
+    """
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim)
+        self._last_master: Optional[str] = None
+
+    def _select(self) -> Optional[Tuple[str, Event]]:
+        for level in (Priority.DRAIN, Priority.RETRY):
+            queue = self._queues[level]
+            if queue:
+                return queue.popleft()
+        queue = self._queues[Priority.NORMAL]
+        if not queue:
+            return None
+        # Prefer the first queued master different from the last grantee.
+        for index, (master, grant) in enumerate(queue):
+            if master != self._last_master:
+                del queue[index]
+                self._last_master = master
+                return master, grant
+        master, grant = queue.popleft()
+        self._last_master = master
+        return master, grant

@@ -1,0 +1,200 @@
+"""The shared system bus (AMBA ASB-like).
+
+One bus tenure is::
+
+    arbitration (1 cycle) -> address phase (1 cycle, snooped) -> data phase
+
+At the address phase every attached snooper other than the issuing
+master is consulted *combinationally* (a synchronous call).  Outcomes:
+
+* all OK / SHARED / SUPPLY -> the data phase proceeds (cache-to-cache
+  supply replaces the memory access when a MOESI owner intervenes);
+* any RETRY -> the tenure aborts (ARTRY).  The master backs off until
+  every retrying snooper signals completion of its drain, then
+  re-arbitrates at RETRY priority.  Drain write-backs themselves run at
+  DRAIN priority, modelling the immediate BOFF/ARTRY bus handover the
+  paper describes for the PowerPC755/Intel486 platform.
+
+All coherence state changes triggered by a transaction happen while the
+bus is held (snoopers commit at the address phase; the master commits
+through the ``commit`` callback at the end of the data phase), so state
+updates are fully serialised by bus order — the property the coherence
+checker relies on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, List, Optional
+
+from ..errors import BusError
+from ..sim import Clock, Simulator, Stats, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..mem.controller import MemoryController
+from .arbiter import Arbiter, FixedPriorityArbiter
+from .types import BusOp, BusResult, Priority, SnoopAction, SnoopReply, Transaction
+
+__all__ = ["AsbBus", "Snooper"]
+
+
+class Snooper:
+    """Interface for agents that watch the bus address phase.
+
+    ``master_name`` identifies the master whose own transactions this
+    snooper must ignore (a cache does not snoop its own fills).
+    """
+
+    master_name: str = ""
+
+    def snoop(self, txn: Transaction) -> SnoopReply:
+        """Answer one address phase (called with the bus held)."""
+        raise NotImplementedError
+
+    def observe(self, txn: Transaction) -> None:
+        """Passive tap invoked for *every* transaction, own included.
+
+        Used by the snoop-logic TAG CAM to track the non-coherent
+        processor's allocations; default is a no-op.
+        """
+
+
+class AsbBus:
+    """The shared bus: arbitration, snooping, data movement, timing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clock: Clock,
+        controller: "MemoryController",
+        arbiter: Optional[Arbiter] = None,
+        tracer: Optional[Tracer] = None,
+        stats: Optional[Stats] = None,
+        arbitration_cycles: int = 1,
+        address_cycles: int = 1,
+        retry_penalty_cycles: int = 0,
+    ):
+        self.sim = sim
+        self.clock = clock
+        self.controller = controller
+        self.arbiter = arbiter or FixedPriorityArbiter(sim)
+        self.tracer = tracer or Tracer(channels=())
+        self.stats = stats or Stats()
+        self.arbitration_cycles = arbitration_cycles
+        self.address_cycles = address_cycles
+        self.retry_penalty_cycles = retry_penalty_cycles
+        self.snoopers: List[Snooper] = []
+
+    # -- topology -----------------------------------------------------------
+    def attach_snooper(self, snooper: Snooper) -> None:
+        """Register a snooper for the address phase."""
+        self.snoopers.append(snooper)
+
+    def detach_snooper(self, snooper: Snooper) -> None:
+        """Remove a previously attached snooper."""
+        self.snoopers.remove(snooper)
+
+    # -- the tenure ----------------------------------------------------------
+    def transact(
+        self,
+        txn: Transaction,
+        priority: Priority = Priority.NORMAL,
+        commit: Optional[Callable[[BusResult], None]] = None,
+    ) -> Generator:
+        """Run one transaction to completion (a process generator).
+
+        ``commit``, when given, runs at the end of the data phase while
+        the bus is still held — masters use it to install fills and flip
+        line states atomically with respect to other masters' snoops.
+
+        Use as ``result = yield from bus.transact(txn)``.
+        """
+        sim = self.sim
+        start = sim.now
+        self.stats.bump("bus.txns")
+        self.stats.bump(f"bus.op.{txn.op.value}")
+        self.stats.bump(f"bus.master.{txn.master}")
+        while True:
+            yield self.arbiter.request(txn.master, priority)
+            tenure_start = sim.now
+            # Arbitration + address phase, aligned to the bus clock.
+            # Snoop pushes skip arbitration: after ARTRY the arbiter
+            # hands the bus to the snooper directly (the BOFF/ARTRY
+            # handover of Section 3).
+            arb_cycles = 0 if priority is Priority.DRAIN else self.arbitration_cycles
+            yield sim.timeout(
+                self.clock.edge_then_cycles(sim.now, arb_cycles + self.address_cycles)
+            )
+            self.tracer.emit(
+                sim.now, "bus", txn.master, "address-phase",
+                op=txn.op.value, addr=txn.addr, retry_no=txn.retries,
+            )
+            replies = self._snoop_window(txn)
+            retriers = [r for r in replies if r.action is SnoopAction.RETRY]
+            if retriers:
+                # ARTRY: abort the tenure, back off until drains finish.
+                # The wasted address phase is the intrinsic cost; extra
+                # recovery cycles are configurable.
+                self.stats.bump("bus.retries")
+                self.tracer.emit(sim.now, "bus", txn.master, "artry", addr=txn.addr)
+                if self.retry_penalty_cycles:
+                    yield sim.timeout(self.clock.cycles(self.retry_penalty_cycles))
+                aborted = sim.now - tenure_start
+                self.stats.bump("bus.busy_ticks", aborted)
+                self.stats.bump(f"bus.busy.{txn.master}", aborted)
+                self.arbiter.release(txn.master)
+                txn.retries += 1
+                yield sim.all_of([r.completion for r in retriers])
+                priority = Priority.RETRY
+                continue
+            shared = any(
+                r.action in (SnoopAction.SHARED, SnoopAction.SUPPLY) for r in replies
+            )
+            supplier = next(
+                (r for r in replies if r.action is SnoopAction.SUPPLY), None
+            )
+            data, cycles = self._data_phase(txn, supplier)
+            yield sim.timeout(self.clock.cycles(cycles))
+            result = BusResult(
+                data=data,
+                shared=shared,
+                retries=txn.retries,
+                start_time=start,
+                end_time=sim.now,
+                supplied=supplier is not None,
+            )
+            if commit is not None:
+                commit(result)
+            self.tracer.emit(
+                sim.now, "bus", txn.master, "complete",
+                op=txn.op.value, addr=txn.addr, shared=shared,
+                supplied=result.supplied, retries=txn.retries,
+            )
+            tenure = sim.now - tenure_start
+            self.stats.bump("bus.busy_ticks", tenure)
+            self.stats.bump(f"bus.busy.{txn.master}", tenure)
+            self.arbiter.release(txn.master)
+            return result
+
+    # -- internals -------------------------------------------------------------
+    def _snoop_window(self, txn: Transaction) -> List[SnoopReply]:
+        replies = []
+        for snooper in self.snoopers:
+            snooper.observe(txn)
+            if snooper.master_name == txn.master:
+                continue
+            reply = snooper.snoop(txn)
+            if reply.action is not SnoopAction.OK:
+                self.tracer.emit(
+                    self.sim.now, "bus", snooper.master_name, "snoop",
+                    op=txn.op.value, addr=txn.addr, action=reply.action.value,
+                )
+            replies.append(reply)
+        return replies
+
+    def _data_phase(self, txn: Transaction, supplier: Optional[SnoopReply]):
+        if supplier is not None:
+            if txn.op not in (BusOp.READ_LINE, BusOp.READ_LINE_EXCL):
+                raise BusError(f"cache-to-cache supply for non-fill {txn.op}")
+            self.stats.bump("bus.c2c_supplies")
+            return list(supplier.supply_data), self.controller.supply_cycles(txn.line_words)
+        return self.controller.access(txn)

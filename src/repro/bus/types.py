@@ -1,0 +1,168 @@
+"""Bus transaction vocabulary.
+
+The shared ASB-like bus carries five kinds of transaction:
+
+========== ===================================================================
+READ        single uncached word read
+WRITE       single uncached word write
+READ_LINE   burst line fill (8 words by default — Table 4's 13-cycle burst)
+UPDATE      word broadcast for update-based protocols (Dragon extension);
+            sharers patch their copies in place, memory is not written
+READ_LINE_EXCL  burst fill with intent to modify (RWITM / BusRdX)
+WRITE_LINE  burst write-back of a dirty line
+INVALIDATE  address-only upgrade (S -> M without a data transfer)
+SWAP        atomic read-modify-write of one uncached word (lock primitive)
+========== ===================================================================
+
+Snoopers answer each address phase with a :class:`SnoopReply`:
+
+* ``OK`` — no involvement (possibly after invalidating their copy),
+* ``SHARED`` — they retain a copy; the shared signal is asserted,
+* ``SUPPLY`` — they will source the data cache-to-cache (MOESI owner),
+* ``RETRY`` — the master must back off (ARTRY) until ``completion``
+  triggers; the snooper drains its dirty copy in the meantime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, IntEnum
+from typing import Any, List, Optional, Sequence, Union
+
+from ..errors import BusError
+
+__all__ = [
+    "BusOp",
+    "Priority",
+    "Transaction",
+    "SnoopAction",
+    "SnoopReply",
+    "BusResult",
+]
+
+
+class BusOp(Enum):
+    """The transaction kinds carried by the shared bus."""
+
+    READ = "read"
+    WRITE = "write"
+    READ_LINE = "read-line"
+    READ_LINE_EXCL = "read-line-excl"
+    WRITE_LINE = "write-line"
+    INVALIDATE = "invalidate"
+    SWAP = "swap"
+    UPDATE = "update"
+
+    @property
+    def is_burst(self) -> bool:
+        """True for line-granular (burst) transactions."""
+        return self in (BusOp.READ_LINE, BusOp.READ_LINE_EXCL, BusOp.WRITE_LINE)
+
+    @property
+    def is_read(self) -> bool:
+        """True when the master receives data."""
+        return self in (BusOp.READ, BusOp.READ_LINE, BusOp.READ_LINE_EXCL, BusOp.SWAP)
+
+    @property
+    def writes_memory(self) -> bool:
+        """True when the transaction updates main memory."""
+        return self in (BusOp.WRITE, BusOp.WRITE_LINE, BusOp.SWAP)
+
+
+class Priority(IntEnum):
+    """Arbitration levels; numerically lower wins.
+
+    ``DRAIN`` models the paper's snoop-push path: after ARTRY the arbiter
+    immediately hands the bus to the snooping processor (BOFF/ARTRY
+    handshake), so drains beat everything.  ``RETRY`` puts backed-off
+    masters ahead of fresh requests, bounding retry starvation.
+    """
+
+    DRAIN = 0
+    RETRY = 1
+    NORMAL = 2
+
+
+@dataclass
+class Transaction:
+    """One bus transaction as issued by a master.
+
+    ``data`` is a single word for WRITE/SWAP and a word list for
+    WRITE_LINE.  ``line_words`` matters only for burst ops.
+    """
+
+    op: BusOp
+    addr: int
+    master: str
+    data: Union[int, Sequence[int], None] = None
+    line_words: int = 8
+    retries: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.addr < 0 or self.addr % 4:
+            raise BusError(f"bad transaction address 0x{self.addr:x}")
+        if self.op is BusOp.WRITE_LINE:
+            if self.data is None or len(list(self.data)) != self.line_words:
+                raise BusError("WRITE_LINE needs exactly line_words data words")
+        if self.op in (BusOp.WRITE, BusOp.SWAP, BusOp.UPDATE) and not isinstance(self.data, int):
+            raise BusError(f"{self.op.value} needs a single data word")
+        if self.op.is_burst and self.addr % (4 * self.line_words):
+            raise BusError(
+                f"burst address 0x{self.addr:08x} not aligned to "
+                f"{4 * self.line_words}-byte line"
+            )
+
+    def describe(self) -> str:
+        """Short human-readable rendering for traces."""
+        return f"{self.master}:{self.op.value}@0x{self.addr:08x}"
+
+
+class SnoopAction(Enum):
+    """What a snooper decided at the address phase."""
+
+    OK = "ok"
+    SHARED = "shared"
+    SUPPLY = "supply"
+    RETRY = "retry"
+
+
+@dataclass(frozen=True)
+class SnoopReply:
+    """A snooper's answer to one address phase.
+
+    ``completion`` (RETRY only) triggers once the snooper has drained the
+    offending line and the master may retry.  ``supply_data`` (SUPPLY
+    only) carries the line sourced cache-to-cache.
+    """
+
+    action: SnoopAction
+    completion: Any = None
+    supply_data: Optional[List[int]] = None
+
+    def __post_init__(self):
+        if self.action is SnoopAction.RETRY and self.completion is None:
+            raise BusError("RETRY snoop reply needs a completion event")
+        if self.action is SnoopAction.SUPPLY and self.supply_data is None:
+            raise BusError("SUPPLY snoop reply needs data")
+
+
+# Singleton "no involvement" reply shared by every snooper.
+SnoopReply.OK = SnoopReply(SnoopAction.OK)  # type: ignore[attr-defined]
+
+
+@dataclass(frozen=True)
+class BusResult:
+    """Outcome of a completed transaction, as seen by the master."""
+
+    data: Union[int, List[int], None]
+    shared: bool
+    retries: int
+    start_time: int
+    end_time: int
+    supplied: bool = False
+
+    @property
+    def latency(self) -> int:
+        """Ticks between issue and completion, including retries."""
+        return self.end_time - self.start_time

@@ -1,0 +1,512 @@
+"""The snooping cache controller.
+
+Glue between a processor core, a :class:`~repro.cache.array.CacheArray`,
+a coherence-protocol FSM and the shared bus:
+
+* **processor side** — ``read`` / ``write`` / ``swap`` plus the cache
+  management operations software coherence needs (``flush_line`` ==
+  DCBF-style drain, ``invalidate_line`` == DCBI, ``writeback_line`` ==
+  DCBST);
+* **snoop side** — :meth:`snoop_decision` evaluates a snooped operation
+  against the native FSM and either commits the transition immediately
+  (the bus is held, so this is race-free) or reports that a drain is
+  required, which the wrapper then schedules;
+* **drain side** — :meth:`drain_line` performs the snoop push at DRAIN
+  bus priority.
+
+A single FIFO :class:`~repro.sim.Mutex` (the *port lock*) serialises
+processor-side operations and drains.  This models the single tag/data
+port of the real controllers and — deliberately — reproduces the
+paper's Fig 4 hardware deadlock: a drain cannot proceed while the
+processor's own transaction is mid-flight (including backed off after
+ARTRY), which is exactly the "retries instead of draining" behaviour
+described in Section 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from ..bus.asb import AsbBus
+from ..bus.types import BusOp, Priority, Transaction
+from ..errors import ProtocolError
+from ..mem.map import MemoryMap, WritePolicy
+from ..sim import Mutex, Simulator, Stats, Tracer
+from .array import CacheArray, CacheGeometry
+from .line import CacheLine, State
+from .protocols.base import CoherenceProtocol, SnoopOp, WriteAction
+
+__all__ = ["CacheController", "SnoopDecision"]
+
+
+class SnoopDecision:
+    """Outcome of evaluating one snooped operation (see snoop_decision)."""
+
+    __slots__ = ("kind", "assert_shared", "supply_data", "drain_next_state")
+
+    MISS = "miss"
+    OK = "ok"
+    SUPPLY = "supply"
+    DRAIN = "drain"
+
+    def __init__(
+        self,
+        kind: str,
+        assert_shared: bool = False,
+        supply_data: Optional[List[int]] = None,
+        drain_next_state: Optional[State] = None,
+    ):
+        self.kind = kind
+        self.assert_shared = assert_shared
+        self.supply_data = supply_data
+        self.drain_next_state = drain_next_state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SnoopDecision {self.kind}>"
+
+
+class CacheController:
+    """One processor's data cache plus its coherence machinery."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        bus: AsbBus,
+        memory_map: MemoryMap,
+        geometry: CacheGeometry,
+        protocol: Optional[CoherenceProtocol],
+        protocol_wt: Optional[CoherenceProtocol] = None,
+        tracer: Optional[Tracer] = None,
+        stats: Optional[Stats] = None,
+        enabled: bool = True,
+        coherent: bool = True,
+    ):
+        self.name = name
+        self.sim = sim
+        self.bus = bus
+        self.map = memory_map
+        self.geom = geometry
+        self.array = CacheArray(geometry)
+        self.protocol = protocol
+        self.protocol_wt = protocol_wt
+        self.tracer = tracer or bus.tracer
+        self.stats = stats or bus.stats
+        self.enabled = enabled
+        #: whether this cache participates in bus snooping (False models
+        #: the ARM920T: a write-back cache with no coherence hardware)
+        self.coherent = coherent
+        #: shared-signal filter installed by the wrapper (policy side)
+        self.shared_filter: Callable[[bool], bool] = lambda actual: actual
+        #: listeners for TAG CAM mirroring: f(line_base_addr)
+        self.install_listeners: List[Callable[[int], None]] = []
+        self.remove_listeners: List[Callable[[int], None]] = []
+        self.port = Mutex(sim, name=f"{name}.port")
+
+    # ------------------------------------------------------------------
+    # processor side
+    # ------------------------------------------------------------------
+    def read(self, addr: int) -> Generator:
+        """Load one word (generator; yields until the value is ready).
+
+        Uncached accesses bypass the cache array (and therefore the
+        port lock): the bus interface handles them while the tag/data
+        port stays available to snoop pushes.
+        """
+        region = self.map.find(addr)
+        if not (self.enabled and region.cacheable):
+            value = yield from self._uncached_read(addr)
+        else:
+            yield self.port.acquire()
+            try:
+                value = yield from self._cached_read(addr, region)
+            finally:
+                self.port.release()
+        self.tracer.emit(self.sim.now, "mem", self.name, "load", addr=addr, value=value)
+        return value
+
+    def write(self, addr: int, value: int) -> Generator:
+        """Store one word (generator); uncached stores skip the port."""
+        region = self.map.find(addr)
+        if not (self.enabled and region.cacheable):
+            device = self._local_device(addr)
+            if device is not None:
+                device.write_word(addr, value)
+            else:
+                yield from self._transact(
+                    Transaction(BusOp.WRITE, addr, self.name, data=value)
+                )
+                self.stats.bump(f"{self.name}.uncached_writes")
+        else:
+            yield self.port.acquire()
+            try:
+                yield from self._cached_write(addr, value, region)
+            finally:
+                self.port.release()
+        self.tracer.emit(self.sim.now, "mem", self.name, "store", addr=addr, value=value)
+
+    def swap(self, addr: int, value: int) -> Generator:
+        """Atomic exchange on an *uncached* word (the lock primitive)."""
+        region = self.map.find(addr)
+        if self.enabled and region.cacheable:
+            raise ProtocolError(
+                f"swap at 0x{addr:08x}: atomic exchange is only defined for "
+                "uncached addresses (lock variables are never cached)"
+            )
+        result = yield from self._transact(
+            Transaction(BusOp.SWAP, addr, self.name, data=value)
+        )
+        self.tracer.emit(self.sim.now, "mem", self.name, "swap", addr=addr, value=value, old=result.data)
+        return result.data
+
+    def flush_line(self, addr: int, priority: Priority = Priority.NORMAL) -> Generator:
+        """DCBF: write back if dirty, then invalidate (software coherence)."""
+        yield self.port.acquire()
+        try:
+            yield from self._flush_locked(addr, priority)
+        finally:
+            self.port.release()
+
+    def writeback_line(self, addr: int) -> Generator:
+        """DCBST: push a dirty line to memory but keep it (clean)."""
+        yield self.port.acquire()
+        try:
+            line = self.array.lookup(addr)
+            if line is not None and line.is_dirty:
+                base = self.geom.line_base(addr)
+
+                def commit(_result):
+                    if line.is_valid:
+                        self._set_state(base, line, State.EXCLUSIVE, "dcbst")
+
+                yield from self._transact(
+                    Transaction(
+                        BusOp.WRITE_LINE, base, self.name,
+                        data=line.data, line_words=self.geom.line_words,
+                    ),
+                    commit=commit,
+                )
+                self.stats.bump(f"{self.name}.writebacks")
+        finally:
+            self.port.release()
+
+    def invalidate_line(self, addr: int) -> None:
+        """DCBI: drop the line without writing it back (instant)."""
+        base = self.geom.line_base(addr)
+        if self.array.remove(base) is not None:
+            self._notify_remove(base, "dcbi")
+
+    def line_state(self, addr: int) -> State:
+        """Current coherence state of the line holding ``addr``."""
+        line = self.array.lookup(self.geom.line_base(addr))
+        return line.state if line is not None else State.INVALID
+
+    def cached_addresses(self, predicate=None) -> List[int]:
+        """Valid line base addresses (optionally filtered by predicate)."""
+        return self.array.flush_iter(predicate)
+
+    # ------------------------------------------------------------------
+    # snoop side (called with the bus held; synchronous)
+    # ------------------------------------------------------------------
+    def snoop_decision(self, op: SnoopOp, addr: int, data=None) -> SnoopDecision:
+        """Evaluate and (unless a drain is needed) commit a snooped op.
+
+        ``data`` carries the broadcast word for UPDATE operations
+        (update-based protocols patch their copy in place).
+        """
+        base = self.geom.line_base(addr)
+        line = self.array.lookup(base)
+        if line is None:
+            return SnoopDecision(SnoopDecision.MISS)
+        outcome = line.protocol.snoop(line.state, op)
+        if outcome.apply_update and data is not None:
+            line.data[self.geom.word_offset(addr)] = data
+        if outcome.drain:
+            # Commit is deferred to drain_line(); the master sees ARTRY.
+            return SnoopDecision(SnoopDecision.DRAIN, drain_next_state=outcome.next_state)
+        if outcome.supply:
+            data = list(line.data)
+            self._apply_snoop_state(base, line, outcome.next_state)
+            return SnoopDecision(
+                SnoopDecision.SUPPLY,
+                assert_shared=outcome.assert_shared,
+                supply_data=data,
+            )
+        self._apply_snoop_state(base, line, outcome.next_state)
+        return SnoopDecision(SnoopDecision.OK, assert_shared=outcome.assert_shared)
+
+    # ------------------------------------------------------------------
+    # drain side (scheduled by the wrapper or the snoop-logic ISR)
+    # ------------------------------------------------------------------
+    def drain_line(self, addr: int, next_state: State) -> Generator:
+        """Snoop push: write the dirty line back, then enter next_state.
+
+        Runs at DRAIN bus priority (the ARTRY/BOFF handover).  Tolerates
+        the line having been cleaned, replaced or invalidated since the
+        snoop — the push then degenerates to the bare state change.
+        """
+        base = self.geom.line_base(addr)
+        yield self.port.acquire()
+        try:
+            line = self.array.lookup(base)
+            if line is None:
+                return
+            if not line.is_dirty:
+                self._apply_snoop_state(base, line, next_state)
+                return
+
+            def commit(_result):
+                if line.is_valid:
+                    self._apply_snoop_state(base, line, next_state)
+
+            yield from self._transact(
+                Transaction(
+                    BusOp.WRITE_LINE, base, self.name,
+                    data=line.data, line_words=self.geom.line_words,
+                ),
+                priority=Priority.DRAIN,
+                commit=commit,
+            )
+            self.stats.bump(f"{self.name}.drains")
+        finally:
+            self.port.release()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _uncached_read(self, addr: int) -> Generator:
+        device = self._local_device(addr)
+        if device is not None:
+            # Tightly-coupled register (coprocessor-style): no bus tenure.
+            return device.read_word(addr)
+        result = yield from self._transact(Transaction(BusOp.READ, addr, self.name))
+        self.stats.bump(f"{self.name}.uncached_reads")
+        return result.data
+
+    def _local_device(self, addr: int):
+        device = self.map.find(addr).device
+        if device is not None and getattr(device, "local_master", None) == self.name:
+            return device
+        return None
+
+    def _cached_read(self, addr: int, region) -> Generator:
+        line = self.array.lookup(addr, touch=True)
+        if line is not None:
+            self.stats.bump(f"{self.name}.hits")
+            return line.data[self.geom.word_offset(addr)]
+        self.stats.bump(f"{self.name}.read_misses")
+        line = yield from self._fill(addr, region, exclusive=False)
+        return line.data[self.geom.word_offset(addr)]
+
+    def _cached_write(self, addr: int, value: int, region) -> Generator:
+        offset = self.geom.word_offset(addr)
+        line = self.array.lookup(addr, touch=True)
+        if line is not None:
+            yield from self._write_hit(addr, line, offset, value)
+            return
+        self.stats.bump(f"{self.name}.write_misses")
+        protocol = self._protocol_for(region)
+        if State.MODIFIED not in protocol.states:
+            # Write-through, no-allocate: the word goes straight out.
+            yield from self._transact(Transaction(BusOp.WRITE, addr, self.name, data=value))
+            self.stats.bump(f"{self.name}.write_throughs")
+            return
+        if getattr(protocol, "update_based", False):
+            # Update protocols have no RWITM: fill shared, then write
+            # (which broadcasts when sharers exist).
+            line = yield from self._fill(addr, region, exclusive=False)
+            yield from self._write_hit(addr, line, offset, value)
+            return
+        line = yield from self._fill(addr, region, exclusive=True)
+        line.data[offset] = value
+        if line.state is not State.MODIFIED:  # defensive; RWITM fills M
+            line.state = State.MODIFIED
+
+    def _write_hit(self, addr: int, line: CacheLine, offset: int, value: int) -> Generator:
+        self.stats.bump(f"{self.name}.hits")
+        new_state, action = line.protocol.write_hit(line.state)
+        if action is WriteAction.NONE:
+            base = self.geom.line_base(addr)
+            if line.state is not new_state:
+                self._set_state(base, line, new_state, "write-hit")
+            line.data[offset] = value
+            return
+        if action is WriteAction.WRITE_THROUGH:
+            line.data[offset] = value
+            yield from self._transact(Transaction(BusOp.WRITE, addr, self.name, data=value))
+            self.stats.bump(f"{self.name}.write_throughs")
+            return
+        if action is WriteAction.UPDATE:
+            # Dragon-style broadcast: patch sharers, then settle between
+            # Sm (sharers remain) and M (nobody listened).
+            yield from self._broadcast_update(addr, line, offset, value)
+            return
+        # UPGRADE: address-only invalidate; commit while the bus is held.
+        base = self.geom.line_base(addr)
+        upgraded = []
+
+        def commit(_result):
+            if line.is_valid:
+                self._set_state(base, line, new_state, "upgrade")
+                line.data[offset] = value
+                upgraded.append(True)
+
+        yield from self._transact(
+            Transaction(BusOp.INVALIDATE, base, self.name), commit=commit
+        )
+        self.stats.bump(f"{self.name}.upgrades")
+        if not upgraded:
+            # The line was snatched (invalidated by a competing RWITM)
+            # between our decision and our bus grant: redo as a miss.
+            self.stats.bump(f"{self.name}.upgrade_races")
+            region = self.map.find(addr)
+            line = yield from self._fill(addr, region, exclusive=True)
+            line.data[offset] = value
+
+    def _broadcast_update(self, addr: int, line: CacheLine, offset: int, value: int) -> Generator:
+        base = self.geom.line_base(addr)
+        done = []
+
+        def commit(result):
+            if line.is_valid:
+                line.data[offset] = value
+                final = State.OWNED if result.shared else State.MODIFIED
+                if line.state is not final:
+                    self._set_state(base, line, final, "update")
+                done.append(True)
+
+        yield from self._transact(
+            Transaction(BusOp.UPDATE, addr, self.name, data=value), commit=commit
+        )
+        self.stats.bump(f"{self.name}.updates")
+        if not done:
+            # The line vanished (snooped away) mid-broadcast: redo as a
+            # plain miss-and-write.
+            region = self.map.find(addr)
+            yield from self._cached_write(addr, value, region)
+
+    def _fill(self, addr: int, region, exclusive: bool) -> Generator:
+        """Fetch the line for ``addr``; returns the installed CacheLine."""
+        protocol = self._protocol_for(region)
+        base = self.geom.line_base(addr)
+        way, victim, victim_addr = self.array.victim_for(base)
+        if victim is not None:
+            yield from self._evict(victim, victim_addr, way)
+        op = BusOp.READ_LINE_EXCL if exclusive else BusOp.READ_LINE
+        installed: List[CacheLine] = []
+
+        def commit(result):
+            shared = self.shared_filter(result.shared)
+            state = protocol.fill_state(exclusive, shared)
+            line = self.array.install(base, way, result.data, state, protocol)
+            installed.append(line)
+            self._notify_install(base)
+            self.tracer.emit(
+                self.sim.now, "cache", self.name, "fill",
+                addr=base, state=str(state), shared=shared, excl=exclusive,
+            )
+
+        yield from self._transact(
+            Transaction(op, base, self.name, line_words=self.geom.line_words),
+            commit=commit,
+        )
+        self.stats.bump(f"{self.name}.fills")
+        return installed[0]
+
+    def _evict(self, victim: CacheLine, victim_addr: int, way: int) -> Generator:
+        """Retire the victim occupying ``way``.
+
+        Dirty victims stay valid (and snoopable) until the write-back
+        commits, so no master can slip in a read of stale memory between
+        the eviction decision and the memory update.
+        """
+        if victim.is_dirty:
+            def commit(_result):
+                if victim.is_valid:
+                    victim.state = State.INVALID
+                    self._set_removed(victim_addr, way)
+                    self._notify_remove(victim_addr, "evict")
+
+            yield from self._transact(
+                Transaction(
+                    BusOp.WRITE_LINE, victim_addr, self.name,
+                    data=victim.data, line_words=self.geom.line_words,
+                ),
+                commit=commit,
+            )
+            self.stats.bump(f"{self.name}.writebacks")
+            if victim.is_valid:
+                # A concurrent drain beat us to the state change; the way
+                # may already be empty — make sure it is.
+                self._set_removed(victim_addr, way)
+        else:
+            victim.state = State.INVALID
+            self._set_removed(victim_addr, way)
+            self._notify_remove(victim_addr, "evict")
+        self.stats.bump(f"{self.name}.evictions")
+
+    def _set_removed(self, victim_addr: int, way: int) -> None:
+        ways = self.array._sets[self.geom.set_index(victim_addr)]
+        ways[way] = None
+
+    def _flush_locked(self, addr: int, priority: Priority) -> Generator:
+        base = self.geom.line_base(addr)
+        line = self.array.lookup(base)
+        if line is None:
+            return
+        if line.is_dirty:
+            def commit(_result):
+                if line.is_valid:
+                    line.state = State.INVALID
+                    self.array.remove(base)
+                    self._notify_remove(base, "dcbf")
+
+            yield from self._transact(
+                Transaction(
+                    BusOp.WRITE_LINE, base, self.name,
+                    data=line.data, line_words=self.geom.line_words,
+                ),
+                priority=priority,
+                commit=commit,
+            )
+            self.stats.bump(f"{self.name}.writebacks")
+        else:
+            self.array.remove(base)
+            self._notify_remove(base, "dcbf")
+        self.stats.bump(f"{self.name}.flushes")
+
+    def _apply_snoop_state(self, base: int, line: CacheLine, next_state: State) -> None:
+        if next_state is State.INVALID:
+            self.array.remove(base)
+            self._notify_remove(base, "snoop")
+        elif line.state is not next_state:
+            self._set_state(base, line, next_state, "snoop")
+
+    def _set_state(self, base: int, line: CacheLine, state: State, cause: str) -> None:
+        self.tracer.emit(
+            self.sim.now, "cache", self.name, "state",
+            addr=base, frm=str(line.state), to=str(state), cause=cause,
+        )
+        line.state = state
+
+    def _notify_install(self, base: int) -> None:
+        for listener in self.install_listeners:
+            listener(base)
+
+    def _notify_remove(self, base: int, cause: str) -> None:
+        self.tracer.emit(self.sim.now, "cache", self.name, "invalidate", addr=base, cause=cause)
+        for listener in self.remove_listeners:
+            listener(base)
+
+    def _protocol_for(self, region) -> CoherenceProtocol:
+        if (
+            self.protocol_wt is not None
+            and region.write_policy is WritePolicy.WRITE_THROUGH
+        ):
+            return self.protocol_wt
+        if self.protocol is None:
+            raise ProtocolError(f"{self.name}: cache enabled but no protocol configured")
+        return self.protocol
+
+    def _transact(self, txn: Transaction, priority: Priority = Priority.NORMAL, commit=None):
+        return self.bus.transact(txn, priority=priority, commit=commit)

@@ -1,0 +1,44 @@
+"""Invalidation-based coherence protocol FSMs."""
+
+from .base import CoherenceProtocol, SnoopOp, SnoopOutcome, WriteAction
+from .dragon import DragonProtocol
+from .mei import MEIProtocol
+from .mesi import MESIProtocol
+from .moesi import MOESIProtocol
+from .msi import MSIProtocol
+from .si import SIProtocol
+
+#: registry of protocol classes by canonical name
+PROTOCOLS = {
+    cls.name: cls
+    for cls in (
+        MEIProtocol, MSIProtocol, MESIProtocol, MOESIProtocol, SIProtocol,
+        DragonProtocol,
+    )
+}
+
+
+def make_protocol(name: str) -> CoherenceProtocol:
+    """Instantiate a protocol by name ("MEI", "MSI", "MESI", "MOESI", "SI")."""
+    try:
+        return PROTOCOLS[name.upper()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; choose from {sorted(PROTOCOLS)}"
+        ) from None
+
+
+__all__ = [
+    "CoherenceProtocol",
+    "SnoopOp",
+    "SnoopOutcome",
+    "WriteAction",
+    "MEIProtocol",
+    "MSIProtocol",
+    "MESIProtocol",
+    "MOESIProtocol",
+    "SIProtocol",
+    "DragonProtocol",
+    "PROTOCOLS",
+    "make_protocol",
+]

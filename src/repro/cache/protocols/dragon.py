@@ -1,0 +1,100 @@
+"""The Dragon protocol — an *update-based* extension.
+
+Section 2 of the paper opens by dividing coherence protocols into
+update-based and invalidation-based families and scopes the wrapper
+methodology to the invalidation family ("we focus our discussion on
+those processors that support invalidation-based protocols").  This
+module implements the classic update-based representative (Xerox PARC's
+Dragon, the paper's reference [3]) so that boundary is executable: a
+homogeneous Dragon platform runs fine, and
+:func:`~repro.core.reduction.reduce_protocols` refuses to mix Dragon
+with any invalidation protocol.
+
+Dragon's four valid states, mapped onto this package's state enum:
+
+========  ==========  =================================================
+Dragon    here        meaning
+========  ==========  =================================================
+E         EXCLUSIVE   only copy, clean
+Sc        SHARED      shared copy, clean w.r.t. the current owner
+Sm        OWNED       shared copy, dirty, responsible for write-back
+M         MODIFIED    only copy, dirty
+========  ==========  =================================================
+
+Writes to shared lines broadcast the word on the bus (``UPDATE``);
+sharers patch their copies in place instead of invalidating.  Memory is
+*not* updated by the broadcast — the writer becomes the owner (Sm) when
+sharers remain, or M when the update finds no listener.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...errors import ProtocolError
+from ..line import State
+from .base import CoherenceProtocol, SnoopOp, SnoopOutcome, WriteAction
+
+__all__ = ["DragonProtocol"]
+
+
+class DragonProtocol(CoherenceProtocol):
+    """Update-based: Exclusive / Sc(SHARED) / Sm(OWNED) / Modified."""
+
+    name = "DRAGON"
+    states = frozenset(
+        {State.MODIFIED, State.OWNED, State.EXCLUSIVE, State.SHARED, State.INVALID}
+    )
+    uses_shared_signal = True
+    supports_supply = True
+    #: marks the protocol family for the reduction algebra
+    update_based = True
+
+    def fill_state(self, exclusive: bool, shared: bool) -> State:
+        if exclusive:
+            # Dragon has no RWITM: a write miss fills then broadcasts.
+            raise ProtocolError("Dragon fills are never exclusive (no RWITM)")
+        return State.SHARED if shared else State.EXCLUSIVE
+
+    def write_hit(self, state: State) -> Tuple[State, WriteAction]:
+        self._check(state)
+        if state is State.MODIFIED:
+            return State.MODIFIED, WriteAction.NONE
+        if state is State.EXCLUSIVE:
+            return State.MODIFIED, WriteAction.NONE
+        if state in (State.SHARED, State.OWNED):
+            # Broadcast the word; the controller resolves the final
+            # state from the returned shared signal (Sm if sharers
+            # remain, M if the update found no listener).
+            return State.OWNED, WriteAction.UPDATE
+        raise ProtocolError(f"Dragon write hit in state {state}")
+
+    def snoop(self, state: State, op: SnoopOp) -> SnoopOutcome:
+        self._check(state)
+        if state is State.INVALID:
+            return self._snoop_invalid()
+        if op is SnoopOp.UPDATE:
+            # Patch the broadcast word into the local copy; ownership
+            # moves to the updater, so a previous owner demotes to Sc.
+            return SnoopOutcome(
+                State.SHARED, assert_shared=True, apply_update=True
+            )
+        if op is SnoopOp.READ:
+            if state in (State.MODIFIED, State.OWNED):
+                # The owner supplies the data and stays responsible.
+                return SnoopOutcome(State.OWNED, supply=True, assert_shared=True)
+            return SnoopOutcome(State.SHARED, assert_shared=True)
+        if op is SnoopOp.READ_EXCL:
+            if state in (State.MODIFIED, State.OWNED):
+                return SnoopOutcome(State.INVALID, supply=True)
+            return SnoopOutcome(State.INVALID)
+        if op is SnoopOp.WRITE:
+            # A non-caching writer (DMA, uncached store): push dirty
+            # data first so memory is current, then drop the copy.
+            if state in (State.MODIFIED, State.OWNED):
+                return SnoopOutcome(State.INVALID, drain=True)
+            return SnoopOutcome(State.INVALID)
+        # INVALIDATE from a foreign upgrade.
+        if state in (State.MODIFIED, State.OWNED):
+            return SnoopOutcome(State.INVALID, drain=True)
+        return SnoopOutcome(State.INVALID)

@@ -1,0 +1,49 @@
+"""The MEI protocol (PowerPC755-style: Modified, Exclusive, Invalid).
+
+With no Shared state, every valid line is the only cached copy in the
+system.  A snooped read therefore cannot downgrade to S — the holder
+pushes dirty data and invalidates (the PowerPC755 behaviour the paper
+builds on: the ARTRY/drain handshake of Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...errors import ProtocolError
+from ..line import State
+from .base import CoherenceProtocol, SnoopOp, SnoopOutcome, WriteAction
+
+__all__ = ["MEIProtocol"]
+
+
+class MEIProtocol(CoherenceProtocol):
+    """Modified / Exclusive / Invalid."""
+
+    name = "MEI"
+    states = frozenset({State.MODIFIED, State.EXCLUSIVE, State.INVALID})
+    uses_shared_signal = False
+    supports_supply = False
+
+    def fill_state(self, exclusive: bool, shared: bool) -> State:
+        return State.MODIFIED if exclusive else State.EXCLUSIVE
+
+    def write_hit(self, state: State) -> Tuple[State, WriteAction]:
+        self._check(state)
+        if state in (State.MODIFIED, State.EXCLUSIVE):
+            return State.MODIFIED, WriteAction.NONE
+        raise ProtocolError(f"MEI write hit in state {state}")
+
+    def snoop(self, state: State, op: SnoopOp) -> SnoopOutcome:
+        self._check(state)
+        if state is State.INVALID:
+            return self._snoop_invalid()
+        # Any external touch invalidates: there is no S to retreat to.
+        if state is State.MODIFIED:
+            if op is SnoopOp.INVALIDATE:
+                # An upgrade cannot target a line another cache holds M;
+                # treat defensively as invalidate-with-drain.
+                return SnoopOutcome(State.INVALID, drain=True)
+            return SnoopOutcome(State.INVALID, drain=True)
+        # EXCLUSIVE: clean, just drop the copy.
+        return SnoopOutcome(State.INVALID)

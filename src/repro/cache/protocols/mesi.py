@@ -1,0 +1,56 @@
+"""The MESI protocol (Illinois/Intel-style).
+
+Adds the Exclusive state: a read miss with the shared signal deasserted
+installs in E, making the first write silent.  This is the protocol the
+Write-back Enhanced Intel486 uses for its write-back lines and the one
+Section 2 removes states from when integrating with MEI or MSI peers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...errors import ProtocolError
+from ..line import State
+from .base import CoherenceProtocol, SnoopOp, SnoopOutcome, WriteAction
+
+__all__ = ["MESIProtocol"]
+
+
+class MESIProtocol(CoherenceProtocol):
+    """Modified / Exclusive / Shared / Invalid."""
+
+    name = "MESI"
+    states = frozenset(
+        {State.MODIFIED, State.EXCLUSIVE, State.SHARED, State.INVALID}
+    )
+    uses_shared_signal = True
+    supports_supply = False
+
+    def fill_state(self, exclusive: bool, shared: bool) -> State:
+        if exclusive:
+            return State.MODIFIED
+        return State.SHARED if shared else State.EXCLUSIVE
+
+    def write_hit(self, state: State) -> Tuple[State, WriteAction]:
+        self._check(state)
+        if state is State.MODIFIED:
+            return State.MODIFIED, WriteAction.NONE
+        if state is State.EXCLUSIVE:
+            return State.MODIFIED, WriteAction.NONE
+        if state is State.SHARED:
+            return State.MODIFIED, WriteAction.UPGRADE
+        raise ProtocolError(f"MESI write hit in state {state}")
+
+    def snoop(self, state: State, op: SnoopOp) -> SnoopOutcome:
+        self._check(state)
+        if state is State.INVALID:
+            return self._snoop_invalid()
+        if op is SnoopOp.READ:
+            if state is State.MODIFIED:
+                # Flush, then both caches share the line.
+                return SnoopOutcome(State.SHARED, drain=True)
+            return SnoopOutcome(State.SHARED, assert_shared=True)
+        if state is State.MODIFIED:
+            return SnoopOutcome(State.INVALID, drain=True)
+        return SnoopOutcome(State.INVALID)

@@ -1,0 +1,71 @@
+"""The MOESI protocol (UltraSPARC / AMD64-style).
+
+Adds the Owned state: a dirty line can be shared, with the owner
+responsible for the eventual write-back and for sourcing the data
+cache-to-cache.  The paper assumes cache-to-cache sharing is implemented
+only by MOESI processors; the wrapper's read-to-write conversion is what
+keeps the O state from ever being entered in mixed systems (2.1.3, 2.2,
+2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...errors import ProtocolError
+from ..line import State
+from .base import CoherenceProtocol, SnoopOp, SnoopOutcome, WriteAction
+
+__all__ = ["MOESIProtocol"]
+
+
+class MOESIProtocol(CoherenceProtocol):
+    """Modified / Owned / Exclusive / Shared / Invalid."""
+
+    name = "MOESI"
+    states = frozenset(
+        {State.MODIFIED, State.OWNED, State.EXCLUSIVE, State.SHARED, State.INVALID}
+    )
+    uses_shared_signal = True
+    supports_supply = True
+
+    def fill_state(self, exclusive: bool, shared: bool) -> State:
+        if exclusive:
+            return State.MODIFIED
+        return State.SHARED if shared else State.EXCLUSIVE
+
+    def write_hit(self, state: State) -> Tuple[State, WriteAction]:
+        self._check(state)
+        if state is State.MODIFIED:
+            return State.MODIFIED, WriteAction.NONE
+        if state is State.EXCLUSIVE:
+            return State.MODIFIED, WriteAction.NONE
+        if state in (State.SHARED, State.OWNED):
+            # Other copies must be killed before the write retires.
+            return State.MODIFIED, WriteAction.UPGRADE
+        raise ProtocolError(f"MOESI write hit in state {state}")
+
+    def snoop(self, state: State, op: SnoopOp) -> SnoopOutcome:
+        self._check(state)
+        if state is State.INVALID:
+            return self._snoop_invalid()
+        if op is SnoopOp.READ:
+            if state in (State.MODIFIED, State.OWNED):
+                # Cache-to-cache intervention: no memory access, the
+                # owner keeps responsibility for the dirty data.
+                return SnoopOutcome(State.OWNED, supply=True, assert_shared=True)
+            return SnoopOutcome(State.SHARED, assert_shared=True)
+        if op is SnoopOp.READ_EXCL:
+            if state in (State.MODIFIED, State.OWNED):
+                # Supply to the new writer and drop ownership.
+                return SnoopOutcome(State.INVALID, supply=True)
+            return SnoopOutcome(State.INVALID)
+        if op is SnoopOp.WRITE:
+            # A non-caching writer: push dirty data so memory is current
+            # before the foreign word lands.
+            if state in (State.MODIFIED, State.OWNED):
+                return SnoopOutcome(State.INVALID, drain=True)
+            return SnoopOutcome(State.INVALID)
+        # INVALIDATE (an S -> M upgrade elsewhere): the upgrader's copy is
+        # current (it was supplied from the owner), so no push is needed.
+        return SnoopOutcome(State.INVALID)

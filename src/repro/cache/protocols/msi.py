@@ -1,0 +1,56 @@
+"""The MSI protocol (Modified, Shared, Invalid).
+
+The original 4D-MP style protocol: no Exclusive state, so every fill
+lands in S and the first write always pays a bus upgrade.  There is no
+shared-signal input — I -> S happens unconditionally on a read miss
+(the property Section 2.1.1 leans on: under read-to-write conversion
+the S state becomes de-facto exclusive).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...errors import ProtocolError
+from ..line import State
+from .base import CoherenceProtocol, SnoopOp, SnoopOutcome, WriteAction
+
+__all__ = ["MSIProtocol"]
+
+
+class MSIProtocol(CoherenceProtocol):
+    """Modified / Shared / Invalid."""
+
+    name = "MSI"
+    states = frozenset({State.MODIFIED, State.SHARED, State.INVALID})
+    uses_shared_signal = False
+    supports_supply = False
+
+    def fill_state(self, exclusive: bool, shared: bool) -> State:
+        return State.MODIFIED if exclusive else State.SHARED
+
+    def write_hit(self, state: State) -> Tuple[State, WriteAction]:
+        self._check(state)
+        if state is State.MODIFIED:
+            return State.MODIFIED, WriteAction.NONE
+        if state is State.SHARED:
+            return State.MODIFIED, WriteAction.UPGRADE
+        raise ProtocolError(f"MSI write hit in state {state}")
+
+    def snoop(self, state: State, op: SnoopOp) -> SnoopOutcome:
+        self._check(state)
+        if state is State.INVALID:
+            return self._snoop_invalid()
+        if op is SnoopOp.READ:
+            if state is State.MODIFIED:
+                # Flush, then retain a shared copy.
+                return SnoopOutcome(State.SHARED, drain=True)
+            # An MSI processor has no shared-signal *output*: it keeps
+            # its S copy but cannot tell the reader about it — the very
+            # hole Table 3 demonstrates when MSI meets MESI unwrapped.
+            return SnoopOutcome(State.SHARED, assert_shared=False)
+        # READ_EXCL / WRITE / INVALIDATE all kill the copy; a dirty
+        # copy is pushed first so memory stays current.
+        if state is State.MODIFIED:
+            return SnoopOutcome(State.INVALID, drain=True)
+        return SnoopOutcome(State.INVALID)

@@ -1,0 +1,47 @@
+"""The SI protocol: write-through lines (Intel486 style).
+
+The Write-back Enhanced Intel486 defines lines as write-back or
+write-through at allocation time; only write-through lines can be
+Shared, and they are never dirty — every write goes to the bus.
+Section 3: "the protocol for write-through lines is the SI protocol
+while the protocol for write-back lines is the MEI protocol" (once the
+wrapper has removed E and M sharing).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...errors import ProtocolError
+from ..line import State
+from .base import CoherenceProtocol, SnoopOp, SnoopOutcome, WriteAction
+
+__all__ = ["SIProtocol"]
+
+
+class SIProtocol(CoherenceProtocol):
+    """Shared / Invalid: write-through, never dirty."""
+
+    name = "SI"
+    states = frozenset({State.SHARED, State.INVALID})
+    uses_shared_signal = False
+    supports_supply = False
+
+    def fill_state(self, exclusive: bool, shared: bool) -> State:
+        if exclusive:
+            raise ProtocolError("SI lines cannot be fetched exclusively")
+        return State.SHARED
+
+    def write_hit(self, state: State) -> Tuple[State, WriteAction]:
+        self._check(state)
+        if state is State.SHARED:
+            return State.SHARED, WriteAction.WRITE_THROUGH
+        raise ProtocolError(f"SI write hit in state {state}")
+
+    def snoop(self, state: State, op: SnoopOp) -> SnoopOutcome:
+        self._check(state)
+        if state is State.INVALID:
+            return self._snoop_invalid()
+        if op is SnoopOp.READ:
+            return SnoopOutcome(State.SHARED, assert_shared=True)
+        return SnoopOutcome(State.INVALID)

@@ -1,0 +1,59 @@
+"""The paper's contribution: wrappers, reduction, snoop logic, platforms."""
+
+from .lock_register import LockRegister
+from .platform import (
+    LOCK_BASE,
+    LOCKREG_BASE,
+    MAILBOX_BASE,
+    PRIVATE_BASE,
+    SCRATCH_BASE,
+    SHARED_BASE,
+    SHARED_SIZE,
+    Platform,
+    PlatformConfig,
+    classify_platform,
+)
+from .reduction import (
+    PROTOCOL_STATES,
+    ReductionResult,
+    SharedMode,
+    WrapperPolicy,
+    reduce_protocols,
+    system_states,
+)
+from .snoop_logic import (
+    MAILBOX_ACK,
+    MAILBOX_EMPTY,
+    MAILBOX_POP,
+    MAILBOX_STATUS,
+    SnoopLogic,
+    append_isr,
+)
+from .wrapper import Wrapper
+
+__all__ = [
+    "Platform",
+    "PlatformConfig",
+    "classify_platform",
+    "Wrapper",
+    "SnoopLogic",
+    "append_isr",
+    "LockRegister",
+    "ReductionResult",
+    "SharedMode",
+    "WrapperPolicy",
+    "reduce_protocols",
+    "system_states",
+    "PROTOCOL_STATES",
+    "SHARED_BASE",
+    "SHARED_SIZE",
+    "LOCK_BASE",
+    "LOCKREG_BASE",
+    "SCRATCH_BASE",
+    "MAILBOX_BASE",
+    "PRIVATE_BASE",
+    "MAILBOX_POP",
+    "MAILBOX_ACK",
+    "MAILBOX_STATUS",
+    "MAILBOX_EMPTY",
+]

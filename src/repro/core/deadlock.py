@@ -1,0 +1,157 @@
+"""The Fig 4 hardware deadlock, demonstrated and solved.
+
+The scenario (Section 3): on a PF2 platform with *cacheable* lock
+variables,
+
+1. the PowerPC acquires the lock, leaving the lock line Modified in its
+   cache;
+2. the ARM dirties a shared line, then starts checking the lock — a
+   cached read that misses and gets ARTRY'd, because the line is dirty
+   in the PowerPC's cache; the ARM is now stalled mid-instruction;
+3. the PowerPC accesses the shared line; the snoop logic raises nFIQ,
+   but the ARM cannot take the interrupt while its lock read is stalled;
+4. the PowerPC is backed off, so its pending transaction blocks the
+   snoop push of the lock line ("it is supposed to retry the
+   transaction ... instead of draining out the lock variables").
+
+Nobody can make progress.  :func:`run_deadlock_demo` builds exactly
+this interleaving; with ``solution="none"`` the simulator's event queue
+drains with live processes waiting and a
+:class:`~repro.errors.DeadlockError` fires.  The paper's two remedies —
+never caching lock variables (software lock) and the hardware lock
+register — both complete, as does the Bakery variant of the first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..cpu.assembler import Assembler, Program
+from ..cpu.presets import preset_arm920t, preset_powerpc755
+from ..errors import ConfigError, DeadlockError
+from ..sync.locks import BakeryLock, HwLock, SwapLock
+from .platform import (
+    LOCK_BASE,
+    LOCKREG_BASE,
+    SCRATCH_BASE,
+    SHARED_BASE,
+    Platform,
+    PlatformConfig,
+)
+from .snoop_logic import append_isr
+
+__all__ = ["DeadlockOutcome", "SOLUTIONS", "run_deadlock_demo"]
+
+SOLUTIONS = ("none", "uncached-locks", "lock-register", "bakery")
+
+#: handshake flag in the always-uncacheable scratch region
+_FLAG_ADDR = SCRATCH_BASE
+_LOCK_ADDR = LOCK_BASE
+_SHARED_X = SHARED_BASE
+
+
+@dataclass
+class DeadlockOutcome:
+    """What happened: wedged (and where) or completed (and when)."""
+
+    solution: str
+    deadlocked: bool
+    detail: str
+    elapsed_ns: Optional[int] = None
+
+    def render(self) -> str:
+        """One-line human-readable verdict."""
+        if self.deadlocked:
+            return f"[{self.solution:14s}] HARDWARE DEADLOCK: {self.detail}"
+        return f"[{self.solution:14s}] completed in {self.elapsed_ns} ns"
+
+
+def _build_programs(platform: Platform, solution: str) -> Dict[str, Program]:
+    ppc_name = platform.config.cores[0].name
+    arm_name = platform.config.cores[1].name
+
+    if solution == "uncached-locks":
+        lock = SwapLock(_LOCK_ADDR, probe_gap_cycles=0)
+    elif solution == "lock-register":
+        lock = HwLock(LOCKREG_BASE)
+    elif solution == "bakery":
+        lock = BakeryLock(_LOCK_ADDR + 0x40)
+    else:
+        lock = None  # cached lock, emitted inline below
+
+    # --- PowerPC side: grab the lock, wait for the ARM, touch X --------
+    ppc = Assembler(name=f"deadlock-{solution}-ppc")
+    if lock is None:
+        # Acquire the *cached* lock while the ARM has never touched it:
+        # the lock line ends up Modified in the PowerPC's cache.
+        ppc.li(8, _LOCK_ADDR)
+        ppc.li(9, 1)
+        ppc.st(9, 8)
+    else:
+        lock.emit_acquire(ppc, task_id=0)
+    ppc.li(3, _FLAG_ADDR)
+    ppc.label("wait_flag")
+    ppc.ld(4, 3)
+    ppc.beq(4, 0, "wait_flag")
+    ppc.li(1, _SHARED_X)          # X is dirty in the ARM's cache:
+    ppc.ld(6, 1)                  # snoop hit -> nFIQ -> (maybe) deadlock
+    if lock is None:
+        ppc.li(8, _LOCK_ADDR)
+        ppc.st(0, 8)
+    else:
+        lock.emit_release(ppc, task_id=0)
+    ppc.halt()
+
+    # --- ARM side: dirty X, signal, then check the lock ------------------
+    arm = Assembler(name=f"deadlock-{solution}-arm")
+    arm.li(1, _SHARED_X)
+    arm.li(2, 777)
+    arm.st(2, 1)                  # X becomes Modified in the ARM cache
+    arm.li(3, _FLAG_ADDR)
+    arm.li(4, 1)
+    arm.st(4, 3)                  # let the PowerPC proceed
+    if lock is None:
+        # Fig 4's fatal move: check the cached lock.  The read misses
+        # and is ARTRY'd (the line is dirty in the PowerPC), stalling
+        # the ARM mid-instruction with the nFIQ unserviceable.
+        arm.li(8, _LOCK_ADDR)
+        arm.label("check_lock")
+        arm.ld(9, 8)
+        arm.bne(9, 0, "check_lock")
+        arm.li(9, 1)
+        arm.st(9, 8)              # take the lock
+        arm.st(0, 8)              # and release it
+    else:
+        lock.emit_acquire(arm, task_id=1)
+        lock.emit_release(arm, task_id=1)
+    arm.halt()
+    append_isr(arm, platform.mailbox_base(1))
+
+    return {ppc_name: ppc.assemble(), arm_name: arm.assemble()}
+
+
+def run_deadlock_demo(solution: str = "none", max_events: int = 2_000_000) -> DeadlockOutcome:
+    """Run the Fig 4 interleaving under one of the four lock strategies.
+
+    ``solution="none"`` caches the lock variables and is expected to
+    wedge; the other three complete.
+    """
+    if solution not in SOLUTIONS:
+        raise ConfigError(f"unknown deadlock solution {solution!r}; pick from {SOLUTIONS}")
+    config = PlatformConfig(
+        cores=(preset_powerpc755(), preset_arm920t()),
+        hardware_coherence=True,
+        cacheable_locks=(solution in ("none", "lock-register")),
+        lock_register=(solution == "lock-register"),
+    )
+    platform = Platform(config)
+    platform.load_programs(_build_programs(platform, solution))
+    try:
+        elapsed = platform.run(max_events=max_events)
+    except DeadlockError as exc:
+        return DeadlockOutcome(solution=solution, deadlocked=True, detail=str(exc))
+    return DeadlockOutcome(
+        solution=solution, deadlocked=False,
+        detail="all cores halted", elapsed_ns=elapsed,
+    )

@@ -1,0 +1,71 @@
+"""The hardware lock register (Section 3, solution 2; ref [17]).
+
+A tiny bus slave holding lock bits.  Acquisition is read-side
+test-and-set: a read returns the previous value (0 = you got the lock)
+and atomically sets the bit; writing 0 releases.  Because the lock
+never lives in any cache, the Fig 4 hardware deadlock cannot involve
+it.
+
+The paper's device has a single 1-bit register ("the system can have
+only one lock"); :class:`LockRegister` defaults to that but accepts
+``n_locks`` for the natural generalisation (one word per lock), which
+the ablation benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+from ..errors import BusError
+from ..mem.controller import Device
+
+__all__ = ["LockRegister"]
+
+
+class LockRegister(Device):
+    """Bus-attached test-and-set lock bits (uncacheable by construction)."""
+
+    access_cycles = 1
+
+    def __init__(self, base: int, n_locks: int = 1):
+        if n_locks < 1:
+            raise BusError("LockRegister needs at least one lock")
+        self.base = base
+        self.n_locks = n_locks
+        self._bits = [0] * n_locks
+        self.acquisitions = 0
+        self.rejections = 0
+        self.releases = 0
+
+    def _index(self, addr: int) -> int:
+        offset = addr - self.base
+        index = offset // 4
+        if offset % 4 or not 0 <= index < self.n_locks:
+            raise BusError(f"lock register: bad address 0x{addr:08x}")
+        return index
+
+    def read_word(self, addr: int) -> int:
+        """Test-and-set: returns the old value and sets the bit."""
+        index = self._index(addr)
+        old = self._bits[index]
+        self._bits[index] = 1
+        if old == 0:
+            self.acquisitions += 1
+        else:
+            self.rejections += 1
+        return old
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Write 0 to release (any non-zero write sets, for symmetry)."""
+        index = self._index(addr)
+        if value == 0 and self._bits[index]:
+            self.releases += 1
+        self._bits[index] = 1 if value else 0
+
+    def is_held(self, index: int = 0) -> bool:
+        """True when lock ``index`` is currently taken."""
+        return bool(self._bits[index])
+
+    def lock_addr(self, index: int = 0) -> int:
+        """Bus address of lock ``index``."""
+        if not 0 <= index < self.n_locks:
+            raise BusError(f"lock register: no lock {index}")
+        return self.base + 4 * index

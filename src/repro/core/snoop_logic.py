@@ -1,0 +1,181 @@
+"""Snoop logic for processors without coherence hardware (Fig 3).
+
+The ARM920T cannot snoop, so a dedicated block between the processor
+and the ASB provides the capability:
+
+* a **TAG CAM** shadows the data cache's address tags (maintained here
+  by mirroring the controller's install/remove notifications, which is
+  what observing the processor-side bus achieves in hardware);
+* a bus **snooper** that, when another master's transaction matches a
+  CAM entry, answers ARTRY and raises **nFIQ**;
+* a memory-mapped **mailbox** the interrupt service routine uses to
+  fetch pending snoop-hit addresses (POP), acknowledge handled lines
+  (ACK) and query the backlog (STATUS).
+
+The ISR drains the hit line if modified or invalidates it if clean
+(both via the DCBF instruction), then ACKs; the ACK releases every
+master backed off on that line.  :func:`append_isr` emits the canonical
+service routine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Set
+
+from ..bus.asb import AsbBus, Snooper
+from ..bus.types import SnoopAction, SnoopReply, Transaction
+from ..cache.controller import CacheController
+from ..cpu.assembler import Assembler
+from ..cpu.interrupts import InterruptLine
+from ..errors import BusError, IntegrationError
+from ..mem.controller import Device
+from ..sim import Event, Simulator
+
+__all__ = ["SnoopLogic", "append_isr", "MAILBOX_POP", "MAILBOX_ACK",
+           "MAILBOX_STATUS", "MAILBOX_EMPTY"]
+
+#: mailbox register offsets (bytes from the mailbox base)
+MAILBOX_POP = 0x0
+MAILBOX_ACK = 0x4
+MAILBOX_STATUS = 0x8
+#: POP result when no snoop hit is pending
+MAILBOX_EMPTY = 0xFFFF_FFFF
+
+
+class SnoopLogic(Snooper, Device):
+    """TAG CAM + interrupt generation for one non-coherent processor."""
+
+    access_cycles = 1  # fast on-bus register file
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: CacheController,
+        fiq: InterruptLine,
+        mailbox_base: int,
+        bus: AsbBus,
+    ):
+        if controller.coherent:
+            # A coherent processor should use a Wrapper; flag the
+            # probable misconfiguration.
+            raise IntegrationError(
+                f"{controller.name} has coherence hardware; attach a Wrapper, "
+                "not SnoopLogic"
+            )
+        self.sim = sim
+        self.controller = controller
+        self.fiq = fiq
+        self.mailbox_base = mailbox_base
+        self.bus = bus
+        self.master_name = controller.name
+        self.local_master = controller.name  # coprocessor-coupled mailbox
+        self._cam: Set[int] = set()
+        self._queue: Deque[int] = deque()
+        self._queued: Set[int] = set()
+        self._inflight: Dict[int, List[Event]] = {}
+        self.snoop_hits = 0
+        controller.install_listeners.append(self._on_install)
+        controller.remove_listeners.append(self._on_remove)
+        bus.attach_snooper(self)
+
+    # -- TAG CAM maintenance ---------------------------------------------------
+    def _on_install(self, line_addr: int) -> None:
+        self._cam.add(line_addr)
+
+    def _on_remove(self, line_addr: int) -> None:
+        self._cam.discard(line_addr)
+        # Auto-acknowledge: the snoop logic watches the processor-side
+        # bus, so the drain/invalidate of a hit line IS the ack — the
+        # backed-off masters may retry the moment the line leaves the
+        # cache (memory was updated in the same tenure for dirty lines).
+        if line_addr in self._inflight:
+            for completion in self._inflight.pop(line_addr):
+                completion.succeed()
+        if line_addr in self._queued:
+            # The service request is moot once the line left the cache.
+            self._queued.discard(line_addr)
+            self._queue.remove(line_addr)
+        self._update_fiq()
+
+    @property
+    def cam_entries(self) -> int:
+        """Number of tags currently shadowed."""
+        return len(self._cam)
+
+    def holds(self, addr: int) -> bool:
+        """True when the CAM shadows the line containing ``addr``."""
+        return self.controller.geom.line_base(addr) in self._cam
+
+    # -- bus snooper --------------------------------------------------------------
+    def snoop(self, txn: Transaction) -> SnoopReply:
+        base = self.controller.geom.line_base(txn.addr)
+        if base not in self._cam:
+            return SnoopReply.OK
+        self.snoop_hits += 1
+        completion = self.sim.event()
+        self._inflight.setdefault(base, []).append(completion)
+        if base not in self._queued:
+            self._queue.append(base)
+            self._queued.add(base)
+        self.fiq.assert_line()
+        self.bus.stats.bump(f"{self.master_name}.snoop_logic_hits")
+        self.bus.tracer.emit(
+            self.sim.now, "irq", self.master_name, "snoop-hit",
+            addr=base, by=txn.master, op=txn.op.value,
+        )
+        return SnoopReply(SnoopAction.RETRY, completion=completion)
+
+    # -- mailbox device -----------------------------------------------------------
+    def read_word(self, addr: int) -> int:
+        offset = addr - self.mailbox_base
+        if offset == MAILBOX_POP:
+            if not self._queue:
+                return MAILBOX_EMPTY
+            base = self._queue.popleft()
+            self._queued.discard(base)
+            return base
+        if offset == MAILBOX_STATUS:
+            return len(self._queue)
+        raise BusError(f"snoop-logic mailbox: bad read offset {offset:#x}")
+
+    def write_word(self, addr: int, value: int) -> None:
+        offset = addr - self.mailbox_base
+        if offset != MAILBOX_ACK:
+            raise BusError(f"snoop-logic mailbox: bad write offset {offset:#x}")
+        base = value
+        self._cam.discard(base)
+        for completion in self._inflight.pop(base, []):
+            completion.succeed()
+        self._update_fiq()
+
+    def _update_fiq(self) -> None:
+        if not self._queue and not self._inflight:
+            self.fiq.deassert()
+
+    @property
+    def pending(self) -> int:
+        """Snoop hits awaiting the ISR."""
+        return len(self._queue) + len(self._inflight)
+
+
+def append_isr(asm: Assembler, mailbox_base: int, label: str = "_isr") -> Assembler:
+    """Emit the canonical snoop-hit service routine onto ``asm``.
+
+    Clobbers r13..r15.  Loop: POP an address; if none left, return from
+    interrupt; otherwise DCBF it (drain if dirty, invalidate if clean).
+    No explicit ACK is needed: the TAG CAM observes the drain on the
+    processor-side bus and releases the backed-off masters itself (the
+    ACK register remains for software that wants to force a release).
+    """
+    asm.isr(label)
+    asm.li(13, mailbox_base)
+    asm.li(15, MAILBOX_EMPTY)
+    asm.label(f"{label}_loop")
+    asm.ld(14, 13, MAILBOX_POP)
+    asm.beq(14, 15, f"{label}_done")
+    asm.dcbf(14)
+    asm.jmp(f"{label}_loop")
+    asm.label(f"{label}_done")
+    asm.rfi()
+    return asm

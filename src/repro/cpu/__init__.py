@@ -1,0 +1,28 @@
+"""Processor models: ISA, assembler, interrupt lines, cores, presets."""
+
+from .assembler import Assembler, Program
+from .core import Core
+from .interrupts import InterruptLine
+from .isa import NUM_REGS, OPCODES, Instr
+from .presets import (
+    CoreConfig,
+    preset_arm920t,
+    preset_generic,
+    preset_intel486,
+    preset_powerpc755,
+)
+
+__all__ = [
+    "Assembler",
+    "Program",
+    "Core",
+    "InterruptLine",
+    "Instr",
+    "NUM_REGS",
+    "OPCODES",
+    "CoreConfig",
+    "preset_powerpc755",
+    "preset_arm920t",
+    "preset_intel486",
+    "preset_generic",
+]

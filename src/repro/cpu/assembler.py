@@ -1,0 +1,246 @@
+"""Program builder: labels, fixups, and a fluent emitter API.
+
+Example::
+
+    asm = Assembler()
+    asm.li(1, 0x2000_0000)          # r1 = shared base
+    asm.label("loop")
+    asm.ld(2, 1)                    # r2 = [r1]
+    asm.addi(2, 2, 1)
+    asm.st(2, 1)                    # [r1] = r2
+    asm.subi(3, 3, 1)
+    asm.bne(3, 0, "loop")           # r0 is conventionally zero
+    asm.halt()
+    program = asm.assemble()
+
+By convention register 0 is kept zero (the assembler never targets it
+implicitly, and :class:`~repro.cpu.core.Core` resets it to 0 after every
+instruction, giving MIPS-style semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import AssemblerError
+from .isa import Instr, validate_instr
+
+__all__ = ["Assembler", "Program"]
+
+
+class Program:
+    """An assembled instruction sequence with resolved branch targets."""
+
+    def __init__(
+        self,
+        instrs: Tuple[Instr, ...],
+        labels: Dict[str, int],
+        name: str = "program",
+        isr_label: Optional[str] = None,
+    ):
+        self.instrs = instrs
+        self.labels = labels
+        self.name = name
+        self.isr_label = isr_label
+
+    @property
+    def isr_entry(self) -> Optional[int]:
+        """Instruction index of the interrupt service routine, if any."""
+        return self.labels.get(self.isr_label) if self.isr_label else None
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __getitem__(self, index: int) -> Instr:
+        return self.instrs[index]
+
+    def listing(self) -> str:
+        """Human-readable disassembly with label annotations."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for index, instr in enumerate(self.instrs):
+            for label in by_index.get(index, []):
+                lines.append(f"{label}:")
+            lines.append(f"  {index:4d}  {instr.render()}")
+        return "\n".join(lines)
+
+
+class Assembler:
+    """Collects instructions and resolves labels at :meth:`assemble`."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._instrs: List[Instr] = []
+        self._labels: Dict[str, int] = {}
+        self._isr_label: Optional[str] = None
+
+    # -- structure ----------------------------------------------------------
+    def label(self, name: str) -> "Assembler":
+        """Define ``name`` at the current position."""
+        if name in self._labels:
+            raise AssemblerError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instrs)
+        return self
+
+    def isr(self, name: str = "_isr") -> "Assembler":
+        """Define the interrupt entry point at the current position."""
+        self.label(name)
+        self._isr_label = name
+        return self
+
+    def emit(self, instr: Instr) -> "Assembler":
+        """Append a raw instruction."""
+        validate_instr(instr)
+        self._instrs.append(instr)
+        return self
+
+    def assemble(self) -> Program:
+        """Resolve branch targets and freeze the program."""
+        resolved = []
+        for position, instr in enumerate(self._instrs):
+            if isinstance(instr.target, str):
+                if instr.target not in self._labels:
+                    raise AssemblerError(
+                        f"{self.name}: unknown label {instr.target!r} "
+                        f"at instruction {position}"
+                    )
+                instr = Instr(
+                    op=instr.op, rd=instr.rd, ra=instr.ra, rb=instr.rb,
+                    imm=instr.imm, target=self._labels[instr.target],
+                )
+            resolved.append(instr)
+        return Program(
+            tuple(resolved), dict(self._labels),
+            name=self.name, isr_label=self._isr_label,
+        )
+
+    # -- emitters (one per opcode) ------------------------------------------
+    def li(self, rd: int, imm: int) -> "Assembler":
+        """rd <- imm (32-bit immediate)."""
+        return self.emit(Instr("LI", rd=rd, imm=imm))
+
+    def mov(self, rd: int, ra: int) -> "Assembler":
+        """rd <- ra."""
+        return self.emit(Instr("MOV", rd=rd, ra=ra))
+
+    def add(self, rd: int, ra: int, rb: int) -> "Assembler":
+        """rd <- ra + rb."""
+        return self.emit(Instr("ADD", rd=rd, ra=ra, rb=rb))
+
+    def addi(self, rd: int, ra: int, imm: int) -> "Assembler":
+        """rd <- ra + imm."""
+        return self.emit(Instr("ADDI", rd=rd, ra=ra, imm=imm))
+
+    def sub(self, rd: int, ra: int, rb: int) -> "Assembler":
+        """rd <- ra - rb."""
+        return self.emit(Instr("SUB", rd=rd, ra=ra, rb=rb))
+
+    def subi(self, rd: int, ra: int, imm: int) -> "Assembler":
+        """rd <- ra - imm."""
+        return self.emit(Instr("SUBI", rd=rd, ra=ra, imm=imm))
+
+    def and_(self, rd: int, ra: int, rb: int) -> "Assembler":
+        """rd <- ra & rb."""
+        return self.emit(Instr("AND", rd=rd, ra=ra, rb=rb))
+
+    def or_(self, rd: int, ra: int, rb: int) -> "Assembler":
+        """rd <- ra | rb."""
+        return self.emit(Instr("OR", rd=rd, ra=ra, rb=rb))
+
+    def xor(self, rd: int, ra: int, rb: int) -> "Assembler":
+        """rd <- ra ^ rb."""
+        return self.emit(Instr("XOR", rd=rd, ra=ra, rb=rb))
+
+    def mul(self, rd: int, ra: int, rb: int) -> "Assembler":
+        """rd <- ra * rb (low 32 bits)."""
+        return self.emit(Instr("MUL", rd=rd, ra=ra, rb=rb))
+
+    def shl(self, rd: int, ra: int, imm: int) -> "Assembler":
+        """rd <- ra << imm."""
+        return self.emit(Instr("SHL", rd=rd, ra=ra, imm=imm))
+
+    def shr(self, rd: int, ra: int, imm: int) -> "Assembler":
+        """rd <- ra >> imm (logical)."""
+        return self.emit(Instr("SHR", rd=rd, ra=ra, imm=imm))
+
+    def ld(self, rd: int, ra: int, offset: int = 0) -> "Assembler":
+        """rd <- memory[ra + offset]."""
+        return self.emit(Instr("LD", rd=rd, ra=ra, imm=offset))
+
+    def st(self, rs: int, ra: int, offset: int = 0) -> "Assembler":
+        """memory[ra + offset] <- rs."""
+        return self.emit(Instr("ST", rb=rs, ra=ra, imm=offset))
+
+    def swp(self, rd: int, ra: int) -> "Assembler":
+        """Atomically exchange rd with memory[ra] (uncached addresses)."""
+        return self.emit(Instr("SWP", rd=rd, ra=ra))
+
+    def beq(self, ra: int, rb: int, target: Union[str, int]) -> "Assembler":
+        """Branch to target when ra == rb."""
+        return self.emit(Instr("BEQ", ra=ra, rb=rb, target=target))
+
+    def bne(self, ra: int, rb: int, target: Union[str, int]) -> "Assembler":
+        """Branch to target when ra != rb."""
+        return self.emit(Instr("BNE", ra=ra, rb=rb, target=target))
+
+    def blt(self, ra: int, rb: int, target: Union[str, int]) -> "Assembler":
+        """Branch to target when ra < rb (unsigned)."""
+        return self.emit(Instr("BLT", ra=ra, rb=rb, target=target))
+
+    def bge(self, ra: int, rb: int, target: Union[str, int]) -> "Assembler":
+        """Branch to target when ra >= rb (unsigned)."""
+        return self.emit(Instr("BGE", ra=ra, rb=rb, target=target))
+
+    def jmp(self, target: Union[str, int]) -> "Assembler":
+        """Unconditional jump."""
+        return self.emit(Instr("JMP", target=target))
+
+    def jal(self, rd: int, target: Union[str, int]) -> "Assembler":
+        """Jump and link: rd <- return index, pc <- target."""
+        return self.emit(Instr("JAL", rd=rd, target=target))
+
+    def jr(self, ra: int) -> "Assembler":
+        """Jump to the instruction index held in ra."""
+        return self.emit(Instr("JR", ra=ra))
+
+    def dcbf(self, ra: int) -> "Assembler":
+        """Flush (write back if dirty, then invalidate) the line at [ra]."""
+        return self.emit(Instr("DCBF", ra=ra))
+
+    def dcbi(self, ra: int) -> "Assembler":
+        """Invalidate the line at [ra] without writing it back."""
+        return self.emit(Instr("DCBI", ra=ra))
+
+    def dcbst(self, ra: int) -> "Assembler":
+        """Write back the line at [ra], keeping it valid and clean."""
+        return self.emit(Instr("DCBST", ra=ra))
+
+    def sync(self) -> "Assembler":
+        """Order memory: wait for outstanding cache maintenance."""
+        return self.emit(Instr("SYNC"))
+
+    def ei(self) -> "Assembler":
+        """Enable interrupts."""
+        return self.emit(Instr("EI"))
+
+    def di(self) -> "Assembler":
+        """Disable interrupts."""
+        return self.emit(Instr("DI"))
+
+    def rfi(self) -> "Assembler":
+        """Return from interrupt."""
+        return self.emit(Instr("RFI"))
+
+    def nop(self) -> "Assembler":
+        """Do nothing for one cycle."""
+        return self.emit(Instr("NOP"))
+
+    def delay(self, cycles: int) -> "Assembler":
+        """Consume ``cycles`` core cycles (models compute work)."""
+        return self.emit(Instr("DELAY", imm=cycles))
+
+    def halt(self) -> "Assembler":
+        """Stop the core (it keeps servicing interrupts)."""
+        return self.emit(Instr("HALT"))

@@ -1,0 +1,58 @@
+"""Level-sensitive interrupt lines (the nFIQ of Fig 3)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import Event, Simulator
+
+__all__ = ["InterruptLine"]
+
+
+class InterruptLine:
+    """A level-sensitive interrupt request line.
+
+    The snoop logic asserts the line when snoop hits are pending and
+    deasserts it once the service routine has acknowledged all of them.
+    The core samples :attr:`asserted` at instruction boundaries (a core
+    stalled mid-instruction on a bus access cannot sample — the window
+    the Fig 4 deadlock lives in) and can block on :meth:`wait` while
+    halted.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "irq"):
+        self.sim = sim
+        self.name = name
+        self.asserted = False
+        self.assert_time: Optional[int] = None
+        self.assertions = 0
+        self._waiters: List[Event] = []
+
+    def assert_line(self) -> None:
+        """Drive the line active (idempotent while already asserted)."""
+        if self.asserted:
+            return
+        self.asserted = True
+        self.assert_time = self.sim.now
+        self.assertions += 1
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def deassert(self) -> None:
+        """Drive the line inactive."""
+        self.asserted = False
+        self.assert_time = None
+
+    def wait(self) -> Event:
+        """An event that fires when the line is (or becomes) asserted."""
+        event = self.sim.event()
+        if self.asserted:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "asserted" if self.asserted else "idle"
+        return f"<InterruptLine {self.name} {state}>"

@@ -1,0 +1,111 @@
+"""A tiny RISC instruction set for the microbenchmark tasks.
+
+The paper's workloads are lock/shared-block access kernels; they do not
+exercise ISA subtleties, so the model keeps a deliberately small,
+regular set: 16 registers, word memory operations, branches, the cache
+management operations software coherence needs (DCBF/DCBI/DCBST/SYNC,
+named after their PowerPC equivalents) and interrupt control (EI/DI/
+RFI).  Every instruction retires in a fixed number of core cycles plus
+whatever time its memory accesses take.
+
+``SWP`` is the atomic exchange used for uncached lock variables; it maps
+to a single bus-locked read-modify-write tenure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import IsaError
+
+__all__ = ["Instr", "NUM_REGS", "OPCODES", "REG_MASK", "validate_instr"]
+
+NUM_REGS = 16
+REG_MASK = 0xFFFF_FFFF
+
+#: every legal opcode and whether it takes a branch target
+OPCODES = {
+    # arithmetic / logic
+    "LI", "MOV", "ADD", "ADDI", "SUB", "SUBI", "AND", "OR", "XOR",
+    "SHL", "SHR", "MUL",
+    # memory
+    "LD", "ST", "SWP",
+    # control flow
+    "BEQ", "BNE", "BLT", "BGE", "JMP", "JAL", "JR",
+    # cache management (software coherence)
+    "DCBF", "DCBI", "DCBST", "SYNC",
+    # interrupts
+    "EI", "DI", "RFI",
+    # misc
+    "NOP", "DELAY", "HALT",
+}
+
+_BRANCHES = {"BEQ", "BNE", "BLT", "BGE", "JMP", "JAL"}
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One decoded instruction.
+
+    Fields are used per-opcode (unused ones stay 0):
+
+    * ``rd`` — destination register
+    * ``ra``, ``rb`` — source registers
+    * ``imm`` — immediate / offset / delay count
+    * ``target`` — branch destination: a label string before assembly,
+      an instruction index after.
+    """
+
+    op: str
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+    target: Union[int, str] = 0
+
+    @property
+    def is_branch(self) -> bool:
+        """True for instructions that may redirect the PC."""
+        return self.op in _BRANCHES or self.op == "JR"
+
+    def render(self) -> str:
+        """Assembly-like text for traces and debugging."""
+        op = self.op
+        if op in ("LI",):
+            return f"{op} r{self.rd}, {self.imm:#x}"
+        if op in ("MOV",):
+            return f"{op} r{self.rd}, r{self.ra}"
+        if op in ("ADD", "SUB", "AND", "OR", "XOR", "MUL"):
+            return f"{op} r{self.rd}, r{self.ra}, r{self.rb}"
+        if op in ("ADDI", "SUBI", "SHL", "SHR"):
+            return f"{op} r{self.rd}, r{self.ra}, {self.imm}"
+        if op in ("LD",):
+            return f"{op} r{self.rd}, [r{self.ra}+{self.imm}]"
+        if op in ("ST",):
+            return f"{op} r{self.rb}, [r{self.ra}+{self.imm}]"
+        if op in ("SWP",):
+            return f"{op} r{self.rd}, [r{self.ra}]"
+        if op in ("BEQ", "BNE", "BLT", "BGE"):
+            return f"{op} r{self.ra}, r{self.rb}, @{self.target}"
+        if op in ("JMP", "JAL"):
+            return f"{op} @{self.target}"
+        if op == "JR":
+            return f"{op} r{self.ra}"
+        if op in ("DCBF", "DCBI", "DCBST"):
+            return f"{op} [r{self.ra}]"
+        if op == "DELAY":
+            return f"{op} {self.imm}"
+        return op
+
+
+def validate_instr(instr: Instr) -> None:
+    """Raise :class:`IsaError` for malformed instructions."""
+    if instr.op not in OPCODES:
+        raise IsaError(f"unknown opcode {instr.op!r}")
+    for field in ("rd", "ra", "rb"):
+        reg = getattr(instr, field)
+        if not 0 <= reg < NUM_REGS:
+            raise IsaError(f"{instr.op}: register {field}={reg} out of range")
+    if instr.op == "DELAY" and instr.imm < 0:
+        raise IsaError("DELAY needs a non-negative cycle count")

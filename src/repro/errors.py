@@ -1,0 +1,74 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystems define narrower
+types below it; modules re-export the ones relevant to their public API.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the event-driven simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation can make no further progress.
+
+    Raised when the event queue empties while processes are still waiting,
+    or when a watchdog detects that no instruction has retired for longer
+    than its threshold (the paper's *hardware deadlock*, Section 3/Fig 4).
+    """
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class MemoryError_(ReproError):
+    """Errors from the memory subsystem (bad address, unmapped region)."""
+
+
+class BusError(ReproError):
+    """Protocol violations or misuse of the shared bus model."""
+
+
+class ProtocolError(ReproError):
+    """An illegal cache-coherence state transition was requested."""
+
+
+class IntegrationError(ReproError):
+    """A heterogeneous platform could not be integrated coherently."""
+
+
+class CoherenceViolation(ReproError):
+    """The runtime coherence checker observed an invariant violation.
+
+    Attributes
+    ----------
+    address:
+        Word-aligned byte address of the offending line or word.
+    detail:
+        Human-readable description of the violated invariant.
+    """
+
+    def __init__(self, address: int, detail: str):
+        super().__init__(f"coherence violation @0x{address:08x}: {detail}")
+        self.address = address
+        self.detail = detail
+
+
+class IsaError(ReproError):
+    """Errors from the tiny RISC ISA: bad operands, unknown opcodes."""
+
+
+class AssemblerError(IsaError):
+    """Errors raised while assembling a program (unknown label, etc.)."""
+
+
+class ExecutionError(ReproError):
+    """A core trapped at run time (bad memory access, halt violation)."""

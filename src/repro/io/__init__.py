@@ -1,0 +1,112 @@
+"""I/O processors on the coherent bus (the paper's future-work section).
+
+:func:`attach_dma` and :func:`attach_nic` wire a
+:class:`~repro.io.dma.DmaEngine` / :class:`~repro.io.nic.NetworkInterface`
+into an existing :class:`~repro.core.platform.Platform`: the engine's
+register file becomes a memory-mapped device region and its transfers
+run as an ordinary bus master, snooped by every wrapper and snoop-logic
+block — which is precisely why the paper's methodology extends to
+integrated I/O processors unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.platform import Platform
+from ..cpu.interrupts import InterruptLine
+from ..mem.map import Region
+from .dma import (
+    DMA_CTRL,
+    DMA_DST,
+    DMA_LEN,
+    DMA_SRC,
+    DMA_STATUS,
+    STATUS_BUSY,
+    STATUS_DONE,
+    STATUS_IDLE,
+    DmaEngine,
+)
+from .nic import NetworkInterface
+
+#: default base address for the first DMA engine's register file
+DMA_BASE = 0x7000_0000
+#: default NIC staging SRAM (off the coherence domain)
+NIC_STAGING_BASE = 0x7100_0000
+
+__all__ = [
+    "DmaEngine",
+    "NetworkInterface",
+    "attach_dma",
+    "attach_nic",
+    "DMA_BASE",
+    "NIC_STAGING_BASE",
+    "DMA_SRC",
+    "DMA_DST",
+    "DMA_LEN",
+    "DMA_CTRL",
+    "DMA_STATUS",
+    "STATUS_IDLE",
+    "STATUS_BUSY",
+    "STATUS_DONE",
+]
+
+
+def attach_dma(
+    platform: Platform,
+    name: str = "dma0",
+    base: int = DMA_BASE,
+    irq: Optional[InterruptLine] = None,
+) -> DmaEngine:
+    """Add a DMA engine to ``platform`` at ``base`` (register region)."""
+    engine = DmaEngine(
+        name=name,
+        sim=platform.sim,
+        bus=platform.bus,
+        base=base,
+        line_bytes=platform.config.line_bytes,
+        irq=irq,
+    )
+    platform.map.add(
+        Region(name=f"dma:{name}", base=base, size=0x1000, cacheable=False, device=engine)
+    )
+    return engine
+
+
+def attach_nic(
+    platform: Platform,
+    ring_base: int,
+    payload_base: int,
+    name: str = "nic0",
+    n_slots: int = 4,
+    slot_bytes: int = 64,
+    dma_base: int = DMA_BASE,
+    staging_base: int = NIC_STAGING_BASE,
+    irq: Optional[InterruptLine] = None,
+) -> NetworkInterface:
+    """Add a receive-side NIC (its own DMA engine) to ``platform``.
+
+    ``ring_base`` must lie in an uncacheable region (descriptors are a
+    flag exchange); ``payload_base`` in ordinary shared memory.  The
+    staging area models NIC-local SRAM and gets its own uncacheable
+    region.
+    """
+    dma = attach_dma(platform, name=f"{name}.dma", base=dma_base, irq=None)
+    platform.map.add(
+        Region(
+            name=f"nic-staging:{name}", base=staging_base, size=0x1000,
+            cacheable=False,
+        )
+    )
+    return NetworkInterface(
+        name=name,
+        sim=platform.sim,
+        dma=dma,
+        memory=platform.memory,
+        ring_base=ring_base,
+        payload_base=payload_base,
+        n_slots=n_slots,
+        slot_bytes=slot_bytes,
+        staging_base=staging_base,
+        irq=irq,
+    )

@@ -1,0 +1,124 @@
+"""A network-interface model built on the coherent DMA engine.
+
+The "network processor" of the paper's future-work paragraph, reduced
+to the part that matters for coherence: packets arrive from the outside
+world (pushed in by the host script or a test), the NIC DMAs each one
+into the next slot of a receive ring in shared memory, writes a
+descriptor word (length), and raises its interrupt line.  Software on
+any processor consumes packets straight out of the shared ring — the
+wrappers/snoop logic keep the consumer's cache coherent with the NIC's
+writes, with no driver cache management.
+
+Ring layout at ``ring_base``::
+
+    slot i descriptor:  ring_base + i*4            (0 = empty, else length)
+    slot i payload:     payload_base + i*slot_bytes
+
+The descriptor area is expected to be uncacheable (it is a device/flag
+exchange); the payload area is ordinary shared memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator, List, Optional
+
+from ..cpu.interrupts import InterruptLine
+from ..errors import ConfigError
+from ..mem.memory import MainMemory
+from ..sim import Simulator
+from .dma import DmaEngine
+
+__all__ = ["NetworkInterface"]
+
+
+class NetworkInterface:
+    """RX-side NIC: DMA engine + receive ring + interrupt."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        dma: DmaEngine,
+        memory: MainMemory,
+        ring_base: int,
+        payload_base: int,
+        n_slots: int = 4,
+        slot_bytes: int = 64,
+        staging_base: Optional[int] = None,
+        irq: Optional[InterruptLine] = None,
+    ):
+        if slot_bytes % dma.line_bytes:
+            raise ConfigError("slot size must be a multiple of the line size")
+        self.name = name
+        self.sim = sim
+        self.dma = dma
+        self.memory = memory
+        self.ring_base = ring_base
+        self.payload_base = payload_base
+        self.n_slots = n_slots
+        self.slot_bytes = slot_bytes
+        #: where incoming packets land before DMA (models NIC-local SRAM)
+        self.staging_base = staging_base if staging_base is not None else payload_base + n_slots * slot_bytes
+        self.irq = irq
+        self._incoming: Deque[List[int]] = deque()
+        self._next_slot = 0
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+        self._pump_running = False
+
+    # -- host side -------------------------------------------------------------
+    def push_packet(self, words: List[int]) -> None:
+        """Enqueue a packet arriving from the wire (host/test side)."""
+        if len(words) * 4 > self.slot_bytes:
+            raise ConfigError(
+                f"packet of {len(words)} words exceeds slot ({self.slot_bytes}B)"
+            )
+        self._incoming.append(list(words))
+        if not self._pump_running:
+            self._pump_running = True
+            self.sim.process(self._pump(), name=f"{self.name}.pump", daemon=True)
+
+    # -- helpers ---------------------------------------------------------------
+    def descriptor_addr(self, slot: int) -> int:
+        """Bus address of slot ``slot``'s descriptor word."""
+        return self.ring_base + 4 * slot
+
+    def payload_addr(self, slot: int) -> int:
+        """Bus address of slot ``slot``'s payload."""
+        return self.payload_base + slot * self.slot_bytes
+
+    # -- the delivery pump -------------------------------------------------------
+    def _pump(self) -> Generator:
+        while self._incoming:
+            packet = self._incoming.popleft()
+            slot = self._next_slot
+            # Wait for the consumer to free the slot (descriptor == 0).
+            while self.memory.peek(self.descriptor_addr(slot)) != 0:
+                yield self.sim.timeout(200)
+            # Land the packet in NIC staging memory (off the coherence
+            # domain), then DMA it into the shared ring: the DMA read
+            # sees staging, the DMA write invalidates stale copies.
+            padded = packet + [0] * (self.slot_bytes // 4 - len(packet))
+            self.memory.load(self.staging_base, padded)
+            done = self.dma.start_transfer(
+                self.staging_base, self.payload_addr(slot), self.slot_bytes
+            )
+            yield done
+            # Publish: descriptor = packet length in words.
+            yield from self.dma.bus.transact(
+                _descriptor_write(self, slot, len(packet))
+            )
+            self._next_slot = (slot + 1) % self.n_slots
+            self.packets_delivered += 1
+            if self.irq is not None:
+                self.irq.assert_line()
+        self._pump_running = False
+
+
+def _descriptor_write(nic: NetworkInterface, slot: int, length: int):
+    from ..bus.types import BusOp, Transaction
+
+    return Transaction(
+        BusOp.WRITE, nic.descriptor_addr(slot), nic.name, data=length
+    )

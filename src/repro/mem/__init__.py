@@ -1,0 +1,18 @@
+"""Memory subsystem: map, sparse main memory, controller, devices."""
+
+from .controller import Device, MemoryController, MemoryTiming
+from .map import MemoryMap, Region, WritePolicy
+from .memory import WORD_BYTES, WORD_MASK, MainMemory, check_word_aligned
+
+__all__ = [
+    "MemoryMap",
+    "Region",
+    "WritePolicy",
+    "MainMemory",
+    "MemoryController",
+    "MemoryTiming",
+    "Device",
+    "WORD_BYTES",
+    "WORD_MASK",
+    "check_word_aligned",
+]

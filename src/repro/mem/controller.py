@@ -1,0 +1,170 @@
+"""Memory controller: data movement and Table 4 timing.
+
+The controller is the bus's single slave-side agent.  It routes each
+transaction either to main memory or to the memory-mapped device that
+owns the address, computes the data-phase latency in **bus cycles**
+(Table 4: 6 cycles for a single word, 6 for the first beat of a burst
+plus 1 per subsequent beat — 13 cycles for the default 8-word line),
+and performs the data movement.
+
+Crucially, the controller always sees the *actual* operation even when
+wrappers convert reads to writes on the snoop path (Section 2, Fig 1):
+the conversion happens on the snoop inputs of the caches, never on the
+transaction the controller services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from ..bus.types import BusOp, Transaction
+from ..errors import BusError, ConfigError
+from .map import MemoryMap
+from .memory import MainMemory
+
+__all__ = ["MemoryTiming", "MemoryController", "Device"]
+
+
+@dataclass(frozen=True)
+class MemoryTiming:
+    """Data-phase latency parameters, in bus cycles (Table 4 defaults)."""
+
+    single_cycles: int = 6
+    burst_first_cycles: int = 6
+    burst_next_cycles: int = 1
+
+    def __post_init__(self):
+        if min(self.single_cycles, self.burst_first_cycles, self.burst_next_cycles) < 1:
+            raise ConfigError("memory timing values must be >= 1 cycle")
+
+    def burst_cycles(self, words: int) -> int:
+        """Total cycles for a ``words``-beat burst (13 for 8 words)."""
+        if words < 1:
+            raise ConfigError(f"burst of {words} words")
+        return self.burst_first_cycles + (words - 1) * self.burst_next_cycles
+
+    def scaled(self, factor: float) -> "MemoryTiming":
+        """A slower/faster copy, for the Fig 8 miss-penalty sweep.
+
+        The paper sweeps the *burst* miss penalty from 13 to 96 cycles
+        while keeping the 6+1-per-beat structure's proportions; we scale
+        every latency by ``factor`` and round to at least one cycle.
+        """
+        return MemoryTiming(
+            single_cycles=max(1, round(self.single_cycles * factor)),
+            burst_first_cycles=max(1, round(self.burst_first_cycles * factor)),
+            burst_next_cycles=max(1, round(self.burst_next_cycles * factor)),
+        )
+
+    @classmethod
+    def for_miss_penalty(cls, burst_total: int, words: int = 8) -> "MemoryTiming":
+        """Timing whose ``words``-beat burst costs ``burst_total`` cycles.
+
+        Used by the Fig 8 sweep: ``for_miss_penalty(96)`` yields a memory
+        whose line fill takes 96 bus cycles.  The first-beat/next-beat
+        split keeps the 6:1 ratio of Table 4 as closely as integers allow.
+        """
+        base = cls()
+        factor = burst_total / base.burst_cycles(words)
+        timing = base.scaled(factor)
+        # Adjust the first-beat latency so the burst total is exact.
+        delta = burst_total - timing.burst_cycles(words)
+        first = max(1, timing.burst_first_cycles + delta)
+        return cls(
+            single_cycles=max(1, round(first * base.single_cycles / base.burst_first_cycles)),
+            burst_first_cycles=first,
+            burst_next_cycles=timing.burst_next_cycles,
+        )
+
+
+class Device:
+    """Interface for memory-mapped bus slaves (lock register, mailbox).
+
+    Subclasses override the word accessors; latencies are in bus cycles.
+    """
+
+    #: cycles charged for a device access (fast on-bus register file)
+    access_cycles: int = 1
+    #: master name for which this device is tightly coupled (accessed as
+    #: a coprocessor register, no bus tenure); None = bus-only
+    local_master = None
+
+    def read_word(self, addr: int) -> int:
+        """Value returned for a single-word read at ``addr``."""
+        raise NotImplementedError
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Handle a single-word write at ``addr``."""
+        raise NotImplementedError
+
+    def swap_word(self, addr: int, value: int) -> int:
+        """Atomic exchange; returns the pre-swap value."""
+        old = self.read_word(addr)
+        self.write_word(addr, value)
+        return old
+
+
+class MemoryController:
+    """Routes transactions to memory or devices and prices the data phase."""
+
+    def __init__(self, memory: MainMemory, memory_map: MemoryMap, timing: Optional[MemoryTiming] = None):
+        self.memory = memory
+        self.map = memory_map
+        self.timing = timing or MemoryTiming()
+
+    def access(self, txn: Transaction) -> Tuple[Union[int, List[int], None], int]:
+        """Perform ``txn``'s data movement; return ``(data, cycles)``.
+
+        ``data`` is the value delivered to the master for reads, or None
+        for writes/invalidates.  ``cycles`` is the data-phase duration in
+        bus cycles.
+        """
+        region = self.map.find(txn.addr)
+        if region.device is not None:
+            return self._access_device(region.device, txn)
+        timing = self.timing
+        if txn.op is BusOp.READ:
+            return self.memory.read_word(txn.addr), timing.single_cycles
+        if txn.op is BusOp.WRITE:
+            self.memory.write_word(txn.addr, txn.data)
+            return None, timing.single_cycles
+        if txn.op is BusOp.SWAP:
+            old = self.memory.read_word(txn.addr)
+            self.memory.write_word(txn.addr, txn.data)
+            # Atomic RMW holds the bus for a read plus a write.
+            return old, 2 * timing.single_cycles
+        if txn.op in (BusOp.READ_LINE, BusOp.READ_LINE_EXCL):
+            data = self.memory.read_line(txn.addr, txn.line_words)
+            return data, timing.burst_cycles(txn.line_words)
+        if txn.op is BusOp.WRITE_LINE:
+            self.memory.write_line(txn.addr, txn.data)
+            return None, timing.burst_cycles(txn.line_words)
+        if txn.op is BusOp.INVALIDATE:
+            # Address-only transaction: memory is not involved; one cycle
+            # beyond the address phase covers the acknowledge.
+            return None, 1
+        if txn.op is BusOp.UPDATE:
+            # Dragon-style word broadcast: sharers patch their copies at
+            # the snoop window; memory stays stale (the Sm owner writes
+            # it back on eviction).  One data beat on the bus.
+            return None, 1
+        raise BusError(f"memory controller cannot service {txn.op}")
+
+    def supply_cycles(self, words: int) -> int:
+        """Data-phase cycles when a cache supplies the line instead.
+
+        Cache-to-cache intervention skips the DRAM access: one cycle per
+        beat plus one turnaround cycle.
+        """
+        return words + 1
+
+    def _access_device(self, device: Device, txn: Transaction) -> Tuple[Union[int, None], int]:
+        if txn.op is BusOp.READ:
+            return device.read_word(txn.addr), device.access_cycles
+        if txn.op is BusOp.WRITE:
+            device.write_word(txn.addr, txn.data)
+            return None, device.access_cycles
+        if txn.op is BusOp.SWAP:
+            return device.swap_word(txn.addr, txn.data), 2 * device.access_cycles
+        raise BusError(f"device at 0x{txn.addr:08x} cannot service {txn.op}")

@@ -1,0 +1,76 @@
+"""Sparse main memory.
+
+Backing store for the shared bus: a dictionary of 32-bit words keyed by
+word-aligned byte address.  Unwritten locations read as zero, like
+initialised DRAM in the co-simulation environment.  Line-granular
+helpers serve cache fills and write-backs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..errors import MemoryError_
+
+__all__ = ["WORD_BYTES", "WORD_MASK", "MainMemory", "check_word_aligned"]
+
+WORD_BYTES = 4
+WORD_MASK = 0xFFFF_FFFF
+
+
+def check_word_aligned(addr: int) -> int:
+    """Validate that ``addr`` is a non-negative word-aligned byte address."""
+    if addr < 0:
+        raise MemoryError_(f"negative address 0x{addr:x}")
+    if addr % WORD_BYTES:
+        raise MemoryError_(f"unaligned word access at 0x{addr:08x}")
+    return addr
+
+
+class MainMemory:
+    """Word-addressable sparse memory with line-granular helpers."""
+
+    def __init__(self):
+        self._words: Dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def read_word(self, addr: int) -> int:
+        """The 32-bit word at ``addr`` (0 when never written)."""
+        check_word_aligned(addr)
+        self.reads += 1
+        return self._words.get(addr, 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Store a 32-bit word at ``addr`` (value is masked to 32 bits)."""
+        check_word_aligned(addr)
+        self.writes += 1
+        self._words[addr] = value & WORD_MASK
+
+    def read_line(self, addr: int, words: int) -> List[int]:
+        """Read ``words`` consecutive words starting at line base ``addr``."""
+        check_word_aligned(addr)
+        self.reads += words
+        return [self._words.get(addr + i * WORD_BYTES, 0) for i in range(words)]
+
+    def write_line(self, addr: int, data: Iterable[int]) -> None:
+        """Write consecutive words starting at line base ``addr``."""
+        check_word_aligned(addr)
+        for offset, value in enumerate(data):
+            self._words[addr + offset * WORD_BYTES] = value & WORD_MASK
+            self.writes += 1
+
+    def load(self, addr: int, data: Iterable[int]) -> None:
+        """Bulk-initialise memory without touching access counters."""
+        check_word_aligned(addr)
+        for offset, value in enumerate(data):
+            self._words[addr + offset * WORD_BYTES] = value & WORD_MASK
+
+    def peek(self, addr: int) -> int:
+        """Read without bumping counters (for checkers and tests)."""
+        check_word_aligned(addr)
+        return self._words.get(addr, 0)
+
+    def footprint_words(self) -> int:
+        """Number of distinct words ever written."""
+        return len(self._words)

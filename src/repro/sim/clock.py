@@ -1,0 +1,86 @@
+"""Clock domains.
+
+The kernel's tick is 1 ns.  Each component belongs to a :class:`Clock`
+that converts its cycle counts to ticks; heterogeneous cores therefore
+run at their own frequencies against a common timebase, matching the
+paper's platform (PowerPC755 at 100 MHz, ARM920T and the ASB bus at
+50 MHz — Table 4).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+__all__ = ["Clock", "NS_PER_TICK", "mhz_to_period_ns"]
+
+NS_PER_TICK = 1  # the kernel's time unit, by convention
+
+
+def mhz_to_period_ns(freq_mhz: float) -> int:
+    """Clock period in whole nanoseconds for a frequency in MHz.
+
+    Only frequencies whose period is an integral number of nanoseconds
+    are representable (100 MHz -> 10 ns, 50 MHz -> 20 ns, ...); anything
+    else would silently skew cycle accounting, so it is rejected.
+    """
+    if freq_mhz <= 0:
+        raise ConfigError(f"frequency must be positive, got {freq_mhz} MHz")
+    period = 1000.0 / freq_mhz
+    if abs(period - round(period)) > 1e-9:
+        raise ConfigError(
+            f"{freq_mhz} MHz has a non-integral period ({period} ns); "
+            "pick a frequency whose period is a whole number of ns"
+        )
+    return int(round(period))
+
+
+class Clock:
+    """A clock domain: a period in ticks and an optional phase offset."""
+
+    __slots__ = ("name", "period", "phase")
+
+    def __init__(self, period: int, name: str = "clk", phase: int = 0):
+        if period <= 0:
+            raise ConfigError(f"clock period must be positive, got {period}")
+        if not 0 <= phase < period:
+            raise ConfigError(f"phase {phase} outside [0, {period})")
+        self.name = name
+        self.period = int(period)
+        self.phase = int(phase)
+
+    @classmethod
+    def from_mhz(cls, freq_mhz: float, name: str = "clk", phase: int = 0) -> "Clock":
+        """Build a clock from a frequency in MHz."""
+        return cls(mhz_to_period_ns(freq_mhz), name=name, phase=phase)
+
+    @property
+    def freq_mhz(self) -> float:
+        """Frequency of this domain in MHz."""
+        return 1000.0 / self.period
+
+    def cycles(self, n: int) -> int:
+        """Duration of ``n`` cycles, in ticks."""
+        if n < 0:
+            raise ConfigError(f"negative cycle count: {n}")
+        return n * self.period
+
+    def to_cycles(self, ticks: int) -> float:
+        """Convert a tick count to (possibly fractional) cycles."""
+        return ticks / self.period
+
+    def next_edge(self, now: int) -> int:
+        """Ticks from ``now`` until the next rising edge (0 if on one)."""
+        offset = (now - self.phase) % self.period
+        return 0 if offset == 0 else self.period - offset
+
+    def edge_then_cycles(self, now: int, n: int) -> int:
+        """Ticks from ``now`` to the ``n``-th edge after alignment.
+
+        Synchronous components sample on edges: an operation that takes
+        ``n`` cycles and starts mid-period completes on the edge ``n``
+        periods after the next edge.
+        """
+        return self.next_edge(now) + self.cycles(n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock({self.name!r}, period={self.period}ns)"

@@ -1,0 +1,382 @@
+"""Event-driven simulation kernel.
+
+A deliberately small discrete-event engine in the style of SimPy, tuned
+for the needs of a shared-bus SoC model:
+
+* integer time (1 tick == 1 ns by convention, see :mod:`repro.sim.clock`),
+* generator-based processes (:class:`Process`) that ``yield`` events,
+* deterministic ordering — events scheduled for the same tick fire in
+  scheduling order (a monotone sequence number breaks ties).
+
+The kernel knows nothing about buses or caches; those are modelled as
+processes and shared objects in higher layers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import DeadlockError, SimulationError
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Simulator",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+]
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    *triggers* it, resuming every waiting process at the current
+    simulation time.  Triggering twice is an error: events are one-shot.
+    """
+
+    __slots__ = ("sim", "value", "_ok", "_triggered", "_scheduled", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._scheduled = False
+        self._callbacks: list[Callable[[Event], None]] = []
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has fired (waiters resumed or queued)."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded rather than failed."""
+        return self._ok
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, waking all waiters."""
+        self._trigger(value, ok=True)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception, re-raised in waiters."""
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"Event.fail() needs an exception, got {exc!r}")
+        self._trigger(exc, ok=False)
+        return self
+
+    def _trigger(self, value: Any, ok: bool) -> None:
+        if self._triggered or self._scheduled:
+            raise SimulationError("event triggered twice")
+        self.value = value
+        self._ok = ok
+        self._scheduled = True
+        self.sim._schedule(self, delay=0)
+
+    def _fire(self) -> None:
+        """Invoked by the simulator when this event's turn arrives."""
+        self._triggered = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # -- waiting ----------------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event fires.
+
+        If the event already fired, the callback runs immediately; late
+        waiters never block forever.
+        """
+        if self._triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.sim.now}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(sim)
+        self.delay = int(delay)
+        self.value = value
+        self._ok = True
+        self._scheduled = True
+        sim._schedule(self, delay=self.delay)
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries whatever object the interrupter supplied; processes
+    that never expect interruption simply let it propagate, which fails
+    the process event.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A generator driven by the events it yields.
+
+    The generator may yield:
+
+    * an :class:`Event` — the process resumes when it triggers, receiving
+      ``event.value`` as the result of the ``yield`` expression, and
+    * nothing else; yielding a non-event is a :class:`SimulationError`.
+
+    A process is itself an event and triggers with the generator's return
+    value, so processes can wait on each other (fork/join).
+    """
+
+    __slots__ = ("generator", "name", "daemon", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "", daemon: bool = False):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"Process needs a generator, got {generator!r}")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.daemon = daemon
+        self._waiting_on: Optional[Event] = None
+        # Kick-start on the current tick, after already-queued events.
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered and not self._scheduled
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return
+        target = self._waiting_on
+        if target is not None and not target._triggered:
+            # Detach from whatever we were waiting on.
+            try:
+                target._callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        wake = Event(self.sim)
+        wake.add_callback(lambda _e: self._throw(Interrupt(cause)))
+        wake.succeed()
+
+    # -- driving ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(lambda: self.generator.send(event.value))
+        else:
+            self._step(lambda: self.generator.throw(event.value))
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.is_alive:
+            return
+        self._step(lambda: self.generator.throw(exc))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self._trigger(stop.value, ok=True)
+            return
+        except BaseException as exc:
+            if self._callbacks:
+                self._trigger(exc, ok=False)
+                return
+            raise
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances (use sim.timeout / sim.event)"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Triggers once every child event has triggered (join barrier)."""
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._remaining = len(events)
+        self.value = [None] * len(events)
+        if not events:
+            self.succeed(self.value)
+            return
+        for index, event in enumerate(events):
+            event.add_callback(self._make_collector(index))
+
+    def _make_collector(self, index: int) -> Callable[[Event], None]:
+        def collect(event: Event) -> None:
+            if self._triggered or self._scheduled:
+                return
+            if not event.ok:
+                self.fail(event.value)
+                return
+            self.value[index] = event.value
+            self._remaining -= 1
+            if self._remaining == 0:
+                self._trigger(self.value, ok=True)
+
+        return collect
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        return super().succeed(value)
+
+
+class AnyOf(Event):
+    """Triggers as soon as one child event triggers.
+
+    ``value`` is ``(index, child_value)`` of the first event to fire.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        if not events:
+            raise SimulationError("AnyOf needs at least one event")
+        for index, event in enumerate(events):
+            event.add_callback(self._make_collector(index))
+
+    def _make_collector(self, index: int) -> Callable[[Event], None]:
+        def collect(event: Event) -> None:
+            if self._triggered or self._scheduled:
+                return
+            if event.ok:
+                self._trigger((index, event.value), ok=True)
+            else:
+                self.fail(event.value)
+
+        return collect
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker():
+            yield sim.timeout(10)
+            return "done"
+
+        proc = sim.process(worker())
+        sim.run()
+        assert proc.value == "done"
+    """
+
+    def __init__(self):
+        self.now: int = 0
+        self._queue: list[tuple[int, int, Event]] = []
+        self._sequence = 0
+        self._processes: list[Process] = []
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """A fresh pending event (trigger it with ``.succeed()``)."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` ticks from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "", daemon: bool = False) -> Process:
+        """Register ``generator`` as a process starting this tick.
+
+        Daemon processes (service loops that never finish) are excluded
+        from deadlock detection in :meth:`run`.
+        """
+        proc = Process(self, generator, name=name, daemon=daemon)
+        self._processes.append(proc)
+        return proc
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Barrier: fires when every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Race: fires when the first event in ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: int) -> None:
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Fire the single next event (advancing ``now`` to its time)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self.now:  # pragma: no cover - queue is monotone
+            raise SimulationError("event queue went backwards")
+        self.now = when
+        event._fire()
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        stop_event: Optional[Event] = None,
+        max_events: Optional[int] = None,
+        detect_deadlock: bool = True,
+    ) -> int:
+        """Run until the queue drains, ``until`` ticks, or ``stop_event``.
+
+        Returns the simulation time at which the run stopped.  Raises
+        :class:`DeadlockError` when the event queue drains while live
+        processes are still waiting — the classic symptom of the paper's
+        hardware-deadlock scenario (pass ``detect_deadlock=False`` for
+        step-wise use where external code triggers events between runs).
+        """
+        fired = 0
+        while self._queue:
+            if stop_event is not None and stop_event.triggered:
+                return self.now
+            next_time = self._queue[0][0]
+            if until is not None and next_time > until:
+                self.now = until
+                return self.now
+            self.step()
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        stuck = [p for p in self._processes if p.is_alive and not p.daemon]
+        if detect_deadlock and stuck:
+            waiting = [p.name for p in stuck]
+            raise DeadlockError(
+                "simulation stalled with live processes waiting: "
+                + ", ".join(waiting)
+            )
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now

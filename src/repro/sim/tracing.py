@@ -1,0 +1,138 @@
+"""Structured tracing and statistics for simulation runs.
+
+A :class:`Tracer` is attached to a platform and receives one
+:class:`TraceRecord` per interesting hardware event (bus transaction,
+cache state change, interrupt, lock operation...).  Tracing is off by
+default; benchmarks leave it off, tests and the coherence checker turn
+on the channels they need.
+
+:class:`Stats` is a plain counter bag used for the headline metrics
+(bus cycles busy, misses, interrupts, retries) that the analysis layer
+reads after a run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["TraceRecord", "Tracer", "Stats", "NullTracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped simulation event.
+
+    ``channel`` groups records ("bus", "cache", "irq", "lock", "core");
+    ``source`` names the emitting component; ``kind`` is the event name;
+    ``fields`` carries event-specific data (addresses, states...).
+    """
+
+    time: int
+    channel: str
+    source: str
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Render the record as a single human-readable line."""
+        pairs = " ".join(f"{k}={_fmt(v)}" for k, v in self.fields.items())
+        return f"[{self.time:>10}ns] {self.channel:5s} {self.source:12s} {self.kind:16s} {pairs}"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, int) and value >= 0x1000:
+        return f"0x{value:08x}"
+    return str(value)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects on enabled channels."""
+
+    def __init__(self, channels: Optional[Iterable[str]] = None, capacity: Optional[int] = None):
+        self.records: list[TraceRecord] = []
+        self._channels: Optional[set[str]] = set(channels) if channels is not None else None
+        self._capacity = capacity
+        self._listeners: list[Callable[[TraceRecord], None]] = []
+
+    def enabled(self, channel: str) -> bool:
+        """True when ``channel`` is being recorded."""
+        return self._channels is None or channel in self._channels
+
+    def enable(self, channel: str) -> None:
+        """Start recording ``channel`` (no-op if all channels are on)."""
+        if self._channels is not None:
+            self._channels.add(channel)
+
+    def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``listener(record)`` on every emitted record.
+
+        Listeners see records on *all* channels regardless of the enabled
+        set; the coherence checker uses this so benchmarks can keep record
+        storage off while still being checked.
+        """
+        self._listeners.append(listener)
+
+    def emit(self, time: int, channel: str, source: str, kind: str, **fields: Any) -> None:
+        """Record one event (cheap no-op on disabled channels w/o listeners)."""
+        if not self._listeners and not self.enabled(channel):
+            return
+        record = TraceRecord(time, channel, source, kind, fields)
+        for listener in self._listeners:
+            listener(record)
+        if self.enabled(channel):
+            self.records.append(record)
+            if self._capacity is not None and len(self.records) > self._capacity:
+                del self.records[0]
+
+    def find(self, channel: Optional[str] = None, kind: Optional[str] = None) -> list[TraceRecord]:
+        """Filter recorded events by channel and/or kind."""
+        return [
+            r
+            for r in self.records
+            if (channel is None or r.channel == channel)
+            and (kind is None or r.kind == kind)
+        ]
+
+    def format(self) -> str:
+        """The whole trace as one newline-joined string."""
+        return "\n".join(r.format() for r in self.records)
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing, for zero-overhead benchmark runs."""
+
+    def __init__(self):
+        super().__init__(channels=())
+
+    def emit(self, time: int, channel: str, source: str, kind: str, **fields: Any) -> None:
+        for listener in self._listeners:
+            listener(TraceRecord(time, channel, source, kind, fields))
+
+
+class Stats:
+    """A counter bag with a tiny convenience API."""
+
+    def __init__(self):
+        self.counters: Counter[str] = Counter()
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        """Increment ``key`` by ``amount``."""
+        self.counters[key] += amount
+
+    def get(self, key: str) -> int:
+        """Current value of ``key`` (0 when never bumped)."""
+        return self.counters.get(key, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of every counter."""
+        return dict(self.counters)
+
+    def merge(self, other: "Stats") -> None:
+        """Add another stats bag into this one."""
+        self.counters.update(other.counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+        return f"Stats({body})"

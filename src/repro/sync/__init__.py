@@ -1,0 +1,21 @@
+"""Software synchronization: locks and the software coherence solution."""
+
+from .barrier import SenseBarrier
+from .locks import BakeryLock, HwLock, Lock, SwapLock, TurnLock
+from .software_coherence import (
+    drain_instruction_count,
+    emit_drain_block,
+    emit_invalidate_block,
+)
+
+__all__ = [
+    "Lock",
+    "TurnLock",
+    "SwapLock",
+    "HwLock",
+    "BakeryLock",
+    "SenseBarrier",
+    "emit_drain_block",
+    "emit_invalidate_block",
+    "drain_instruction_count",
+]

@@ -1,0 +1,110 @@
+"""A sense-reversing centralized barrier, as a code generator.
+
+Complements the locks: phase-structured kernels (stencils, reductions,
+pipelined matrix work) need all-processor rendezvous.  The classic
+sense-reversing barrier works on uncached words with one atomic SWP per
+arrival — consistent with the platform rule that synchronization state
+never lives in a cache.
+
+Layout at ``base_addr``::
+
+    +0   count     (arrivals in the current phase)
+    +4   sense     (global sense, flips every phase)
+    +8   lock      (SWP guard for the count update)
+
+Each task keeps its *local* sense in a dedicated register (r12 by
+convention) that must be preserved across barrier calls; initialise it
+to 0 with :meth:`emit_init`.
+"""
+
+from __future__ import annotations
+
+from ..cpu.assembler import Assembler
+from ..errors import ConfigError
+
+__all__ = ["SenseBarrier"]
+
+
+class SenseBarrier:
+    """Sense-reversing barrier over uncached memory."""
+
+    #: words of uncached storage the barrier needs
+    footprint_words = 3
+
+    def __init__(self, base_addr: int, n_tasks: int, probe_gap_cycles: int = 8):
+        if n_tasks < 2:
+            raise ConfigError("a barrier needs at least two tasks")
+        self.base_addr = base_addr
+        self.n_tasks = n_tasks
+        self.probe_gap_cycles = probe_gap_cycles
+        self._seq = 0
+
+    @property
+    def count_addr(self) -> int:
+        """Address of the arrival counter."""
+        return self.base_addr
+
+    @property
+    def sense_addr(self) -> int:
+        """Address of the global sense word."""
+        return self.base_addr + 4
+
+    @property
+    def lock_addr(self) -> int:
+        """Address of the internal SWP guard."""
+        return self.base_addr + 8
+
+    def _unique(self, stem: str) -> str:
+        self._seq += 1
+        return f"_bar_{stem}_{self.base_addr:x}_{self._seq}"
+
+    def emit_init(self, asm: Assembler) -> None:
+        """Initialise the task-local sense register (r12 <- 0)."""
+        asm.li(12, 0)
+
+    def emit_wait(self, asm: Assembler) -> None:
+        """Emit one barrier episode.
+
+        Clobbers r8-r11; r12 (the local sense) flips on completion.
+        The last arriver resets the counter and flips the global sense;
+        everyone else spins (uncached, backed off) until the global
+        sense matches their flipped local sense.
+        """
+        flip = self._unique("flip")
+        spin = self._unique("spin")
+        done = self._unique("done")
+        acquire = self._unique("lock")
+        # local_sense = 1 - local_sense
+        asm.li(8, 1)
+        asm.sub(12, 8, 12)
+        # take the internal guard
+        asm.li(8, self.lock_addr)
+        asm.label(acquire)
+        asm.li(9, 1)
+        asm.swp(9, 8)
+        asm.bne(9, 0, acquire)
+        # count += 1 (guarded read-modify-write on uncached words)
+        asm.li(8, self.count_addr)
+        asm.ld(9, 8)
+        asm.addi(9, 9, 1)
+        asm.st(9, 8)
+        # release the guard
+        asm.li(10, self.lock_addr)
+        asm.st(0, 10)
+        # last arriver?
+        asm.li(10, self.n_tasks)
+        asm.bne(9, 10, spin)
+        # yes: reset the counter, publish the new sense, fall through
+        asm.li(8, self.count_addr)
+        asm.st(0, 8)
+        asm.li(8, self.sense_addr)
+        asm.st(12, 8)
+        asm.jmp(done)
+        # no: wait for the sense to flip
+        asm.label(spin)
+        if self.probe_gap_cycles:
+            asm.delay(self.probe_gap_cycles)
+        asm.li(8, self.sense_addr)
+        asm.ld(9, 8)
+        asm.bne(9, 12, spin)
+        asm.label(done)

@@ -1,0 +1,77 @@
+"""The pure-software coherence solution (Section 4, baseline 2).
+
+When no snooping hardware exists, the programmer must drain (write back
+and invalidate) every shared cache line used inside a critical section
+*before releasing the lock*, so the next lock holder reads current data
+from memory.  These emitters produce that exit sequence; their cost —
+one DCBF plus an ordering SYNC per line, inside the lock hold time —
+is exactly what the proposed hardware solution eliminates.
+"""
+
+from __future__ import annotations
+
+from ..cpu.assembler import Assembler
+from ..errors import ConfigError
+
+__all__ = ["emit_drain_block", "emit_invalidate_block", "drain_instruction_count"]
+
+
+def emit_drain_block(
+    asm: Assembler,
+    base_addr: int,
+    n_lines: int,
+    line_bytes: int = 32,
+    sync_each: bool = True,
+    label_stem: str = "drain",
+) -> None:
+    """Emit a loop draining ``n_lines`` lines starting at ``base_addr``.
+
+    Clobbers r10 (cursor) and r11 (count).  ``sync_each`` inserts the
+    ordering SYNC after every DCBF (PowerPC dcbf and ARM920T clean-and-
+    invalidate both require one for the push to be observable); passing
+    False models a relaxed exit sequence with a single trailing SYNC.
+    """
+    if n_lines < 1:
+        raise ConfigError(f"drain of {n_lines} lines")
+    loop = f"_{label_stem}_{base_addr:x}_{len(asm._instrs)}"
+    asm.li(10, base_addr)
+    asm.li(11, n_lines)
+    asm.label(loop)
+    asm.dcbf(10)
+    if sync_each:
+        asm.sync()
+    asm.addi(10, 10, line_bytes)
+    asm.subi(11, 11, 1)
+    asm.bne(11, 0, loop)
+    if not sync_each:
+        asm.sync()
+
+
+def emit_invalidate_block(
+    asm: Assembler,
+    base_addr: int,
+    n_lines: int,
+    line_bytes: int = 32,
+    label_stem: str = "inval",
+) -> None:
+    """Emit a loop invalidating (without write-back) ``n_lines`` lines.
+
+    The entry-side counterpart used when a task only *read* shared data
+    and wants to discard possibly stale copies.  Clobbers r10/r11.
+    """
+    if n_lines < 1:
+        raise ConfigError(f"invalidate of {n_lines} lines")
+    loop = f"_{label_stem}_{base_addr:x}_{len(asm._instrs)}"
+    asm.li(10, base_addr)
+    asm.li(11, n_lines)
+    asm.label(loop)
+    asm.dcbi(10)
+    asm.addi(10, 10, line_bytes)
+    asm.subi(11, 11, 1)
+    asm.bne(11, 0, loop)
+
+
+def drain_instruction_count(n_lines: int, sync_each: bool = True) -> int:
+    """Instructions executed by :func:`emit_drain_block` (for cost models)."""
+    per_line = 4 + (1 if sync_each else 0)
+    return 2 + per_line * n_lines + (0 if sync_each else 1)

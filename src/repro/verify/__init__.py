@@ -1,0 +1,13 @@
+"""Runtime verification and exhaustive model checking."""
+
+from .checker import CoherenceChecker
+from .model_check import CheckResult, ModelState, Violation, check_matrix, check_pair
+
+__all__ = [
+    "CoherenceChecker",
+    "check_pair",
+    "check_matrix",
+    "CheckResult",
+    "ModelState",
+    "Violation",
+]

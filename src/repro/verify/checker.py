@@ -1,0 +1,226 @@
+"""Runtime coherence checking.
+
+Two complementary checks, attachable to any :class:`Platform`:
+
+1. **Value checking** (the golden model) — every store (and the store
+   half of every atomic swap) updates a reference copy of memory; every
+   load is compared against it.  Under correct coherence — hardware or
+   software-disciplined — a load must return the most recent store to
+   its address in bus/coherence order, so a mismatch is a *stale read*:
+   exactly the failure of Tables 2 and 3.
+2. **State invariants** (single-writer / multiple-reader) — after every
+   bus transaction the line it touched is audited across all caches
+   (enabled by default only on hardware-coherent platforms; a software-
+   disciplined platform tolerates stale clean copies by design):
+
+   * at most one cache holds the line in M or E, and then no other
+     cache holds it at all;
+   * at most one cache holds it in O, and co-holders must be in S;
+   * clean copies (E, and S when no owner exists) must equal memory.
+
+Violations are collected (and optionally raised immediately); the
+Table 2/3 demonstrations read them back to show the stale-data problem,
+and the test suite asserts their absence everywhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cache.line import State
+from ..core.platform import Platform
+from ..errors import CoherenceViolation
+from ..sim.tracing import TraceRecord
+
+__all__ = ["CoherenceChecker"]
+
+_EXCLUSIVE_STATES = (State.MODIFIED, State.EXCLUSIVE)
+
+
+class CoherenceChecker:
+    """Attach to a platform; audits values and line states as it runs."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        check_values: bool = True,
+        check_states: Optional[bool] = None,
+        raise_immediately: bool = False,
+    ):
+        self.platform = platform
+        self.check_values = check_values
+        if check_states is None:
+            # The SWMR invariants are a *hardware* coherence property.
+            # Software-disciplined platforms legitimately keep stale
+            # clean copies around (they invalidate before reading), so
+            # state checks default to the platform's coherence mode.
+            check_states = platform.config.hardware_coherence
+        self.check_states = check_states
+        self.raise_immediately = raise_immediately
+        self.violations: List[CoherenceViolation] = []
+        self._golden: Dict[int, int] = {}
+        self.loads_checked = 0
+        self.stores_tracked = 0
+        self._cache_masters = {c.name for c in platform.controllers}
+        platform.tracer.add_listener(self._on_record)
+
+    # -- seeding ---------------------------------------------------------------
+    def seed(self, addr: int, value: int) -> None:
+        """Tell the golden model about a preloaded memory word."""
+        self._golden[addr] = value
+
+    def seed_from_memory(self) -> None:
+        """Snapshot every word currently in main memory into the model.
+
+        Call after :meth:`MainMemory.load`-style preinitialisation so
+        reads of preloaded data are not misflagged as stale.
+        """
+        for addr, value in self.platform.memory._words.items():
+            self._golden[addr] = value
+
+    # -- record intake --------------------------------------------------------
+    def _on_record(self, record: TraceRecord) -> None:
+        if record.channel == "mem" and self.check_values:
+            kind = record.kind
+            fields = record.fields
+            if self._is_device(fields["addr"]):
+                # Device registers (mailbox, lock register) have read
+                # side effects; the golden memory model does not apply.
+                return
+            if kind == "store":
+                self._golden[fields["addr"]] = fields["value"]
+                self.stores_tracked += 1
+            elif kind == "load":
+                self._check_load(record.time, fields["addr"], fields["value"])
+            elif kind == "swap":
+                self._check_load(record.time, fields["addr"], fields["old"])
+                self._golden[fields["addr"]] = fields["value"]
+                self.stores_tracked += 1
+        elif record.channel == "bus" and record.kind == "complete":
+            if (
+                self.check_values
+                and record.source not in self._cache_masters
+                and record.fields.get("op") in ("write", "write-line", "swap")
+            ):
+                # A non-cache master (DMA engine, NIC) wrote memory: its
+                # stores never pass through a cache controller, so sync
+                # the golden model from the committed memory contents.
+                self._sync_from_memory(
+                    record.fields["addr"], record.fields["op"]
+                )
+            if self.check_states:
+                self.check_line_states(record.fields["addr"])
+
+    def _sync_from_memory(self, addr: int, op: str) -> None:
+        if op == "write-line":
+            span = self.platform.config.line_bytes
+            base = addr
+        else:
+            span = 4
+            base = addr
+        for offset in range(0, span, 4):
+            self._golden[base + offset] = self.platform.memory.peek(base + offset)
+
+    def _is_device(self, addr: int) -> bool:
+        region = self.platform.map.lookup(addr)
+        return region is not None and region.device is not None
+
+    def _check_load(self, time: int, addr: int, value: int) -> None:
+        self.loads_checked += 1
+        expected = self._golden.get(addr, 0)
+        if value != expected:
+            self._flag(
+                addr,
+                f"stale read at t={time}: returned 0x{value:08x}, the most "
+                f"recent store wrote 0x{expected:08x}",
+            )
+
+    # -- state invariants ----------------------------------------------------------
+    def check_line_states(self, addr: int) -> None:
+        """Audit the SWMR invariants for the line containing ``addr``."""
+        holders = []
+        for controller in self.platform.controllers:
+            base = controller.geom.line_base(addr)
+            line = controller.array.lookup(base)
+            if line is not None:
+                holders.append((controller, base, line))
+        if not holders:
+            return
+        exclusive = [h for h in holders if h[2].state in _EXCLUSIVE_STATES]
+        owners = [h for h in holders if h[2].state is State.OWNED]
+        if exclusive and len(holders) > 1:
+            states = ", ".join(
+                f"{c.name}:{line.state}" for c, _b, line in holders
+            )
+            self._flag(addr, f"M/E copy coexists with other copies ({states})")
+        if len(owners) > 1:
+            names = ", ".join(c.name for c, _b, _l in owners)
+            self._flag(addr, f"multiple owners ({names})")
+        if owners:
+            bad = [
+                h for h in holders
+                if h[2].state not in (State.OWNED, State.SHARED)
+            ]
+            if bad:
+                states = ", ".join(f"{c.name}:{line.state}" for c, _b, line in bad)
+                self._flag(addr, f"owner coexists with non-S copies ({states})")
+            # Dirty sharing (MOESI supply / Dragon update) must keep every
+            # sharer's copy identical to the owner's.
+            owner_data = owners[0][2].data
+            for controller, base, line in holders:
+                if line.state is State.SHARED and line.data != owner_data:
+                    self._flag(
+                        base,
+                        f"{controller.name}'s shared copy diverges from "
+                        f"the owner ({owners[0][0].name})",
+                    )
+        # Clean copies must match memory (dirty sharing exempts S under O).
+        for controller, base, line in holders:
+            clean = line.state is State.EXCLUSIVE or (
+                line.state is State.SHARED and not owners
+            )
+            if clean:
+                memory_words = [
+                    self.platform.memory.peek(base + 4 * i)
+                    for i in range(controller.geom.line_words)
+                ]
+                if line.data != memory_words:
+                    self._flag(
+                        base,
+                        f"{controller.name} holds a clean {line.state} copy "
+                        "that differs from memory",
+                    )
+
+    def check_all_lines(self) -> None:
+        """Full sweep: audit every line any cache currently holds."""
+        seen = set()
+        for controller in self.platform.controllers:
+            for addr, _line in controller.array.valid_lines():
+                if addr not in seen:
+                    seen.add(addr)
+                    self.check_line_states(addr)
+
+    # -- reporting ------------------------------------------------------------------
+    def _flag(self, addr: int, detail: str) -> None:
+        violation = CoherenceViolation(addr, detail)
+        self.violations.append(violation)
+        if self.raise_immediately:
+            raise violation
+
+    @property
+    def clean(self) -> bool:
+        """True when no violation has been observed."""
+        return not self.violations
+
+    def raise_if_violations(self) -> None:
+        """Raise the first collected violation, if any."""
+        if self.violations:
+            raise self.violations[0]
+
+    def summary(self) -> str:
+        """One-line status for logs and example scripts."""
+        return (
+            f"checker: {self.loads_checked} loads checked, "
+            f"{self.stores_tracked} stores tracked, "
+            f"{len(self.violations)} violations"
+        )

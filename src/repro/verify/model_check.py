@@ -1,0 +1,323 @@
+"""Exhaustive model checking of the wrapper integration (Section 2).
+
+The simulator tests sample behaviours; this module *enumerates* them.
+For one shared line and two caches it explores every reachable abstract
+state under every interleaving of the six events
+
+    read(0) read(1) write(0) write(1) evict(0) evict(1)
+
+and checks three safety properties in every state:
+
+* **no stale read** — a processor-side read always returns the most
+  recently written value (tracked symbolically as per-copy freshness
+  bits, not concrete data);
+* **single-writer** — M/E copies never coexist with other copies, and
+  at most one owner exists;
+* **no lost data** — the only fresh copy is never silently dropped.
+
+The transition semantics are built from the *same* protocol FSMs the
+simulator uses, composed with a :class:`WrapperPolicy` exactly the way
+the bus composes them (read-to-write conversion on the snoop path,
+shared-signal forcing on the fill path, drain-before-data for dirty
+snoop hits).  Checking a pair therefore validates the reduction policy
+itself, exhaustively:
+
+>>> check_pair("MESI", "MEI").ok                   # wrapped: safe
+True
+>>> check_pair("MESI", "MEI", wrapped=False).ok    # Table 2: unsafe
+False
+
+The abstract state is ``(state0, state1, fresh0, fresh1, mem_fresh)``
+— a few dozen reachable states per pair — so the full matrix checks in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cache.line import State
+from ..cache.protocols import make_protocol
+from ..cache.protocols.base import SnoopOp, WriteAction
+from ..core.reduction import SharedMode, WrapperPolicy, reduce_protocols
+
+__all__ = ["ModelState", "Violation", "CheckResult", "check_pair", "check_matrix"]
+
+_EVENTS = ("read0", "read1", "write0", "write1", "evict0", "evict1")
+
+
+@dataclass(frozen=True)
+class ModelState:
+    """Abstract system state for one line and two caches.
+
+    ``fresh*`` record whether each copy (and memory) holds the value of
+    the most recent write; they are the symbolic stand-in for data.
+    """
+
+    states: Tuple[State, State]
+    fresh: Tuple[bool, bool]
+    mem_fresh: bool
+
+    def describe(self) -> str:
+        """Compact human-readable rendering."""
+        cells = []
+        for index in range(2):
+            stale = (
+                "(stale)"
+                if self.states[index] is not State.INVALID and not self.fresh[index]
+                else ""
+            )
+            cells.append(f"P{index}:{self.states[index]}{stale}")
+        cells.append(f"mem:{'fresh' if self.mem_fresh else 'stale'}")
+        return " ".join(cells)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A safety violation plus the event path that reaches it."""
+
+    kind: str           # "stale-read" | "swmr" | "lost-data"
+    state: ModelState
+    path: Tuple[str, ...]
+
+    def describe(self) -> str:
+        """One-line rendering with the witness path."""
+        trail = " -> ".join(self.path) or "<init>"
+        return f"{self.kind} after {trail}: {self.state.describe()}"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of exploring one protocol pair."""
+
+    protocols: Tuple[str, str]
+    wrapped: bool
+    reachable_states: int
+    violations: List[Violation]
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation is reachable."""
+        return not self.violations
+
+    def render(self) -> str:
+        """Summary plus the first few witnesses."""
+        status = "SAFE" if self.ok else "UNSAFE"
+        lines = [
+            f"{self.protocols[0]}+{self.protocols[1]} "
+            f"({'wrapped' if self.wrapped else 'unwrapped'}): {status}, "
+            f"{self.reachable_states} reachable states"
+        ]
+        lines += [f"  {v.describe()}" for v in self.violations[:3]]
+        return "\n".join(lines)
+
+
+class _PairModel:
+    """Transition function for two protocol FSMs under wrapper policies."""
+
+    def __init__(self, names: Tuple[str, str], policies: Sequence[WrapperPolicy]):
+        self.protocols = tuple(make_protocol(name) for name in names)
+        self.policies = tuple(policies)
+
+    # -- policy application (mirrors Wrapper.snoop / shared_filter) --------
+    def _snoop_op(self, snooper: int, op: SnoopOp) -> SnoopOp:
+        policy = self.policies[snooper]
+        if policy.convert_read_to_write and op in (SnoopOp.READ, SnoopOp.READ_EXCL):
+            return SnoopOp.WRITE
+        return op
+
+    def _filtered_shared(self, filler: int, actual: bool) -> bool:
+        mode = self.policies[filler].shared_mode
+        if mode is SharedMode.ALWAYS:
+            return True
+        if mode is SharedMode.NEVER:
+            return False
+        return actual
+
+    def _snoop(self, states, fresh, mem_fresh, snooper, op):
+        """Apply one snooped operation to the non-acting cache.
+
+        Returns ``(mem_fresh, supplied_fresh, assert_shared)`` where
+        ``supplied_fresh`` is the freshness of cache-to-cache data (None
+        when no supply happened).
+        """
+        if states[snooper] is State.INVALID:
+            return mem_fresh, None, False
+        effective_op = self._snoop_op(snooper, op)
+        # A drain forces ARTRY: the snooper pushes, the master retries
+        # and the address phase snoops the *post-drain* state — exactly
+        # the bus retry loop.  One retry always suffices (the FSMs never
+        # demand two consecutive drains).
+        outcome = self.protocols[snooper].snoop(states[snooper], effective_op)
+        if outcome.drain:
+            mem_fresh = fresh[snooper]  # dirty copy pushed to memory
+            states[snooper] = outcome.next_state
+            if outcome.next_state is State.INVALID:
+                fresh[snooper] = False
+                return mem_fresh, None, False
+            outcome = self.protocols[snooper].snoop(states[snooper], effective_op)
+            assert not outcome.drain, "FSM demanded a second drain"
+        supplied_fresh = fresh[snooper] if outcome.supply else None
+        states[snooper] = outcome.next_state
+        if outcome.next_state is State.INVALID:
+            fresh[snooper] = False
+        return mem_fresh, supplied_fresh, outcome.assert_shared
+
+    # -- events --------------------------------------------------------------
+    def step(self, model: ModelState, event: str) -> Tuple[ModelState, Optional[str]]:
+        """Apply one event; returns (next_state, violation_kind|None)."""
+        actor = int(event[-1])
+        kind = event[:-1]
+        if kind == "read":
+            return self._read(model, actor)
+        if kind == "write":
+            return self._write(model, actor)
+        return self._evict(model, actor)
+
+    def _read(self, model: ModelState, actor: int):
+        other = 1 - actor
+        states = list(model.states)
+        fresh = list(model.fresh)
+        mem_fresh = model.mem_fresh
+        if states[actor] is not State.INVALID:
+            # Hit: returns the cached copy — a stale copy is the bug.
+            violation = None if fresh[actor] else "stale-read"
+            return model, violation
+        mem_fresh, supplied_fresh, shared_actual = self._snoop(
+            states, fresh, mem_fresh, other, SnoopOp.READ
+        )
+        shared = self._filtered_shared(actor, shared_actual)
+        states[actor] = self.protocols[actor].fill_state(False, shared)
+        source_fresh = supplied_fresh if supplied_fresh is not None else mem_fresh
+        fresh[actor] = source_fresh
+        next_model = ModelState(tuple(states), tuple(fresh), mem_fresh)
+        return next_model, None if source_fresh else "stale-read"
+
+    def _write(self, model: ModelState, actor: int):
+        other = 1 - actor
+        states = list(model.states)
+        fresh = list(model.fresh)
+        mem_fresh = model.mem_fresh
+        write_through = False
+        if states[actor] is State.INVALID:
+            if State.MODIFIED not in self.protocols[actor].states:
+                # Write-through no-allocate (SI): the word goes to memory.
+                mem_fresh, _s, _sh = self._snoop(
+                    states, fresh, mem_fresh, other, SnoopOp.WRITE
+                )
+                write_through = True
+            else:
+                # RWITM fill.
+                mem_fresh, _s, _sh = self._snoop(
+                    states, fresh, mem_fresh, other, SnoopOp.READ_EXCL
+                )
+                states[actor] = self.protocols[actor].fill_state(True, False)
+        else:
+            new_state, action = self.protocols[actor].write_hit(states[actor])
+            if action is WriteAction.UPGRADE:
+                mem_fresh, _s, _sh = self._snoop(
+                    states, fresh, mem_fresh, other, SnoopOp.INVALIDATE
+                )
+            elif action is WriteAction.WRITE_THROUGH:
+                mem_fresh, _s, _sh = self._snoop(
+                    states, fresh, mem_fresh, other, SnoopOp.WRITE
+                )
+                write_through = True
+            states[actor] = new_state
+        # The write retires: this value is now the latest.  Any other
+        # valid copy is stale (no update protocols in this model);
+        # memory is fresh only for a write-through retirement.
+        fresh[actor] = states[actor] is not State.INVALID
+        if states[other] is not State.INVALID:
+            fresh[other] = False
+        mem_fresh = write_through
+        return ModelState(tuple(states), tuple(fresh), mem_fresh), None
+
+    def _evict(self, model: ModelState, actor: int):
+        states = list(model.states)
+        fresh = list(model.fresh)
+        mem_fresh = model.mem_fresh
+        if states[actor] is State.INVALID:
+            return model, None
+        if states[actor].is_dirty:
+            mem_fresh = fresh[actor]
+        elif fresh[actor] and not mem_fresh and not fresh[1 - actor]:
+            # Dropping the only fresh copy without a write-back: a clean
+            # copy should always be backed by fresh memory.
+            return model, "lost-data"
+        states[actor] = State.INVALID
+        fresh[actor] = False
+        return ModelState(tuple(states), tuple(fresh), mem_fresh), None
+
+
+def _swmr_violated(states: Tuple[State, State]) -> bool:
+    exclusive = sum(1 for s in states if s in (State.MODIFIED, State.EXCLUSIVE))
+    valid = sum(1 for s in states if s is not State.INVALID)
+    if exclusive and valid > 1:
+        return True
+    owners = sum(1 for s in states if s is State.OWNED)
+    return owners > 1
+
+
+def check_pair(
+    p0: str,
+    p1: str,
+    wrapped: bool = True,
+    max_violations: int = 8,
+) -> CheckResult:
+    """Exhaustively explore one ordered protocol pair.
+
+    ``wrapped=True`` uses the policies from :func:`reduce_protocols`;
+    ``wrapped=False`` uses identity policies (native snooping), which is
+    expected to fail for the paper's incompatible pairs.
+    """
+    if wrapped:
+        policies = reduce_protocols([p0, p1]).policies
+    else:
+        policies = (WrapperPolicy(), WrapperPolicy())
+    model = _PairModel((p0, p1), policies)
+    initial = ModelState(
+        (State.INVALID, State.INVALID), (False, False), mem_fresh=True
+    )
+    seen: Dict[ModelState, Tuple[str, ...]] = {initial: ()}
+    queue = deque([initial])
+    violations: List[Violation] = []
+    flagged = set()
+    while queue:
+        current = queue.popleft()
+        path = seen[current]
+        for event in _EVENTS:
+            next_state, bad = model.step(current, event)
+            if bad is None and _swmr_violated(next_state.states):
+                bad = "swmr"
+            if bad is not None:
+                witness = (bad, next_state)
+                if witness not in flagged and len(violations) < max_violations:
+                    flagged.add(witness)
+                    violations.append(
+                        Violation(kind=bad, state=next_state, path=path + (event,))
+                    )
+                continue
+            if next_state not in seen:
+                seen[next_state] = path + (event,)
+                queue.append(next_state)
+    return CheckResult(
+        protocols=(p0, p1),
+        wrapped=wrapped,
+        reachable_states=len(seen),
+        violations=violations,
+    )
+
+
+def check_matrix(
+    protocols: Sequence[str] = ("MEI", "MSI", "MESI", "MOESI"),
+    wrapped: bool = True,
+) -> Dict[Tuple[str, str], CheckResult]:
+    """Check every ordered pair; returns results keyed by pair."""
+    results = {}
+    for p0 in protocols:
+        for p1 in protocols:
+            results[(p0, p1)] = check_pair(p0, p1, wrapped=wrapped)
+    return results

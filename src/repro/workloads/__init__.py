@@ -1,0 +1,64 @@
+"""Workloads: the WCS/TCS/BCS microbenchmarks and protocol sequences."""
+
+from .microbench import (
+    SCENARIOS,
+    SOLUTIONS,
+    MicrobenchResult,
+    MicrobenchSpec,
+    build_programs,
+    default_cores,
+    make_platform,
+    run_microbench,
+)
+from .kernels import KernelResult, run_jacobi, run_reduction, run_token_ring
+from .tracegen import (
+    TraceAccess,
+    TraceResult,
+    hotspot_trace,
+    producer_consumer_trace,
+    random_trace,
+    replay_parallel,
+    replay_trace,
+    sequential_trace,
+    strided_trace,
+)
+from .sequences import (
+    TABLE2_OPS,
+    TABLE3_OPS,
+    SequenceResult,
+    SequenceStep,
+    run_sequence,
+    table2_demo,
+    table3_demo,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "SOLUTIONS",
+    "MicrobenchSpec",
+    "MicrobenchResult",
+    "build_programs",
+    "default_cores",
+    "make_platform",
+    "run_microbench",
+    "SequenceResult",
+    "SequenceStep",
+    "run_sequence",
+    "table2_demo",
+    "table3_demo",
+    "TABLE2_OPS",
+    "TABLE3_OPS",
+    "TraceAccess",
+    "TraceResult",
+    "replay_trace",
+    "replay_parallel",
+    "sequential_trace",
+    "strided_trace",
+    "random_trace",
+    "hotspot_trace",
+    "producer_consumer_trace",
+    "KernelResult",
+    "run_reduction",
+    "run_jacobi",
+    "run_token_ring",
+]

@@ -1,0 +1,188 @@
+"""Protocol-integration sequences: Tables 2 and 3 as executable demos.
+
+The paper motivates the wrapper with two four-step sequences showing
+how an unwrapped heterogeneous pair reads stale data:
+
+* **Table 2** (MESI + MEI): the MEI processor fills Exclusive because it
+  ignores the shared signal, its silent E->M write never reaches the
+  bus, and the MESI processor's Shared copy goes stale.
+* **Table 3** (MSI + MESI): the MSI processor has no shared-signal
+  output, so the MESI processor fills Exclusive, writes silently, and
+  the MSI processor's Shared copy goes stale.
+
+:func:`run_sequence` executes an operation list on a two-processor
+platform, recording each processor's line state after every step and
+the values loads return, with the wrappers either active (the proposed
+fix) or forced to identity policies (the broken integration).  The
+corresponding benchmarks and tests assert both halves: the stale read
+appears without the wrapper and disappears with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.platform import SHARED_BASE, Platform, PlatformConfig
+from ..core.reduction import WrapperPolicy
+from ..cpu.presets import preset_generic
+from ..errors import ConfigError
+from ..verify.checker import CoherenceChecker
+
+__all__ = [
+    "SequenceStep",
+    "SequenceResult",
+    "run_sequence",
+    "TABLE2_OPS",
+    "TABLE3_OPS",
+    "table2_demo",
+    "table3_demo",
+]
+
+#: Table 2 / Table 3 operation list: (processor index, op) on one line.
+#: Processor 1 of the paper is index 0 here.
+TABLE2_OPS: Tuple[Tuple[int, str], ...] = (
+    (0, "read"),   # a: P1 (MESI) reads      -> I->E
+    (1, "read"),   # b: P2 (MEI) reads       -> P1 E->S, P2 fills E
+    (1, "write"),  # c: P2 writes silently   -> P2 E->M, P1 still S (stale!)
+    (0, "read"),   # d: P1 reads             -> S hit returns stale data
+)
+
+TABLE3_OPS: Tuple[Tuple[int, str], ...] = (
+    (0, "read"),   # a: P1 (MSI) reads       -> I->S
+    (1, "read"),   # b: P2 (MESI) reads      -> fills E (no shared signal)
+    (1, "write"),  # c: P2 writes silently   -> E->M
+    (0, "read"),   # d: P1 reads             -> S hit returns stale data
+)
+
+
+@dataclass
+class SequenceStep:
+    """One executed operation and the system state after it."""
+
+    index: int
+    processor: int
+    op: str
+    value_read: Optional[int]
+    states: Tuple[str, ...]
+    stale: bool
+
+    def describe(self) -> str:
+        """Row rendering in the style of the paper's tables."""
+        letter = chr(ord("a") + self.index)
+        op = f"P{self.processor + 1} {self.op}s"
+        states = "  ".join(
+            f"P{i + 1}:{s}" for i, s in enumerate(self.states)
+        )
+        stale = "  <-- STALE" if self.stale else ""
+        value = f" = {self.value_read}" if self.value_read is not None else ""
+        return f"{letter}: {op:10s}{value:8s} {states}{stale}"
+
+
+@dataclass
+class SequenceResult:
+    """The full sequence outcome plus checker findings."""
+
+    protocols: Tuple[str, str]
+    wrapped: bool
+    steps: List[SequenceStep]
+    violations: List[str]
+    system_protocol: Optional[str]
+
+    @property
+    def stale_reads(self) -> int:
+        """Number of loads that returned stale data."""
+        return sum(1 for step in self.steps if step.stale)
+
+    def render(self) -> str:
+        """The whole table as text."""
+        mode = "with wrappers" if self.wrapped else "no wrappers (broken)"
+        header = (
+            f"{self.protocols[0]} + {self.protocols[1]} ({mode})"
+            + (f" -> system protocol {self.system_protocol}" if self.wrapped else "")
+        )
+        lines = [header]
+        lines += [step.describe() for step in self.steps]
+        lines.append(f"stale reads: {self.stale_reads}")
+        return "\n".join(lines)
+
+
+def run_sequence(
+    protocols: Tuple[str, str],
+    ops: Sequence[Tuple[int, str]] = TABLE2_OPS,
+    wrapped: bool = True,
+    addr: int = SHARED_BASE,
+    initial_value: int = 100,
+) -> SequenceResult:
+    """Execute ``ops`` on a two-processor platform and record states.
+
+    ``wrapped=False`` forces identity wrapper policies — the processors
+    snoop natively with no conversion, reproducing the paper's broken
+    integration.  The write at step c stores a value different from
+    ``initial_value`` so a stale read is unambiguous.
+    """
+    if len(protocols) != 2:
+        raise ConfigError("run_sequence wants exactly two protocols")
+    cores = (
+        preset_generic("p1", protocols[0]),
+        preset_generic("p2", protocols[1]),
+    )
+    platform = Platform(PlatformConfig(cores=cores, hardware_coherence=True))
+    if not wrapped:
+        for wrapper in platform.wrappers:
+            if wrapper is not None:
+                wrapper.policy = WrapperPolicy()  # identity: no conversion
+    # Violations are the expected *evidence* in the unwrapped runs.
+    checker = CoherenceChecker(platform)
+    platform.memory.load(addr, [initial_value])
+    checker.seed_from_memory()
+
+    controllers = platform.controllers
+    steps: List[SequenceStep] = []
+    golden = initial_value
+
+    def driver():
+        nonlocal golden
+        next_value = initial_value
+        for index, (proc, op) in enumerate(ops):
+            controller = controllers[proc]
+            value_read = None
+            stale = False
+            if op == "read":
+                value_read = yield from controller.read(addr)
+                stale = value_read != golden
+            elif op == "write":
+                next_value += 1
+                yield from controller.write(addr, next_value)
+                golden = next_value
+            else:
+                raise ConfigError(f"unknown sequence op {op!r}")
+            states = tuple(str(c.line_state(addr)) for c in controllers)
+            steps.append(
+                SequenceStep(
+                    index=index, processor=proc, op=op,
+                    value_read=value_read, states=states, stale=stale,
+                )
+            )
+
+    platform.sim.process(driver(), name="sequence-driver")
+    platform.sim.run()
+    return SequenceResult(
+        protocols=(protocols[0], protocols[1]),
+        wrapped=wrapped,
+        steps=steps,
+        violations=[str(v) for v in checker.violations],
+        system_protocol=(
+            platform.reduction.system_protocol if platform.reduction else None
+        ),
+    )
+
+
+def table2_demo(wrapped: bool) -> SequenceResult:
+    """Table 2: MESI (P1) + MEI (P2), the shared-state problem."""
+    return run_sequence(("MESI", "MEI"), TABLE2_OPS, wrapped=wrapped)
+
+
+def table3_demo(wrapped: bool) -> SequenceResult:
+    """Table 3: MSI (P1) + MESI (P2), the exclusive-state problem."""
+    return run_sequence(("MSI", "MESI"), TABLE3_OPS, wrapped=wrapped)

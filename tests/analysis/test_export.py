@@ -1,0 +1,81 @@
+"""Tests for figure-data export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import FigureData, Series
+from repro.analysis.export import (
+    figure_to_csv,
+    figure_to_json,
+    figure_to_markdown,
+    headlines_to_markdown,
+    write_figure_csv,
+)
+from repro.analysis.headlines import Headline
+
+
+@pytest.fixture
+def figure():
+    return FigureData(
+        title="Test figure",
+        xlabel="lines",
+        ylabel="ratio",
+        series=[
+            Series("software", {1: 0.5, 2: 0.45}),
+            Series("proposed", {1: 0.4, 2: 0.35}),
+        ],
+    )
+
+
+class TestCsv:
+    def test_header_and_rows(self, figure):
+        rows = list(csv.reader(io.StringIO(figure_to_csv(figure))))
+        assert rows[0] == ["x", "software", "proposed"]
+        assert rows[1] == ["1", "0.500000", "0.400000"]
+        assert len(rows) == 3
+
+    def test_missing_points_blank(self):
+        figure = FigureData(
+            "t", "x", "y",
+            [Series("a", {1: 0.5}), Series("b", {2: 0.7})],
+        )
+        rows = list(csv.reader(io.StringIO(figure_to_csv(figure))))
+        assert rows[1] == ["1", "0.500000", ""]
+        assert rows[2] == ["2", "", "0.700000"]
+
+    def test_write_to_file(self, figure, tmp_path):
+        path = tmp_path / "figure.csv"
+        write_figure_csv(figure, str(path))
+        assert path.read_text().startswith("x,software,proposed")
+
+
+class TestJson:
+    def test_roundtrip(self, figure):
+        payload = json.loads(figure_to_json(figure))
+        assert payload["title"] == "Test figure"
+        assert payload["series"][0]["name"] == "software"
+        assert payload["series"][0]["points"]["2"] == pytest.approx(0.45)
+
+    def test_keys_sorted_by_x(self, figure):
+        payload = json.loads(figure_to_json(figure))
+        keys = list(payload["series"][0]["points"])
+        assert keys == sorted(keys, key=int)
+
+
+class TestMarkdown:
+    def test_figure_table(self, figure):
+        text = figure_to_markdown(figure)
+        assert "| series | 1 | 2 |" in text
+        assert "| software | 0.500 | 0.450 |" in text
+
+    def test_missing_cell_dash(self):
+        figure = FigureData("t", "x", "y", [Series("a", {1: 0.5}), Series("b", {2: 1.0})])
+        assert "| a | 0.500 | - |" in figure_to_markdown(figure)
+
+    def test_headlines_table(self):
+        headlines = [Headline("claim A", 38.22, 41.2)]
+        text = headlines_to_markdown(headlines)
+        assert "| claim A | 38.22% | 41.20% |" in text

@@ -1,0 +1,201 @@
+"""Unit tests for the ASB-like shared bus."""
+
+import pytest
+
+from repro.bus import (
+    AsbBus,
+    BusOp,
+    Priority,
+    SnoopAction,
+    SnoopReply,
+    Snooper,
+    Transaction,
+)
+from repro.mem import MainMemory, MemoryController, MemoryMap, Region
+from repro.sim import Clock, Simulator
+
+
+def make_bus(snoopers=()):
+    sim = Simulator()
+    memory = MainMemory()
+    memory_map = MemoryMap([Region("ram", 0, 1 << 20)])
+    bus = AsbBus(sim, Clock.from_mhz(50), MemoryController(memory, memory_map))
+    for snooper in snoopers:
+        bus.attach_snooper(snooper)
+    return sim, memory, bus
+
+
+def run_txn(sim, bus, txn, priority=Priority.NORMAL, commit=None):
+    proc = sim.process(bus.transact(txn, priority=priority, commit=commit))
+    sim.run()
+    return proc.value
+
+
+class StubSnooper(Snooper):
+    """Scriptable snooper for bus-protocol tests."""
+
+    def __init__(self, name, reply=SnoopReply.OK):
+        self.master_name = name
+        self.reply = reply
+        self.seen = []
+        self.observed = []
+
+    def snoop(self, txn):
+        self.seen.append((txn.op, txn.addr))
+        return self.reply
+
+    def observe(self, txn):
+        self.observed.append(txn.op)
+
+
+class TestTiming:
+    def test_single_read_is_8_bus_cycles(self):
+        sim, _memory, bus = make_bus()
+        result = run_txn(sim, bus, Transaction(BusOp.READ, 0x100, "m"))
+        assert result.latency == 8 * 20  # arb + addr + 6 data, 20ns cycles
+
+    def test_burst_read_is_15_bus_cycles(self):
+        sim, _memory, bus = make_bus()
+        result = run_txn(sim, bus, Transaction(BusOp.READ_LINE, 0x100, "m"))
+        assert result.latency == (1 + 1 + 13) * 20
+
+    def test_swap_is_atomic_single_tenure(self):
+        sim, memory, bus = make_bus()
+        memory.load(0x100, [9])
+        result = run_txn(sim, bus, Transaction(BusOp.SWAP, 0x100, "m", data=1))
+        assert result.data == 9
+        assert memory.peek(0x100) == 1
+        assert result.latency == (1 + 1 + 12) * 20
+
+    def test_back_to_back_masters_serialize(self):
+        sim, _memory, bus = make_bus()
+        ends = []
+
+        def master(name):
+            result = yield from bus.transact(Transaction(BusOp.READ, 0x0, name))
+            ends.append(result.end_time)
+
+        sim.process(master("a"))
+        sim.process(master("b"))
+        sim.run()
+        assert ends == [160, 320]
+
+
+class TestDataMovement:
+    def test_write_then_read(self):
+        sim, memory, bus = make_bus()
+        run_txn(sim, bus, Transaction(BusOp.WRITE, 0x200, "m", data=55))
+        result = run_txn(sim, bus, Transaction(BusOp.READ, 0x200, "m"))
+        assert result.data == 55
+
+    def test_write_line_then_read_line(self):
+        sim, _memory, bus = make_bus()
+        payload = list(range(8))
+        run_txn(sim, bus, Transaction(BusOp.WRITE_LINE, 0x200, "m", data=payload))
+        result = run_txn(sim, bus, Transaction(BusOp.READ_LINE, 0x200, "m"))
+        assert result.data == payload
+
+    def test_commit_runs_before_release(self):
+        sim, _memory, bus = make_bus()
+        holder_at_commit = []
+
+        def commit(_result):
+            holder_at_commit.append(bus.arbiter.holder)
+
+        run_txn(sim, bus, Transaction(BusOp.READ, 0x0, "m"), commit=commit)
+        assert holder_at_commit == ["m"]
+
+
+class TestSnooping:
+    def test_own_transactions_not_snooped(self):
+        snooper = StubSnooper("m")
+        sim, _memory, bus = make_bus([snooper])
+        run_txn(sim, bus, Transaction(BusOp.READ, 0x0, "m"))
+        assert snooper.seen == []
+
+    def test_observe_sees_everything(self):
+        snooper = StubSnooper("m")
+        sim, _memory, bus = make_bus([snooper])
+        run_txn(sim, bus, Transaction(BusOp.READ, 0x0, "m"))
+        assert snooper.observed == [BusOp.READ]
+
+    def test_foreign_transactions_snooped(self):
+        snooper = StubSnooper("other")
+        sim, _memory, bus = make_bus([snooper])
+        run_txn(sim, bus, Transaction(BusOp.WRITE, 0x40, "m", data=1))
+        assert snooper.seen == [(BusOp.WRITE, 0x40)]
+
+    def test_shared_reply_sets_result_flag(self):
+        snooper = StubSnooper("other", SnoopReply(SnoopAction.SHARED))
+        sim, _memory, bus = make_bus([snooper])
+        result = run_txn(sim, bus, Transaction(BusOp.READ_LINE, 0x0, "m"))
+        assert result.shared
+
+    def test_supply_overrides_memory(self):
+        supplied = [100 + i for i in range(8)]
+        snooper = StubSnooper(
+            "owner", SnoopReply(SnoopAction.SUPPLY, supply_data=supplied)
+        )
+        sim, memory, bus = make_bus([snooper])
+        memory.load(0x0, [0] * 8)
+        result = run_txn(sim, bus, Transaction(BusOp.READ_LINE, 0x0, "m"))
+        assert result.data == supplied
+        assert result.supplied
+        assert result.shared
+        # dirty sharing: memory must NOT have been updated
+        assert memory.peek(0x0) == 0
+
+    def test_retry_backs_off_until_completion(self):
+        sim, memory, bus = make_bus()
+
+        class DrainingSnooper(Snooper):
+            master_name = "owner"
+
+            def __init__(self):
+                self.completion = None
+
+            def snoop(self, txn):
+                if self.completion is None:
+                    self.completion = sim.event()
+                    return SnoopReply(SnoopAction.RETRY, completion=self.completion)
+                return SnoopReply.OK
+
+        snooper = DrainingSnooper()
+        bus.attach_snooper(snooper)
+
+        def drainer():
+            # Write back "dirty" data at DRAIN priority, then release.
+            yield sim.timeout(100)
+            yield from bus.transact(
+                Transaction(BusOp.WRITE_LINE, 0x0, "owner", data=[7] * 8),
+                priority=Priority.DRAIN,
+            )
+            snooper.completion.succeed()
+
+        sim.process(drainer())
+        result = run_txn(sim, bus, Transaction(BusOp.READ_LINE, 0x0, "m"))
+        assert result.retries == 1
+        assert result.data == [7] * 8
+        assert bus.stats.get("bus.retries") == 1
+
+    def test_detach_snooper(self):
+        snooper = StubSnooper("other")
+        sim, _memory, bus = make_bus([snooper])
+        bus.detach_snooper(snooper)
+        run_txn(sim, bus, Transaction(BusOp.READ, 0x0, "m"))
+        assert snooper.seen == []
+
+
+class TestStats:
+    def test_txn_counters(self):
+        sim, _memory, bus = make_bus()
+        run_txn(sim, bus, Transaction(BusOp.READ, 0x0, "m"))
+        run_txn(sim, bus, Transaction(BusOp.WRITE, 0x0, "m", data=1))
+        assert bus.stats.get("bus.txns") == 2
+        assert bus.stats.get("bus.op.read") == 1
+        assert bus.stats.get("bus.op.write") == 1
+
+    def test_busy_ticks_accumulate(self):
+        sim, _memory, bus = make_bus()
+        run_txn(sim, bus, Transaction(BusOp.READ, 0x0, "m"))
+        assert bus.stats.get("bus.busy_ticks") == 160

@@ -1,0 +1,82 @@
+"""Unit tests for bus transaction types."""
+
+import pytest
+
+from repro.bus import BusOp, SnoopAction, SnoopReply, Transaction
+from repro.errors import BusError
+
+
+class TestBusOp:
+    def test_burst_classification(self):
+        assert BusOp.READ_LINE.is_burst
+        assert BusOp.READ_LINE_EXCL.is_burst
+        assert BusOp.WRITE_LINE.is_burst
+        assert not BusOp.READ.is_burst
+        assert not BusOp.INVALIDATE.is_burst
+
+    def test_read_classification(self):
+        assert BusOp.READ.is_read
+        assert BusOp.SWAP.is_read
+        assert not BusOp.WRITE.is_read
+        assert not BusOp.INVALIDATE.is_read
+
+    def test_memory_write_classification(self):
+        assert BusOp.WRITE.writes_memory
+        assert BusOp.WRITE_LINE.writes_memory
+        assert BusOp.SWAP.writes_memory
+        assert not BusOp.READ_LINE.writes_memory
+
+
+class TestTransaction:
+    def test_basic_read(self):
+        txn = Transaction(BusOp.READ, 0x100, "m")
+        assert txn.retries == 0
+
+    def test_unaligned_address_rejected(self):
+        with pytest.raises(BusError):
+            Transaction(BusOp.READ, 0x101, "m")
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(BusError):
+            Transaction(BusOp.READ, -4, "m")
+
+    def test_write_needs_int_data(self):
+        with pytest.raises(BusError):
+            Transaction(BusOp.WRITE, 0x100, "m")
+        with pytest.raises(BusError):
+            Transaction(BusOp.WRITE, 0x100, "m", data=[1])
+
+    def test_swap_needs_int_data(self):
+        with pytest.raises(BusError):
+            Transaction(BusOp.SWAP, 0x100, "m", data=None)
+
+    def test_write_line_needs_full_line(self):
+        with pytest.raises(BusError):
+            Transaction(BusOp.WRITE_LINE, 0x100, "m", data=[1, 2])
+
+    def test_burst_alignment_enforced(self):
+        with pytest.raises(BusError):
+            Transaction(BusOp.READ_LINE, 0x104, "m")
+        Transaction(BusOp.READ_LINE, 0x120, "m")  # 32-byte aligned: fine
+
+    def test_describe_mentions_master_and_addr(self):
+        txn = Transaction(BusOp.READ, 0x2000_0000, "cpu0")
+        assert "cpu0" in txn.describe()
+        assert "0x20000000" in txn.describe()
+
+
+class TestSnoopReply:
+    def test_ok_singleton(self):
+        assert SnoopReply.OK.action is SnoopAction.OK
+
+    def test_retry_needs_completion(self):
+        with pytest.raises(BusError):
+            SnoopReply(SnoopAction.RETRY)
+
+    def test_supply_needs_data(self):
+        with pytest.raises(BusError):
+            SnoopReply(SnoopAction.SUPPLY)
+
+    def test_valid_supply(self):
+        reply = SnoopReply(SnoopAction.SUPPLY, supply_data=[0] * 8)
+        assert len(reply.supply_data) == 8

@@ -1,0 +1,177 @@
+"""Unit and property tests for the cache geometry and array."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import CacheArray, CacheGeometry, State, make_protocol
+from repro.errors import ConfigError
+
+MEI = make_protocol("MEI")
+
+
+def make_array(size=1024, line=32, ways=2):
+    return CacheArray(CacheGeometry(size, line, ways))
+
+
+class TestGeometry:
+    def test_basic_decomposition(self):
+        geom = CacheGeometry(16 * 1024, 32, 4)
+        assert geom.n_sets == 128
+        assert geom.line_words == 8
+
+    def test_line_base(self):
+        geom = CacheGeometry(1024, 32, 2)
+        assert geom.line_base(0x1234) == 0x1220
+
+    def test_word_offset(self):
+        geom = CacheGeometry(1024, 32, 2)
+        assert geom.word_offset(0x1224) == 1
+
+    def test_set_index_wraps(self):
+        geom = CacheGeometry(1024, 32, 2)  # 16 sets
+        assert geom.set_index(0x0000) == geom.set_index(16 * 32)
+
+    def test_rebuild_addr_roundtrip(self):
+        geom = CacheGeometry(4096, 32, 4)
+        for addr in (0x0, 0x20, 0x1000, 0xABC0):
+            base = geom.line_base(addr)
+            assert geom.rebuild_addr(geom.tag(base), geom.set_index(base)) == base
+
+    def test_non_pow2_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(1000, 32, 2)
+        with pytest.raises(ConfigError):
+            CacheGeometry(1024, 24, 2)
+        with pytest.raises(ConfigError):
+            CacheGeometry(1024, 32, 3)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(32, 32, 2)
+
+    def test_fully_associative_allowed(self):
+        geom = CacheGeometry(1024, 32, 32)
+        assert geom.n_sets == 1
+
+
+class TestArray:
+    def test_miss_on_empty(self):
+        assert make_array().lookup(0x100) is None
+
+    def test_install_then_hit(self):
+        array = make_array()
+        array.install(0x100, 0, list(range(8)), State.EXCLUSIVE, MEI)
+        line = array.lookup(0x100)
+        assert line is not None
+        assert line.state is State.EXCLUSIVE
+        assert line.data[0] == 0
+
+    def test_hit_anywhere_in_line(self):
+        array = make_array()
+        array.install(0x100, 0, list(range(8)), State.EXCLUSIVE, MEI)
+        assert array.lookup(0x11C) is not None
+        assert array.lookup(0x120) is None
+
+    def test_wrong_size_fill_rejected(self):
+        with pytest.raises(ConfigError):
+            make_array().install(0x100, 0, [1, 2], State.EXCLUSIVE, MEI)
+
+    def test_victim_prefers_invalid_way(self):
+        array = make_array(ways=2)
+        array.install(0x0, 0, [0] * 8, State.EXCLUSIVE, MEI)
+        way, victim, victim_addr = array.victim_for(0x0 + 1024)  # same set
+        assert way == 1
+        assert victim is None and victim_addr is None
+
+    def test_victim_lru(self):
+        array = make_array(size=64, line=32, ways=2)  # 1 set
+        array.install(0x000, 0, [0] * 8, State.EXCLUSIVE, MEI)
+        array.install(0x020, 1, [0] * 8, State.EXCLUSIVE, MEI)
+        array.lookup(0x000, touch=True)  # refresh way 0
+        way, victim, victim_addr = array.victim_for(0x040)
+        assert way == 1
+        assert victim_addr == 0x020
+
+    def test_snoop_lookup_does_not_touch(self):
+        array = make_array(size=64, line=32, ways=2)
+        array.install(0x000, 0, [0] * 8, State.EXCLUSIVE, MEI)
+        array.install(0x020, 1, [0] * 8, State.EXCLUSIVE, MEI)
+        array.lookup(0x000, touch=True)
+        array.lookup(0x020, touch=False)  # a snoop: no recency update
+        _way, _victim, victim_addr = array.victim_for(0x040)
+        assert victim_addr == 0x020
+
+    def test_remove(self):
+        array = make_array()
+        array.install(0x100, 0, [0] * 8, State.MODIFIED, MEI)
+        removed = array.remove(0x100)
+        assert removed is not None
+        assert removed.state is State.INVALID
+        assert array.lookup(0x100) is None
+
+    def test_remove_missing_returns_none(self):
+        assert make_array().remove(0x100) is None
+
+    def test_valid_lines_enumeration(self):
+        array = make_array()
+        array.install(0x100, 0, [0] * 8, State.EXCLUSIVE, MEI)
+        array.install(0x240, 0, [0] * 8, State.MODIFIED, MEI)
+        addresses = {addr for addr, _line in array.valid_lines()}
+        assert addresses == {0x100, 0x240}
+
+    def test_occupancy(self):
+        array = make_array()
+        assert array.occupancy() == 0
+        array.install(0x100, 0, [0] * 8, State.EXCLUSIVE, MEI)
+        assert array.occupancy() == 1
+
+    def test_flush_iter_predicate(self):
+        array = make_array()
+        array.install(0x100, 0, [0] * 8, State.EXCLUSIVE, MEI)
+        array.install(0x240, 0, [0] * 8, State.EXCLUSIVE, MEI)
+        assert array.flush_iter(lambda a: a >= 0x200) == [0x240]
+
+
+# ---------------------------------------------------------------------------
+# property tests
+# ---------------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    addresses=st.lists(
+        st.integers(min_value=0, max_value=255).map(lambda n: n * 32),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_property_install_always_findable_and_bounded(addresses):
+    """After any install sequence: last install hits; occupancy bounded."""
+    geom = CacheGeometry(512, 32, 2)  # 16 lines capacity
+    array = CacheArray(geom)
+    for addr in addresses:
+        if array.lookup(addr) is not None:
+            continue  # controllers only fill on a miss
+        way, victim, victim_addr = array.victim_for(addr)
+        if victim is not None:
+            array._sets[geom.set_index(victim_addr)][way] = None
+        array.install(addr, way, [0] * 8, State.EXCLUSIVE, MEI)
+        assert array.lookup(addr) is not None
+    assert array.occupancy() <= 16
+    # No duplicate line is ever resident.
+    seen = [a for a, _l in array.valid_lines()]
+    assert len(seen) == len(set(seen))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    addresses=st.lists(
+        st.integers(min_value=0, max_value=2**20).map(lambda n: n * 4),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_geometry_roundtrip(addresses):
+    geom = CacheGeometry(8192, 32, 4)
+    for addr in addresses:
+        base = geom.line_base(addr)
+        assert base <= addr < base + 32
+        assert geom.rebuild_addr(geom.tag(addr), geom.set_index(addr)) == base

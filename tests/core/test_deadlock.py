@@ -1,0 +1,46 @@
+"""The Fig 4 hardware deadlock and its remedies."""
+
+import pytest
+
+from repro.core.deadlock import SOLUTIONS, run_deadlock_demo
+from repro.errors import ConfigError
+
+
+def test_cached_locks_deadlock():
+    outcome = run_deadlock_demo("none")
+    assert outcome.deadlocked
+    # Both cores must be implicated in the wedge.
+    assert "ppc755" in outcome.detail
+    assert "arm920t" in outcome.detail
+
+
+@pytest.mark.parametrize("solution", ["uncached-locks", "lock-register", "bakery"])
+def test_remedies_complete(solution):
+    outcome = run_deadlock_demo(solution)
+    assert not outcome.deadlocked
+    assert outcome.elapsed_ns > 0
+
+
+def test_lock_register_is_fastest_remedy():
+    uncached = run_deadlock_demo("uncached-locks").elapsed_ns
+    register = run_deadlock_demo("lock-register").elapsed_ns
+    bakery = run_deadlock_demo("bakery").elapsed_ns
+    # The 1-cycle on-bus register beats memory-based locks; Bakery pays
+    # the most uncached traffic of the three.
+    assert register <= uncached <= bakery
+
+
+def test_unknown_solution_rejected():
+    with pytest.raises(ConfigError):
+        run_deadlock_demo("prayer")
+
+
+def test_render_mentions_outcome():
+    outcome = run_deadlock_demo("none")
+    assert "DEADLOCK" in outcome.render()
+    ok = run_deadlock_demo("lock-register")
+    assert "completed" in ok.render()
+
+
+def test_solutions_constant_is_exhaustive():
+    assert set(SOLUTIONS) == {"none", "uncached-locks", "lock-register", "bakery"}

@@ -1,0 +1,65 @@
+"""Unit tests for the hardware lock register."""
+
+import pytest
+
+from repro.core import LockRegister
+from repro.errors import BusError
+
+BASE = 0x5000_0000
+
+
+class TestSemantics:
+    def test_read_acquires(self):
+        lock = LockRegister(BASE)
+        assert lock.read_word(BASE) == 0  # old value: was free
+        assert lock.is_held()
+
+    def test_second_read_rejected(self):
+        lock = LockRegister(BASE)
+        lock.read_word(BASE)
+        assert lock.read_word(BASE) == 1
+        assert lock.rejections == 1
+
+    def test_zero_write_releases(self):
+        lock = LockRegister(BASE)
+        lock.read_word(BASE)
+        lock.write_word(BASE, 0)
+        assert not lock.is_held()
+        assert lock.releases == 1
+
+    def test_acquire_release_acquire(self):
+        lock = LockRegister(BASE)
+        lock.read_word(BASE)
+        lock.write_word(BASE, 0)
+        assert lock.read_word(BASE) == 0
+        assert lock.acquisitions == 2
+
+    def test_nonzero_write_sets(self):
+        lock = LockRegister(BASE)
+        lock.write_word(BASE, 1)
+        assert lock.is_held()
+
+
+class TestAddressing:
+    def test_multiple_locks(self):
+        lock = LockRegister(BASE, n_locks=3)
+        assert lock.lock_addr(2) == BASE + 8
+        lock.read_word(BASE + 8)
+        assert lock.is_held(2)
+        assert not lock.is_held(0)
+
+    def test_out_of_range_rejected(self):
+        lock = LockRegister(BASE, n_locks=1)
+        with pytest.raises(BusError):
+            lock.read_word(BASE + 4)
+        with pytest.raises(BusError):
+            lock.lock_addr(1)
+
+    def test_unaligned_rejected(self):
+        lock = LockRegister(BASE, n_locks=2)
+        with pytest.raises(BusError):
+            lock.read_word(BASE + 2)
+
+    def test_zero_locks_rejected(self):
+        with pytest.raises(BusError):
+            LockRegister(BASE, n_locks=0)

@@ -1,0 +1,160 @@
+"""Unit tests for the TAG CAM snoop logic (Fig 3)."""
+
+import pytest
+
+from repro.bus import BusOp, SnoopAction, Transaction
+from repro.core import (
+    MAILBOX_EMPTY,
+    MAILBOX_POP,
+    MAILBOX_STATUS,
+    Platform,
+    PlatformConfig,
+)
+from repro.cpu import Assembler, preset_arm920t, preset_powerpc755
+from repro.core.snoop_logic import SnoopLogic
+from repro.errors import IntegrationError
+
+
+def make_platform():
+    return Platform(
+        PlatformConfig(cores=(preset_powerpc755(), preset_arm920t()))
+    )
+
+
+def arm_fills_line(platform, addr, value=5):
+    """Drive the ARM controller to dirty a line, via a raw process."""
+    controller = platform.controller("arm920t")
+
+    def driver():
+        yield from controller.write(addr, value)
+
+    platform.sim.process(driver())
+    platform.sim.run(detect_deadlock=False)
+
+
+class TestTagCam:
+    def test_cam_mirrors_installs(self):
+        platform = make_platform()
+        logic = platform.snoop_logics[1]
+        assert logic.cam_entries == 0
+        arm_fills_line(platform, 0x2000_0000)
+        assert logic.cam_entries == 1
+        assert logic.holds(0x2000_0004)
+
+    def test_cam_drops_on_invalidate(self):
+        platform = make_platform()
+        logic = platform.snoop_logics[1]
+        arm_fills_line(platform, 0x2000_0000)
+        platform.controller("arm920t").invalidate_line(0x2000_0000)
+        assert logic.cam_entries == 0
+
+    def test_snoop_miss_for_uncached_line(self):
+        platform = make_platform()
+        logic = platform.snoop_logics[1]
+        txn = Transaction(BusOp.READ_LINE, 0x2000_0000, "ppc755")
+        assert logic.snoop(txn).action is SnoopAction.OK
+
+
+class TestSnoopHit:
+    def test_hit_raises_fiq_and_retries(self):
+        platform = make_platform()
+        logic = platform.snoop_logics[1]
+        arm_fills_line(platform, 0x2000_0000)
+        txn = Transaction(BusOp.READ_LINE, 0x2000_0000, "ppc755")
+        reply = logic.snoop(txn)
+        assert reply.action is SnoopAction.RETRY
+        assert platform.core("arm920t").fiq.asserted
+        assert logic.pending >= 1
+
+    def test_mailbox_pop_returns_hit_address(self):
+        platform = make_platform()
+        logic = platform.snoop_logics[1]
+        arm_fills_line(platform, 0x2000_0000)
+        logic.snoop(Transaction(BusOp.READ_LINE, 0x2000_0000, "ppc755"))
+        base = platform.mailbox_base(1)
+        assert logic.read_word(base + MAILBOX_STATUS) == 1
+        assert logic.read_word(base + MAILBOX_POP) == 0x2000_0000
+        assert logic.read_word(base + MAILBOX_POP) == MAILBOX_EMPTY
+
+    def test_duplicate_hits_queue_once(self):
+        platform = make_platform()
+        logic = platform.snoop_logics[1]
+        arm_fills_line(platform, 0x2000_0000)
+        logic.snoop(Transaction(BusOp.READ_LINE, 0x2000_0000, "ppc755"))
+        logic.snoop(Transaction(BusOp.READ, 0x2000_0004, "ppc755"))
+        base = platform.mailbox_base(1)
+        assert logic.read_word(base + MAILBOX_STATUS) == 1
+
+    def test_auto_ack_on_drain_releases_waiters(self):
+        platform = make_platform()
+        logic = platform.snoop_logics[1]
+        arm_fills_line(platform, 0x2000_0000)
+        reply = logic.snoop(Transaction(BusOp.READ_LINE, 0x2000_0000, "ppc755"))
+        assert not reply.completion.triggered
+        # The ARM's own flush *is* the acknowledgement.
+        controller = platform.controller("arm920t")
+
+        def flusher():
+            yield from controller.flush_line(0x2000_0000)
+
+        platform.sim.process(flusher())
+        platform.sim.run(detect_deadlock=False)
+        assert reply.completion.triggered
+        assert not platform.core("arm920t").fiq.asserted
+
+    def test_fiq_deasserted_only_when_all_handled(self):
+        platform = make_platform()
+        logic = platform.snoop_logics[1]
+        arm_fills_line(platform, 0x2000_0000)
+        arm_fills_line(platform, 0x2000_0040)
+        logic.snoop(Transaction(BusOp.READ_LINE, 0x2000_0000, "ppc755"))
+        logic.snoop(Transaction(BusOp.READ_LINE, 0x2000_0040, "ppc755"))
+        controller = platform.controller("arm920t")
+
+        def flusher():
+            yield from controller.flush_line(0x2000_0000)
+
+        platform.sim.process(flusher())
+        platform.sim.run(detect_deadlock=False)
+        assert platform.core("arm920t").fiq.asserted  # one hit left
+
+    def test_coherent_controller_rejected(self):
+        platform = make_platform()
+        with pytest.raises(IntegrationError):
+            SnoopLogic(
+                platform.sim,
+                platform.controller("ppc755"),
+                platform.core("ppc755").fiq,
+                0x4000_0000,
+                platform.bus,
+            )
+
+
+class TestEndToEnd:
+    def test_full_isr_path(self):
+        platform = make_platform()
+        shared = 0x2000_0000
+        flag = 0x3000_0000  # uncacheable lock region
+
+        arm = Assembler()
+        arm.li(1, shared).li(2, 99).st(2, 1)
+        arm.li(3, flag).li(4, 1).st(4, 3)
+        arm.halt()
+        from repro.core import append_isr
+
+        append_isr(arm, platform.mailbox_base(1))
+
+        ppc = Assembler()
+        ppc.li(3, flag)
+        ppc.label("wait")
+        ppc.ld(4, 3)
+        ppc.beq(4, 0, "wait")
+        ppc.li(1, shared)
+        ppc.ld(6, 1)
+        ppc.halt()
+
+        platform.load_programs({"arm920t": arm.assemble(), "ppc755": ppc.assemble()})
+        platform.run()
+        assert platform.core("ppc755").regs[6] == 99
+        assert platform.core("arm920t").isr_entries == 1
+        assert platform.memory.peek(shared) == 99  # drained to memory

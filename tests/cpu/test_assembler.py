@@ -1,0 +1,93 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.cpu import Assembler
+from repro.errors import AssemblerError
+
+
+class TestLabels:
+    def test_forward_reference_resolves(self):
+        asm = Assembler()
+        asm.jmp("end")
+        asm.nop()
+        asm.label("end")
+        asm.halt()
+        program = asm.assemble()
+        assert program[0].target == 2
+
+    def test_backward_reference_resolves(self):
+        asm = Assembler()
+        asm.label("top")
+        asm.nop()
+        asm.jmp("top")
+        program = asm.assemble()
+        assert program[1].target == 0
+
+    def test_unknown_label_rejected(self):
+        asm = Assembler()
+        asm.jmp("nowhere")
+        with pytest.raises(AssemblerError):
+            asm.assemble()
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler()
+        asm.label("x")
+        with pytest.raises(AssemblerError):
+            asm.label("x")
+
+    def test_isr_label_recorded(self):
+        asm = Assembler()
+        asm.halt()
+        asm.isr("_isr")
+        asm.rfi()
+        program = asm.assemble()
+        assert program.isr_entry == 1
+
+    def test_no_isr_is_none(self):
+        asm = Assembler()
+        asm.halt()
+        assert asm.assemble().isr_entry is None
+
+
+class TestEmitters:
+    def test_every_emitter_produces_valid_instr(self):
+        asm = Assembler()
+        asm.label("t")
+        asm.li(1, 5).mov(2, 1).add(3, 1, 2).addi(3, 3, 1).sub(4, 3, 1)
+        asm.subi(4, 4, 1).and_(5, 1, 2).or_(5, 1, 2).xor(5, 1, 2)
+        asm.mul(6, 1, 2).shl(6, 6, 1).shr(6, 6, 1)
+        asm.ld(7, 1).st(7, 1).swp(7, 1)
+        asm.beq(1, 2, "t").bne(1, 2, "t").blt(1, 2, "t").bge(1, 2, "t")
+        asm.jmp("t").jal(8, "t").jr(8)
+        asm.dcbf(1).dcbi(1).dcbst(1).sync()
+        asm.ei().di()
+        asm.nop().delay(5).halt()
+        program = asm.assemble()
+        assert len(program) == 31
+
+    def test_chaining_returns_self(self):
+        asm = Assembler()
+        assert asm.nop() is asm
+
+    def test_listing_contains_labels_and_indices(self):
+        asm = Assembler()
+        asm.label("entry")
+        asm.li(1, 7)
+        asm.halt()
+        listing = asm.assemble().listing()
+        assert "entry:" in listing
+        assert "LI r1, 0x7" in listing
+
+    def test_getitem_and_len(self):
+        asm = Assembler()
+        asm.nop().halt()
+        program = asm.assemble()
+        assert len(program) == 2
+        assert program[1].op == "HALT"
+
+    def test_invalid_register_rejected_at_emit(self):
+        from repro.errors import IsaError
+
+        with pytest.raises(IsaError):
+            Assembler().li(99, 0)

@@ -1,0 +1,50 @@
+"""Unit tests for the instruction set definitions."""
+
+import pytest
+
+from repro.cpu.isa import NUM_REGS, OPCODES, Instr, validate_instr
+from repro.errors import IsaError
+
+
+class TestValidation:
+    def test_known_opcodes_pass(self):
+        for op in ("LI", "ADD", "LD", "ST", "BEQ", "DCBF", "HALT"):
+            validate_instr(Instr(op))
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(IsaError):
+            validate_instr(Instr("FROB"))
+
+    def test_register_range_enforced(self):
+        with pytest.raises(IsaError):
+            validate_instr(Instr("ADD", rd=NUM_REGS))
+        with pytest.raises(IsaError):
+            validate_instr(Instr("ADD", ra=-1))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(IsaError):
+            validate_instr(Instr("DELAY", imm=-5))
+
+    def test_opcode_set_is_complete(self):
+        # ISA surface check: additions must be intentional.
+        assert len(OPCODES) == 32
+
+
+class TestProperties:
+    def test_branches_flagged(self):
+        assert Instr("BEQ").is_branch
+        assert Instr("JMP").is_branch
+        assert Instr("JR").is_branch
+        assert not Instr("ADD").is_branch
+
+    def test_render_forms(self):
+        assert Instr("LI", rd=1, imm=0x10).render() == "LI r1, 0x10"
+        assert Instr("LD", rd=2, ra=3, imm=4).render() == "LD r2, [r3+4]"
+        assert Instr("ST", rb=2, ra=3).render() == "ST r2, [r3+0]"
+        assert "@" in Instr("BEQ", ra=1, rb=2, target="loop").render()
+        assert Instr("HALT").render() == "HALT"
+
+    def test_instr_is_immutable(self):
+        instr = Instr("NOP")
+        with pytest.raises(AttributeError):
+            instr.op = "ADD"

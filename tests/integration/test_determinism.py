@@ -1,0 +1,97 @@
+"""Determinism and golden-timing regression tests.
+
+The simulator is fully deterministic: identical configurations must
+produce identical event interleavings, and therefore identical
+completion times and statistics.  A handful of golden timing anchors
+pin the cost model — if a change moves them, EXPERIMENTS.md's numbers
+moved too and need re-recording.
+"""
+
+import pytest
+
+from repro.workloads import MicrobenchSpec, run_microbench
+
+
+def run_twice(spec, **kwargs):
+    return run_microbench(spec, **kwargs), run_microbench(spec, **kwargs)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("scenario", ["wcs", "tcs", "bcs"])
+    @pytest.mark.parametrize("solution", ["disabled", "software", "proposed"])
+    def test_identical_runs(self, scenario, solution):
+        spec = MicrobenchSpec(scenario, solution, lines=4, iterations=3)
+        first, second = run_twice(spec)
+        assert first.elapsed_ns == second.elapsed_ns
+        assert first.stats == second.stats
+
+    def test_tcs_seed_changes_schedule(self):
+        spec = MicrobenchSpec("tcs", "proposed", lines=4, iterations=6)
+        base = run_microbench(spec).elapsed_ns
+        reseeded = run_microbench(spec.with_(seed=99)).elapsed_ns
+        assert base != reseeded  # different random block choices
+
+    def test_sequences_deterministic(self):
+        from repro.workloads import table2_demo
+
+        first = table2_demo(True)
+        second = table2_demo(True)
+        assert [s.states for s in first.steps] == [s.states for s in second.steps]
+
+
+class TestGoldenTimings:
+    """Exact anchors for the cost model (deterministic simulator).
+
+    If one of these moves, the calibration in EXPERIMENTS.md moved:
+    re-record both deliberately, never casually.
+    """
+
+    def test_single_uncached_read_cost(self):
+        # arb(1) + addr(1) + 6 data cycles at 20 ns = 160 ns on the bus.
+        from repro.bus import AsbBus, BusOp, Transaction
+        from repro.mem import MainMemory, MemoryController, MemoryMap, Region
+        from repro.sim import Clock, Simulator
+
+        sim = Simulator()
+        bus = AsbBus(
+            sim, Clock.from_mhz(50),
+            MemoryController(MainMemory(), MemoryMap([Region("r", 0, 0x1000)])),
+        )
+        proc = sim.process(bus.transact(Transaction(BusOp.READ, 0, "m")))
+        sim.run()
+        assert proc.value.latency == 160
+
+    def test_line_fill_cost(self):
+        # arb(1) + addr(1) + 13 burst cycles = 300 ns.
+        from repro.bus import AsbBus, BusOp, Transaction
+        from repro.mem import MainMemory, MemoryController, MemoryMap, Region
+        from repro.sim import Clock, Simulator
+
+        sim = Simulator()
+        bus = AsbBus(
+            sim, Clock.from_mhz(50),
+            MemoryController(MainMemory(), MemoryMap([Region("r", 0, 0x1000)])),
+        )
+        proc = sim.process(
+            bus.transact(Transaction(BusOp.READ_LINE, 0, "m"))
+        )
+        sim.run()
+        assert proc.value.latency == 300
+
+    def test_deadlock_remedy_times_pinned(self):
+        from repro.core.deadlock import run_deadlock_demo
+
+        assert run_deadlock_demo("uncached-locks").elapsed_ns == 3380
+        assert run_deadlock_demo("lock-register").elapsed_ns == 2040
+        assert run_deadlock_demo("bakery").elapsed_ns == 4860
+
+    def test_bcs_anchor(self):
+        """The EXPERIMENTS.md BCS headline cell, pinned."""
+        software = run_microbench(
+            MicrobenchSpec("bcs", "software", lines=32, exec_time=1, iterations=8)
+        ).elapsed_ns
+        proposed = run_microbench(
+            MicrobenchSpec("bcs", "proposed", lines=32, exec_time=1, iterations=8)
+        ).elapsed_ns
+        speedup = 100 * (software - proposed) / software
+        assert speedup == pytest.approx(41.2, abs=0.2)

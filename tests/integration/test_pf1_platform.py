@@ -1,0 +1,93 @@
+"""PF1: neither processor has coherence hardware (Table 1, row 1).
+
+The paper: "The same methodology used in ARM920T can be employed in
+PF1" — every processor gets its own snoop-logic block and service
+routine.  These tests drive two ARM920T-class cores sharing data purely
+through the dual TAG CAM + nFIQ machinery.
+"""
+
+import pytest
+
+from repro.core import SCRATCH_BASE, SHARED_BASE, Platform, PlatformConfig, append_isr
+from repro.cpu import Assembler, preset_arm920t
+from repro.verify import CoherenceChecker
+from repro.workloads import MicrobenchSpec, run_microbench
+
+FLAG = SCRATCH_BASE
+X = SHARED_BASE
+
+
+def pf1_cores():
+    return (preset_arm920t("arm0"), preset_arm920t("arm1"))
+
+
+def make_platform():
+    return Platform(PlatformConfig(cores=pf1_cores()))
+
+
+class TestWiring:
+    def test_classified_pf1(self):
+        platform = make_platform()
+        assert platform.pf_class == "PF1"
+
+    def test_two_snoop_logics_no_wrappers(self):
+        platform = make_platform()
+        assert all(w is None for w in platform.wrappers)
+        assert all(s is not None for s in platform.snoop_logics)
+
+    def test_system_protocol_is_mei(self):
+        platform = make_platform()
+        assert platform.reduction.system_protocol == "MEI"
+
+
+class TestDataTransfer:
+    def test_dirty_handoff_via_both_isrs(self):
+        """arm0 dirties a line; arm1 reads it (arm0's ISR drains); arm1
+        dirties it back; arm0 re-reads (arm1's ISR drains)."""
+        platform = make_platform()
+        checker = CoherenceChecker(platform)
+
+        a0 = Assembler()
+        a0.li(1, X).li(2, 0xA0).st(2, 1)            # dirty in arm0
+        a0.li(3, FLAG).li(4, 1).st(4, 3)            # phase 1 done
+        a0.label("wait2")
+        a0.ld(4, 3)
+        a0.li(5, 3)
+        a0.bne(4, 5, "wait2")                       # wait for phase 3
+        a0.li(1, X).ld(6, 1)                        # read arm1's value
+        a0.halt()
+        append_isr(a0, platform.mailbox_base(0))
+
+        a1 = Assembler()
+        a1.li(3, FLAG)
+        a1.label("wait1")
+        a1.ld(4, 3)
+        a1.li(5, 1)
+        a1.bne(4, 5, "wait1")
+        a1.li(1, X).ld(6, 1)                        # snoop-hits arm0
+        a1.li(2, 0xA1).st(2, 1)                     # now dirty in arm1
+        a1.li(4, 3).li(5, FLAG)
+        a1.st(4, 5)                                 # phase 3
+        a1.halt()
+        append_isr(a1, platform.mailbox_base(1))
+
+        platform.load_programs({"arm0": a0.assemble(), "arm1": a1.assemble()})
+        platform.run()
+        assert platform.core("arm1").regs[6] == 0xA0
+        assert platform.core("arm0").regs[6] == 0xA1
+        assert platform.core("arm0").isr_entries >= 1
+        assert platform.core("arm1").isr_entries >= 1
+        checker.check_all_lines()
+        assert checker.clean
+
+    @pytest.mark.parametrize("scenario", ["wcs", "bcs"])
+    def test_microbenchmarks_run_coherently(self, scenario):
+        spec = MicrobenchSpec(scenario, "proposed", lines=2, iterations=2)
+        result = run_microbench(spec, cores=pf1_cores(), check=True)
+        assert result.elapsed_ns > 0
+
+    def test_wcs_uses_interrupts_on_both_sides(self):
+        spec = MicrobenchSpec("wcs", "proposed", lines=4, iterations=4)
+        result = run_microbench(spec, cores=pf1_cores(), keep_platform=True)
+        assert result.platform.core("arm0").isr_entries > 0
+        assert result.platform.core("arm1").isr_entries > 0

@@ -1,0 +1,95 @@
+"""Negative integration tests: the wrapper's absence must be visible.
+
+The positive matrix (test_coherence_matrix) proves wrapped platforms
+stay coherent; these tests prove the *checker and model are strong
+enough to catch the bugs the wrapper prevents* — identity-policy
+platforms on the incompatible pairs produce stale reads and SWMR
+violations on the paper's own sequences.
+"""
+
+import pytest
+
+from repro.core import SHARED_BASE, Platform, PlatformConfig
+from repro.core.reduction import WrapperPolicy
+from repro.cpu import preset_generic
+from repro.verify import CoherenceChecker
+
+#: the protocol pairs the paper shows to be broken without wrappers
+BROKEN_PAIRS = [("MESI", "MEI"), ("MSI", "MESI"), ("MSI", "MEI"), ("MOESI", "MEI")]
+
+
+def unwrapped_platform(p1, p2):
+    platform = Platform(
+        PlatformConfig(
+            cores=(preset_generic("p0", p1), preset_generic("p1", p2)),
+        )
+    )
+    for wrapper in platform.wrappers:
+        wrapper.policy = WrapperPolicy()  # identity: break the integration
+    checker = CoherenceChecker(platform)
+    return platform, checker
+
+
+def run_ops(platform, ops):
+    controllers = platform.controllers
+
+    def driver():
+        for proc, op, addr, value in ops:
+            if op == "read":
+                yield from controllers[proc].read(addr)
+            else:
+                yield from controllers[proc].write(addr, value)
+
+    platform.sim.process(driver())
+    platform.sim.run(detect_deadlock=False)
+
+
+KILLER = [
+    (0, "read", SHARED_BASE, 0),
+    (1, "read", SHARED_BASE, 0),
+    (1, "write", SHARED_BASE, 7),
+    (0, "read", SHARED_BASE, 0),
+]
+
+
+@pytest.mark.parametrize("p1,p2", BROKEN_PAIRS)
+def test_killer_sequence_caught(p1, p2):
+    platform, checker = unwrapped_platform(p1, p2)
+    run_ops(platform, KILLER)
+    assert not checker.clean, f"{p1}+{p2} unwrapped should corrupt"
+    assert any("stale read" in v.detail for v in checker.violations)
+
+
+@pytest.mark.parametrize("p1,p2", BROKEN_PAIRS)
+def test_swmr_violation_also_caught(p1, p2):
+    platform, checker = unwrapped_platform(p1, p2)
+    run_ops(platform, KILLER)
+    checker.check_all_lines()
+    assert any(
+        "M/E copy coexists" in v.detail or "differs from memory" in v.detail
+        for v in checker.violations
+    )
+
+
+def test_homogeneous_pairs_survive_identity_policies():
+    """Control: identity wrappers are exactly right for homogeneous
+    platforms, so the same sequence stays clean there."""
+    for protocol in ("MEI", "MSI", "MESI", "MOESI"):
+        platform, checker = unwrapped_platform(protocol, protocol)
+        run_ops(platform, KILLER)
+        checker.check_all_lines()
+        assert checker.clean, (protocol, checker.violations[:2])
+
+
+def test_wrapped_control_for_broken_pairs():
+    """Control: the same pairs with their real policies stay clean."""
+    for p1, p2 in BROKEN_PAIRS:
+        platform = Platform(
+            PlatformConfig(
+                cores=(preset_generic("p0", p1), preset_generic("p1", p2)),
+            )
+        )
+        checker = CoherenceChecker(platform)
+        run_ops(platform, KILLER)
+        checker.check_all_lines()
+        assert checker.clean, (p1, p2, checker.violations[:2])

@@ -1,0 +1,64 @@
+"""Tests for the I/O attachment helpers."""
+
+import pytest
+
+from repro.core import SCRATCH_BASE, SHARED_BASE, Platform, PlatformConfig
+from repro.cpu import preset_generic
+from repro.errors import ConfigError
+from repro.io import DMA_BASE, attach_dma, attach_nic
+
+
+def make_platform():
+    return Platform(
+        PlatformConfig(cores=(preset_generic("p0", "MESI"),))
+    )
+
+
+class TestAttachDma:
+    def test_creates_device_region(self):
+        platform = make_platform()
+        dma = attach_dma(platform)
+        region = platform.map.find(DMA_BASE)
+        assert region.device is dma
+        assert not region.cacheable
+
+    def test_line_size_matches_platform(self):
+        platform = make_platform()
+        dma = attach_dma(platform)
+        assert dma.line_bytes == platform.config.line_bytes
+
+    def test_two_engines_need_distinct_bases(self):
+        platform = make_platform()
+        attach_dma(platform, name="dma0")
+        with pytest.raises(ConfigError):
+            attach_dma(platform, name="dma1")  # same base: overlap
+        attach_dma(platform, name="dma1", base=0x7200_0000)
+
+    def test_engine_is_a_bus_master_not_snooper(self):
+        platform = make_platform()
+        attach_dma(platform)
+        # Engines are pure masters: they do not join the snooper list.
+        assert all(s.master_name != "dma0" for s in platform.bus.snoopers)
+
+
+class TestAttachNic:
+    def test_builds_dma_and_staging(self):
+        platform = make_platform()
+        nic = attach_nic(
+            platform,
+            ring_base=SCRATCH_BASE + 0x200,
+            payload_base=SHARED_BASE + 0x4000,
+        )
+        assert nic.dma.name == "nic0.dma"
+        staging = platform.map.find(nic.staging_base)
+        assert not staging.cacheable
+
+    def test_slot_geometry_validated(self):
+        platform = make_platform()
+        with pytest.raises(ConfigError):
+            attach_nic(
+                platform,
+                ring_base=SCRATCH_BASE + 0x200,
+                payload_base=SHARED_BASE + 0x4000,
+                slot_bytes=40,  # not a line multiple
+            )

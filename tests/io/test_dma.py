@@ -1,0 +1,187 @@
+"""Tests for the coherent DMA engine."""
+
+import pytest
+
+from repro.cache import State
+from repro.core import SCRATCH_BASE, SHARED_BASE, Platform, PlatformConfig
+from repro.cpu import preset_arm920t, preset_generic, preset_powerpc755
+from repro.errors import BusError, ConfigError
+from repro.io import (
+    DMA_CTRL,
+    DMA_DST,
+    DMA_LEN,
+    DMA_SRC,
+    DMA_STATUS,
+    STATUS_DONE,
+    attach_dma,
+)
+from repro.verify import CoherenceChecker
+
+SRC = SHARED_BASE
+DST = SHARED_BASE + 0x1000
+
+
+def make_platform(hardware=True, cores=None):
+    cores = cores or (preset_generic("p0", "MESI"), preset_generic("p1", "MEI"))
+    platform = Platform(
+        PlatformConfig(cores=tuple(cores), hardware_coherence=hardware)
+    )
+    dma = attach_dma(platform)
+    return platform, dma
+
+
+def drive(platform, generator):
+    proc = platform.sim.process(generator)
+    platform.sim.run(detect_deadlock=False)
+    return proc.value
+
+
+class TestBasics:
+    def test_memory_to_memory_copy(self):
+        platform, dma = make_platform()
+        platform.memory.load(SRC, list(range(16)))
+        done = dma.start_transfer(SRC, DST, 64)
+        platform.sim.run(detect_deadlock=False)
+        assert done.triggered
+        assert platform.memory.read_line(DST, 8) == list(range(8))
+        assert platform.memory.read_line(DST + 32, 8) == list(range(8, 16))
+        assert dma.transfers_completed == 1
+        assert dma.words_moved == 16
+
+    def test_unaligned_addresses_use_word_transactions(self):
+        platform, dma = make_platform()
+        platform.memory.load(SRC, list(range(10)))
+        dma.start_transfer(SRC + 4, DST + 4, 8)  # two words, mid-line
+        platform.sim.run(detect_deadlock=False)
+        assert platform.memory.peek(DST + 4) == 1
+        assert platform.memory.peek(DST + 8) == 2
+
+    def test_bad_transfer_rejected(self):
+        _platform, dma = make_platform()
+        with pytest.raises(ConfigError):
+            dma.start_transfer(SRC, DST, 0)
+        with pytest.raises(ConfigError):
+            dma.start_transfer(SRC + 2, DST, 8)
+
+    def test_start_while_busy_rejected(self):
+        platform, dma = make_platform()
+        dma.start_transfer(SRC, DST, 32)
+        with pytest.raises(BusError):
+            dma.start_transfer(SRC, DST, 32)
+        platform.sim.run(detect_deadlock=False)
+
+    def test_register_file_interface(self):
+        platform, dma = make_platform()
+        platform.memory.load(SRC, [7] * 8)
+        controller = platform.controllers[0]
+
+        def program():
+            yield from controller.write(dma.base + DMA_SRC, SRC)
+            yield from controller.write(dma.base + DMA_DST, DST)
+            yield from controller.write(dma.base + DMA_LEN, 32)
+            yield from controller.write(dma.base + DMA_CTRL, 1)
+            status = 0
+            while status != STATUS_DONE:
+                status = yield from controller.read(dma.base + DMA_STATUS)
+            return status
+
+        result = drive(platform, program())
+        assert result == STATUS_DONE
+        assert platform.memory.peek(DST) == 7
+
+    def test_irq_on_completion(self):
+        platform, _ = make_platform()
+        from repro.cpu.interrupts import InterruptLine
+
+        irq = InterruptLine(platform.sim, "dma-irq")
+        dma = attach_dma(platform, name="dma1", base=0x7200_0000, irq=irq)
+        dma.start_transfer(SRC, DST, 32)
+        platform.sim.run(detect_deadlock=False)
+        assert irq.asserted
+
+
+class TestCoherence:
+    def test_dma_read_drains_dirty_cache(self):
+        """The key property: DMA never copies stale memory."""
+        platform, dma = make_platform()
+        checker = CoherenceChecker(platform)
+        controller = platform.controllers[0]
+
+        def scenario():
+            yield from controller.write(SRC, 0xC0FFEE)  # dirty in cache
+            done = dma.start_transfer(SRC, DST, 32)
+            yield done
+
+        drive(platform, scenario())
+        assert platform.memory.peek(DST) == 0xC0FFEE
+        checker.check_all_lines()
+        assert checker.clean
+
+    def test_dma_write_invalidates_cached_copies(self):
+        platform, dma = make_platform()
+        controller = platform.controllers[0]
+        platform.memory.load(DST, [1] * 8)
+
+        def scenario():
+            old = yield from controller.read(DST)        # cache the dest
+            assert old == 1
+            platform.memory.load(SRC, [2] * 8)
+            done = dma.start_transfer(SRC, DST, 32)
+            yield done
+            fresh = yield from controller.read(DST)      # must refill
+            return fresh
+
+        result = drive(platform, scenario())
+        assert result == 2
+        assert controller.line_state(DST) is State.EXCLUSIVE
+
+    def test_dma_reads_stale_without_hardware_coherence(self):
+        """The I/O variant of Table 2: no snooping, stale DMA copy."""
+        platform, dma = make_platform(hardware=False)
+        controller = platform.controllers[0]
+
+        def scenario():
+            yield from controller.write(SRC, 0xDEAD)  # stays in the cache
+            done = dma.start_transfer(SRC, DST, 32)
+            yield done
+
+        drive(platform, scenario())
+        assert platform.memory.peek(DST) == 0  # stale copy: write missed
+
+    def test_dma_source_in_noncoherent_arm_cache_uses_isr(self):
+        """PF2: the ARM's dirty source line is drained by the nFIQ path."""
+        from repro.core import append_isr
+        from repro.cpu import Assembler
+
+        platform = Platform(
+            PlatformConfig(cores=(preset_powerpc755(), preset_arm920t()))
+        )
+        dma = attach_dma(platform)
+        flag = SCRATCH_BASE
+
+        arm = Assembler()
+        arm.li(1, SRC).li(2, 0xFEED).st(2, 1)        # dirty in the ARM cache
+        arm.li(3, flag).li(4, 1).st(4, 3)
+        arm.halt()
+        append_isr(arm, platform.mailbox_base(1))
+
+        ppc = Assembler()
+        ppc.li(3, flag)
+        ppc.label("wait")
+        ppc.ld(4, 3)
+        ppc.beq(4, 0, "wait")
+        ppc.li(5, dma.base)
+        ppc.li(6, SRC).st(6, 5, DMA_SRC)
+        ppc.li(6, DST).st(6, 5, DMA_DST)
+        ppc.li(6, 32).st(6, 5, DMA_LEN)
+        ppc.li(6, 1).st(6, 5, DMA_CTRL)
+        ppc.label("poll")
+        ppc.ld(6, 5, DMA_STATUS)
+        ppc.li(7, STATUS_DONE)
+        ppc.bne(6, 7, "poll")
+        ppc.halt()
+
+        platform.load_programs({"arm920t": arm.assemble(), "ppc755": ppc.assemble()})
+        platform.run()
+        assert platform.memory.peek(DST) == 0xFEED
+        assert platform.core("arm920t").isr_entries >= 1

@@ -1,0 +1,145 @@
+"""Unit tests for the memory controller and Table 4 timing."""
+
+import pytest
+
+from repro.bus import BusOp, Transaction
+from repro.errors import BusError, ConfigError
+from repro.mem import Device, MainMemory, MemoryController, MemoryMap, MemoryTiming, Region
+
+
+def make_controller(timing=None, device=None):
+    regions = [Region("ram", 0, 0x10000)]
+    if device is not None:
+        regions.append(Region("dev", 0x10000, 0x1000, cacheable=False, device=device))
+    memory = MainMemory()
+    controller = MemoryController(memory, MemoryMap(regions), timing)
+    return memory, controller
+
+
+class TestTiming:
+    def test_table4_defaults(self):
+        timing = MemoryTiming()
+        assert timing.single_cycles == 6
+        assert timing.burst_cycles(8) == 13  # the 13-cycle miss penalty
+
+    def test_burst_cycles_scaling(self):
+        timing = MemoryTiming()
+        assert timing.burst_cycles(1) == 6
+        assert timing.burst_cycles(4) == 9
+
+    def test_burst_zero_words_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryTiming().burst_cycles(0)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryTiming(single_cycles=0)
+
+    def test_for_miss_penalty_exact(self):
+        for target in (13, 26, 48, 72, 96):
+            timing = MemoryTiming.for_miss_penalty(target)
+            assert timing.burst_cycles(8) == target
+
+    def test_for_miss_penalty_scales_single(self):
+        slow = MemoryTiming.for_miss_penalty(96)
+        assert slow.single_cycles > MemoryTiming().single_cycles
+
+    def test_scaled_floor_is_one(self):
+        tiny = MemoryTiming().scaled(0.01)
+        assert tiny.burst_next_cycles >= 1
+
+
+class TestAccess:
+    def test_read_word(self):
+        memory, controller = make_controller()
+        memory.load(0x40, [123])
+        data, cycles = controller.access(Transaction(BusOp.READ, 0x40, "m"))
+        assert data == 123
+        assert cycles == 6
+
+    def test_write_word(self):
+        memory, controller = make_controller()
+        data, cycles = controller.access(Transaction(BusOp.WRITE, 0x40, "m", data=9))
+        assert data is None
+        assert cycles == 6
+        assert memory.peek(0x40) == 9
+
+    def test_swap_returns_old_and_costs_double(self):
+        memory, controller = make_controller()
+        memory.load(0x40, [5])
+        data, cycles = controller.access(Transaction(BusOp.SWAP, 0x40, "m", data=1))
+        assert data == 5
+        assert cycles == 12
+        assert memory.peek(0x40) == 1
+
+    def test_read_line(self):
+        memory, controller = make_controller()
+        memory.load(0x100, list(range(8)))
+        data, cycles = controller.access(Transaction(BusOp.READ_LINE, 0x100, "m"))
+        assert data == list(range(8))
+        assert cycles == 13
+
+    def test_read_line_excl_same_timing(self):
+        _memory, controller = make_controller()
+        _data, cycles = controller.access(Transaction(BusOp.READ_LINE_EXCL, 0x100, "m"))
+        assert cycles == 13
+
+    def test_write_line(self):
+        memory, controller = make_controller()
+        data = list(range(10, 18))
+        _d, cycles = controller.access(
+            Transaction(BusOp.WRITE_LINE, 0x100, "m", data=data)
+        )
+        assert cycles == 13
+        assert memory.read_line(0x100, 8) == data
+
+    def test_invalidate_is_cheap(self):
+        _memory, controller = make_controller()
+        _d, cycles = controller.access(Transaction(BusOp.INVALIDATE, 0x100, "m"))
+        assert cycles == 1
+
+    def test_supply_cycles_beat_memory(self):
+        _memory, controller = make_controller()
+        assert controller.supply_cycles(8) < MemoryTiming().burst_cycles(8)
+
+
+class RecordingDevice(Device):
+    access_cycles = 2
+
+    def __init__(self):
+        self.value = 0xAB
+
+    def read_word(self, addr):
+        return self.value
+
+    def write_word(self, addr, value):
+        self.value = value
+
+
+class TestDeviceRouting:
+    def test_device_read(self):
+        device = RecordingDevice()
+        _memory, controller = make_controller(device=device)
+        data, cycles = controller.access(Transaction(BusOp.READ, 0x10000, "m"))
+        assert data == 0xAB
+        assert cycles == 2
+
+    def test_device_write(self):
+        device = RecordingDevice()
+        _memory, controller = make_controller(device=device)
+        controller.access(Transaction(BusOp.WRITE, 0x10000, "m", data=7))
+        assert device.value == 7
+
+    def test_device_swap(self):
+        device = RecordingDevice()
+        _memory, controller = make_controller(device=device)
+        data, cycles = controller.access(Transaction(BusOp.SWAP, 0x10000, "m", data=1))
+        assert data == 0xAB
+        assert device.value == 1
+        assert cycles == 4
+
+    def test_device_burst_rejected(self):
+        device = RecordingDevice()
+        _memory, controller = make_controller(device=device)
+        with pytest.raises(BusError):
+            controller.access(Transaction(BusOp.READ_LINE, 0x10000, "m"))

@@ -1,0 +1,116 @@
+"""Unit tests for the memory map."""
+
+import pytest
+
+from repro.errors import ConfigError, MemoryError_
+from repro.mem import MemoryMap, Region, WritePolicy
+
+
+def make_map():
+    return MemoryMap(
+        [
+            Region("low", 0x0000, 0x1000),
+            Region("shared", 0x2000, 0x1000, shared=True),
+            Region("locks", 0x4000, 0x100, cacheable=False),
+        ]
+    )
+
+
+class TestRegion:
+    def test_end_and_contains(self):
+        region = Region("r", 0x1000, 0x100)
+        assert region.end == 0x1100
+        assert region.contains(0x1000)
+        assert region.contains(0x10FC)
+        assert not region.contains(0x1100)
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ConfigError):
+            Region("r", -4, 0x100)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError):
+            Region("r", 0, 0)
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ConfigError):
+            Region("r", 2, 0x100)
+        with pytest.raises(ConfigError):
+            Region("r", 0, 0x102)
+
+    def test_cacheable_device_rejected(self):
+        with pytest.raises(ConfigError):
+            Region("r", 0, 0x100, cacheable=True, device=object())
+
+    def test_uncached_copy(self):
+        region = Region("r", 0, 0x100, cacheable=True)
+        copy = region.uncached()
+        assert not copy.cacheable
+        assert copy.base == region.base
+
+    def test_default_write_policy_is_write_back(self):
+        assert Region("r", 0, 4).write_policy is WritePolicy.WRITE_BACK
+
+
+class TestMemoryMap:
+    def test_find_hits_correct_region(self):
+        memory_map = make_map()
+        assert memory_map.find(0x2004).name == "shared"
+        assert memory_map.find(0x0FFC).name == "low"
+
+    def test_find_unmapped_raises(self):
+        with pytest.raises(MemoryError_):
+            make_map().find(0x9000)
+
+    def test_lookup_returns_none_for_unmapped(self):
+        assert make_map().lookup(0x9000) is None
+
+    def test_overlap_rejected(self):
+        memory_map = make_map()
+        with pytest.raises(ConfigError):
+            memory_map.add(Region("bad", 0x2800, 0x1000))
+
+    def test_overlap_before_rejected(self):
+        memory_map = make_map()
+        with pytest.raises(ConfigError):
+            memory_map.add(Region("bad", 0x1800, 0x1000))
+
+    def test_adjacent_regions_allowed(self):
+        memory_map = make_map()
+        memory_map.add(Region("next", 0x3000, 0x1000))
+        assert memory_map.find(0x3000).name == "next"
+
+    def test_duplicate_name_rejected(self):
+        memory_map = make_map()
+        with pytest.raises(ConfigError):
+            memory_map.add(Region("shared", 0x8000, 0x100))
+
+    def test_region_by_name(self):
+        assert make_map().region("locks").cacheable is False
+
+    def test_region_unknown_name(self):
+        with pytest.raises(ConfigError):
+            make_map().region("ghost")
+
+    def test_replace_changes_attribute(self):
+        memory_map = make_map()
+        memory_map.replace("shared", cacheable=False)
+        assert memory_map.find(0x2000).cacheable is False
+
+    def test_replace_rolls_back_on_error(self):
+        memory_map = make_map()
+        with pytest.raises(ConfigError):
+            memory_map.replace("shared", base=0x0000)  # would overlap "low"
+        assert memory_map.region("shared").base == 0x2000
+
+    def test_is_cacheable(self):
+        memory_map = make_map()
+        assert memory_map.is_cacheable(0x0000)
+        assert not memory_map.is_cacheable(0x4000)
+
+    def test_iteration_sorted_by_base(self):
+        names = [r.name for r in make_map()]
+        assert names == ["low", "shared", "locks"]
+
+    def test_len(self):
+        assert len(make_map()) == 3

@@ -1,0 +1,101 @@
+"""Unit tests for sparse main memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryError_
+from repro.mem import WORD_MASK, MainMemory
+
+
+class TestWords:
+    def test_unwritten_reads_zero(self):
+        assert MainMemory().read_word(0x100) == 0
+
+    def test_read_your_write(self):
+        memory = MainMemory()
+        memory.write_word(0x100, 0xDEADBEEF)
+        assert memory.read_word(0x100) == 0xDEADBEEF
+
+    def test_values_masked_to_32_bits(self):
+        memory = MainMemory()
+        memory.write_word(0x100, 0x1_2345_6789)
+        assert memory.read_word(0x100) == 0x2345_6789
+
+    def test_unaligned_read_rejected(self):
+        with pytest.raises(MemoryError_):
+            MainMemory().read_word(0x101)
+
+    def test_unaligned_write_rejected(self):
+        with pytest.raises(MemoryError_):
+            MainMemory().write_word(0x102, 1)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(MemoryError_):
+            MainMemory().read_word(-4)
+
+    def test_counters(self):
+        memory = MainMemory()
+        memory.write_word(0, 1)
+        memory.read_word(0)
+        memory.read_word(4)
+        assert memory.writes == 1
+        assert memory.reads == 2
+
+
+class TestLines:
+    def test_line_roundtrip(self):
+        memory = MainMemory()
+        data = list(range(8))
+        memory.write_line(0x200, data)
+        assert memory.read_line(0x200, 8) == data
+
+    def test_line_read_counts_words(self):
+        memory = MainMemory()
+        memory.read_line(0, 8)
+        assert memory.reads == 8
+
+    def test_partial_line_overlays_words(self):
+        memory = MainMemory()
+        memory.write_word(0x204, 77)
+        line = memory.read_line(0x200, 8)
+        assert line[1] == 77
+        assert line[0] == 0
+
+
+class TestHelpers:
+    def test_load_skips_counters(self):
+        memory = MainMemory()
+        memory.load(0, [1, 2, 3])
+        assert memory.writes == 0
+        assert memory.read_word(4) == 2
+
+    def test_peek_skips_counters(self):
+        memory = MainMemory()
+        memory.load(0, [9])
+        assert memory.peek(0) == 9
+        assert memory.reads == 0
+
+    def test_footprint(self):
+        memory = MainMemory()
+        memory.load(0, [1, 2, 3])
+        memory.write_word(0, 5)  # overwrite, not new
+        assert memory.footprint_words() == 3
+
+
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=255).map(lambda n: n * 4),
+            st.integers(min_value=0, max_value=WORD_MASK),
+        ),
+        max_size=50,
+    )
+)
+def test_property_last_write_wins(writes):
+    memory = MainMemory()
+    expected = {}
+    for addr, value in writes:
+        memory.write_word(addr, value)
+        expected[addr] = value
+    for addr, value in expected.items():
+        assert memory.read_word(addr) == value

@@ -1,0 +1,74 @@
+"""Unit tests for clock domains."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import Clock, mhz_to_period_ns
+
+
+class TestMhzConversion:
+    def test_100mhz_is_10ns(self):
+        assert mhz_to_period_ns(100) == 10
+
+    def test_50mhz_is_20ns(self):
+        assert mhz_to_period_ns(50) == 20
+
+    def test_1000mhz_is_1ns(self):
+        assert mhz_to_period_ns(1000) == 1
+
+    def test_non_integral_period_rejected(self):
+        with pytest.raises(ConfigError):
+            mhz_to_period_ns(33.0)  # 30.30.. ns
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ConfigError):
+            mhz_to_period_ns(0)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ConfigError):
+            mhz_to_period_ns(-5)
+
+
+class TestClock:
+    def test_cycles_scale_by_period(self):
+        clk = Clock(20)
+        assert clk.cycles(13) == 260
+
+    def test_zero_cycles_is_zero(self):
+        assert Clock(10).cycles(0) == 0
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ConfigError):
+            Clock(10).cycles(-1)
+
+    def test_from_mhz(self):
+        clk = Clock.from_mhz(100)
+        assert clk.period == 10
+        assert clk.freq_mhz == pytest.approx(100.0)
+
+    def test_to_cycles(self):
+        assert Clock(20).to_cycles(50) == pytest.approx(2.5)
+
+    def test_next_edge_on_edge_is_zero(self):
+        assert Clock(20).next_edge(40) == 0
+
+    def test_next_edge_mid_period(self):
+        assert Clock(20).next_edge(45) == 15
+
+    def test_next_edge_with_phase(self):
+        clk = Clock(20, phase=5)
+        assert clk.next_edge(5) == 0
+        assert clk.next_edge(6) == 19
+
+    def test_edge_then_cycles(self):
+        clk = Clock(20)
+        # from t=45: 15 to the edge, then 2 cycles
+        assert clk.edge_then_cycles(45, 2) == 55
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ConfigError):
+            Clock(0)
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(ConfigError):
+            Clock(10, phase=10)

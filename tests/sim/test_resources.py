@@ -1,0 +1,92 @@
+"""Unit tests for the FIFO mutex."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Mutex, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_uncontended_acquire_is_immediate(sim):
+    mutex = Mutex(sim)
+    log = []
+
+    def proc():
+        yield mutex.acquire()
+        log.append(sim.now)
+        mutex.release()
+
+    sim.process(proc())
+    sim.run()
+    assert log == [0]
+    assert not mutex.locked
+
+
+def test_fifo_ordering(sim):
+    mutex = Mutex(sim)
+    order = []
+
+    def worker(tag, hold):
+        yield mutex.acquire()
+        order.append(tag)
+        yield sim.timeout(hold)
+        mutex.release()
+
+    for tag in ("a", "b", "c"):
+        sim.process(worker(tag, 10))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_contention_counted(sim):
+    mutex = Mutex(sim)
+
+    def worker():
+        yield mutex.acquire()
+        yield sim.timeout(5)
+        mutex.release()
+
+    sim.process(worker())
+    sim.process(worker())
+    sim.run()
+    assert mutex.acquisitions == 2
+    assert mutex.contentions == 1
+
+
+def test_release_unheld_raises(sim):
+    mutex = Mutex(sim)
+    with pytest.raises(SimulationError):
+        mutex.release()
+
+
+def test_waiting_count(sim):
+    mutex = Mutex(sim)
+    mutex.acquire()
+    mutex.acquire()
+    mutex.acquire()
+    assert mutex.locked
+    assert mutex.waiting == 2
+
+
+def test_handoff_keeps_lock_held(sim):
+    mutex = Mutex(sim)
+    state = []
+
+    def first():
+        yield mutex.acquire()
+        yield sim.timeout(5)
+        mutex.release()
+        state.append(mutex.locked)  # handed to second, still locked
+
+    def second():
+        yield mutex.acquire()
+        mutex.release()
+
+    sim.process(first())
+    sim.process(second())
+    sim.run()
+    assert state == [True]

@@ -1,0 +1,100 @@
+"""Unit tests for tracing and stats."""
+
+from repro.sim import NullTracer, Stats, TraceRecord, Tracer
+
+
+class TestTracer:
+    def test_records_enabled_channel(self):
+        tracer = Tracer(channels=("bus",))
+        tracer.emit(10, "bus", "m0", "grant", addr=0x100)
+        assert len(tracer.records) == 1
+        assert tracer.records[0].kind == "grant"
+
+    def test_skips_disabled_channel(self):
+        tracer = Tracer(channels=("bus",))
+        tracer.emit(10, "cache", "m0", "fill")
+        assert tracer.records == []
+
+    def test_none_channels_records_everything(self):
+        tracer = Tracer()
+        tracer.emit(1, "a", "s", "k")
+        tracer.emit(2, "b", "s", "k")
+        assert len(tracer.records) == 2
+
+    def test_enable_adds_channel(self):
+        tracer = Tracer(channels=())
+        tracer.enable("irq")
+        tracer.emit(1, "irq", "s", "k")
+        assert len(tracer.records) == 1
+
+    def test_listener_sees_disabled_channels(self):
+        tracer = Tracer(channels=())
+        seen = []
+        tracer.add_listener(seen.append)
+        tracer.emit(5, "mem", "c0", "load", addr=4, value=9)
+        assert tracer.records == []
+        assert len(seen) == 1
+        assert seen[0].fields["value"] == 9
+
+    def test_capacity_bounds_storage(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.emit(i, "x", "s", "k")
+        assert len(tracer.records) == 3
+        assert tracer.records[0].time == 7
+
+    def test_find_filters(self):
+        tracer = Tracer()
+        tracer.emit(1, "bus", "a", "grant")
+        tracer.emit(2, "bus", "a", "complete")
+        tracer.emit(3, "irq", "b", "grant")
+        assert len(tracer.find(channel="bus")) == 2
+        assert len(tracer.find(kind="grant")) == 2
+        assert len(tracer.find(channel="bus", kind="grant")) == 1
+
+    def test_format_is_one_line_per_record(self):
+        tracer = Tracer()
+        tracer.emit(1, "bus", "a", "grant", addr=0x2000_0000)
+        tracer.emit(2, "bus", "a", "done")
+        text = tracer.format()
+        assert len(text.splitlines()) == 2
+        assert "0x20000000" in text
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        tracer.emit(1, "bus", "a", "grant")
+        assert tracer.records == []
+
+    def test_null_tracer_still_feeds_listeners(self):
+        tracer = NullTracer()
+        seen = []
+        tracer.add_listener(seen.append)
+        tracer.emit(1, "bus", "a", "grant")
+        assert len(seen) == 1
+
+
+class TestStats:
+    def test_bump_and_get(self):
+        stats = Stats()
+        stats.bump("x")
+        stats.bump("x", 4)
+        assert stats.get("x") == 5
+
+    def test_missing_key_is_zero(self):
+        assert Stats().get("nope") == 0
+
+    def test_as_dict_snapshot(self):
+        stats = Stats()
+        stats.bump("a", 2)
+        snapshot = stats.as_dict()
+        stats.bump("a")
+        assert snapshot == {"a": 2}
+
+    def test_merge(self):
+        a, b = Stats(), Stats()
+        a.bump("k", 1)
+        b.bump("k", 2)
+        b.bump("other", 3)
+        a.merge(b)
+        assert a.get("k") == 3
+        assert a.get("other") == 3

@@ -1,0 +1,140 @@
+"""Mutual-exclusion tests for every lock implementation.
+
+Two tasks each increment a shared counter ``n`` times inside the lock.
+The counter lives in *cacheable* shared memory on a platform WITHOUT
+hardware coherence, and each task flushes the counter line before
+releasing — so any mutual-exclusion failure (overlapping critical
+sections) loses increments and the final count comes up short.
+"""
+
+import pytest
+
+from repro.core import LOCK_BASE, LOCKREG_BASE, SHARED_BASE, Platform, PlatformConfig
+from repro.cpu import Assembler, preset_generic
+from repro.sync import BakeryLock, HwLock, SwapLock, TurnLock
+
+COUNTER = SHARED_BASE
+INCREMENTS = 12
+
+
+def make_platform(lock_register=False):
+    cores = (
+        preset_generic("p0", "MEI", freq_mhz=100),
+        preset_generic("p1", "MEI", freq_mhz=50),
+    )
+    # No hardware coherence: only the lock discipline protects the data.
+    return Platform(
+        PlatformConfig(
+            cores=cores, hardware_coherence=False, lock_register=lock_register
+        )
+    )
+
+
+def counting_task(lock, task_id, increments=INCREMENTS):
+    asm = Assembler(name=f"task{task_id}")
+    asm.li(1, increments)
+    asm.label("loop")
+    lock.emit_acquire(asm, task_id)
+    asm.li(2, COUNTER)
+    asm.ld(3, 2)
+    asm.addi(3, 3, 1)
+    asm.st(3, 2)
+    asm.dcbf(2)  # push the counter to memory before releasing
+    asm.sync()
+    lock.emit_release(asm, task_id)
+    asm.subi(1, 1, 1)
+    asm.bne(1, 0, "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+def run_counting(lock_factory, lock_register=False):
+    platform = make_platform(lock_register=lock_register)
+    lock0 = lock_factory()
+    lock1 = lock_factory()
+    platform.load_programs(
+        {
+            "p0": counting_task(lock0, 0),
+            "p1": counting_task(lock1, 1),
+        }
+    )
+    platform.run()
+    return platform
+
+
+class TestMutualExclusion:
+    def test_swap_lock(self):
+        platform = run_counting(lambda: SwapLock(LOCK_BASE))
+        assert platform.memory.peek(COUNTER) == 2 * INCREMENTS
+
+    def test_turn_lock(self):
+        platform = run_counting(lambda: TurnLock(LOCK_BASE))
+        assert platform.memory.peek(COUNTER) == 2 * INCREMENTS
+
+    def test_bakery_lock(self):
+        platform = run_counting(lambda: BakeryLock(LOCK_BASE))
+        assert platform.memory.peek(COUNTER) == 2 * INCREMENTS
+
+    def test_hw_lock(self):
+        platform = run_counting(
+            lambda: HwLock(LOCKREG_BASE), lock_register=True
+        )
+        assert platform.memory.peek(COUNTER) == 2 * INCREMENTS
+        assert platform.lock_register.acquisitions == 2 * INCREMENTS
+        assert platform.lock_register.releases == 2 * INCREMENTS
+        assert not platform.lock_register.is_held()
+
+
+class TestTurnLockSemantics:
+    def test_strict_alternation(self):
+        """Each increment leaves a parity trace proving alternation."""
+        platform = make_platform()
+        lock0, lock1 = TurnLock(LOCK_BASE), TurnLock(LOCK_BASE)
+        trace = SHARED_BASE + 0x1000
+
+        def task(lock, task_id):
+            asm = Assembler()
+            asm.li(1, 6)
+            asm.label("loop")
+            lock.emit_acquire(asm, task_id)
+            # append my id to the trace: trace[idx++] = id
+            asm.li(2, trace)
+            asm.ld(3, 2)                 # r3 = index
+            asm.li(4, trace + 4)
+            asm.shl(5, 3, 2)
+            asm.add(4, 4, 5)
+            asm.li(5, task_id + 1)
+            asm.st(5, 4)
+            asm.dcbf(4)
+            asm.addi(3, 3, 1)
+            asm.st(3, 2)
+            asm.dcbf(2)
+            asm.sync()
+            lock.emit_release(asm, task_id)
+            asm.subi(1, 1, 1)
+            asm.bne(1, 0, "loop")
+            asm.halt()
+            return asm.assemble()
+
+        platform.load_programs({"p0": task(lock0, 0), "p1": task(lock1, 1)})
+        platform.run()
+        ids = [platform.memory.peek(trace + 4 + 4 * i) for i in range(12)]
+        assert ids == [1, 2] * 6  # perfect alternation
+
+    def test_bcs_style_single_user_would_spin(self):
+        # Documented hazard: a TurnLock is only correct under rotation.
+        from repro.errors import ConfigError
+        from repro.workloads import MicrobenchSpec
+
+        with pytest.raises(ConfigError):
+            MicrobenchSpec("bcs", "proposed", lock="turn")
+
+
+class TestLockTraffic:
+    def test_swap_lock_uses_atomic_swaps(self):
+        platform = run_counting(lambda: SwapLock(LOCK_BASE))
+        assert platform.stats.get("bus.op.swap") >= 2 * INCREMENTS
+
+    def test_bakery_uses_no_atomics(self):
+        platform = run_counting(lambda: BakeryLock(LOCK_BASE))
+        assert platform.stats.get("bus.op.swap") == 0

@@ -1,0 +1,107 @@
+"""Tests for the software coherence drain/invalidate emitters."""
+
+import pytest
+
+from repro.core import SHARED_BASE, Platform, PlatformConfig
+from repro.cpu import Assembler, preset_generic
+from repro.errors import ConfigError
+from repro.sync import (
+    drain_instruction_count,
+    emit_drain_block,
+    emit_invalidate_block,
+)
+
+
+def run_on_platform(asm):
+    platform = Platform(
+        PlatformConfig(
+            cores=(preset_generic("p0", "MEI"),), hardware_coherence=False
+        )
+    )
+    platform.load_programs({"p0": asm.assemble()})
+    platform.run()
+    return platform
+
+
+def dirty_block(asm, base, n_lines, line_bytes=32):
+    asm.li(1, base)
+    asm.li(2, n_lines)
+    asm.label("_dirty")
+    asm.li(3, 0xAB)
+    asm.st(3, 1)
+    asm.addi(1, 1, line_bytes)
+    asm.subi(2, 2, 1)
+    asm.bne(2, 0, "_dirty")
+
+
+class TestDrainBlock:
+    def test_drain_pushes_all_lines_to_memory(self):
+        asm = Assembler()
+        dirty_block(asm, SHARED_BASE, 4)
+        emit_drain_block(asm, SHARED_BASE, 4)
+        asm.halt()
+        platform = run_on_platform(asm)
+        for i in range(4):
+            assert platform.memory.peek(SHARED_BASE + 32 * i) == 0xAB
+        assert platform.controller("p0").array.occupancy() == 0
+
+    def test_drain_invalidates_lines(self):
+        asm = Assembler()
+        dirty_block(asm, SHARED_BASE, 2)
+        emit_drain_block(asm, SHARED_BASE, 2)
+        asm.halt()
+        platform = run_on_platform(asm)
+        from repro.cache import State
+
+        assert platform.controller("p0").line_state(SHARED_BASE) is State.INVALID
+
+    def test_writeback_count_matches_lines(self):
+        asm = Assembler()
+        dirty_block(asm, SHARED_BASE, 3)
+        emit_drain_block(asm, SHARED_BASE, 3)
+        asm.halt()
+        platform = run_on_platform(asm)
+        assert platform.stats.get("p0.writebacks") == 3
+
+    def test_single_trailing_sync_mode(self):
+        asm = Assembler()
+        dirty_block(asm, SHARED_BASE, 2)
+        emit_drain_block(asm, SHARED_BASE, 2, sync_each=False)
+        asm.halt()
+        run_on_platform(asm)  # just runs to completion
+
+    def test_zero_lines_rejected(self):
+        with pytest.raises(ConfigError):
+            emit_drain_block(Assembler(), SHARED_BASE, 0)
+
+
+class TestInvalidateBlock:
+    def test_invalidate_discards_without_writeback(self):
+        asm = Assembler()
+        dirty_block(asm, SHARED_BASE, 2)
+        emit_invalidate_block(asm, SHARED_BASE, 2)
+        asm.halt()
+        platform = run_on_platform(asm)
+        assert platform.memory.peek(SHARED_BASE) == 0  # data dropped
+        assert platform.stats.get("p0.writebacks") == 0
+        assert platform.controller("p0").array.occupancy() == 0
+
+    def test_zero_lines_rejected(self):
+        with pytest.raises(ConfigError):
+            emit_invalidate_block(Assembler(), SHARED_BASE, 0)
+
+
+class TestCostModel:
+    def test_instruction_count_matches_emission(self):
+        for n_lines in (1, 4, 16):
+            for sync_each in (True, False):
+                asm = Assembler()
+                before = len(asm._instrs)
+                emit_drain_block(asm, SHARED_BASE, n_lines, sync_each=sync_each)
+                emitted = len(asm._instrs) - before
+                # Static instruction count vs the documented cost model:
+                # the loop body re-executes, so compare the dynamic count.
+                per_line = 4 + (1 if sync_each else 0)
+                dynamic = 2 + per_line * n_lines + (0 if sync_each else 1)
+                assert drain_instruction_count(n_lines, sync_each) == dynamic
+                assert emitted == 2 + per_line + (0 if sync_each else 1)

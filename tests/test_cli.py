@@ -1,0 +1,92 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestReduce:
+    def test_pair(self, capsys):
+        assert main(["reduce", "MEI", "MESI"]) == 0
+        out = capsys.readouterr().out
+        assert "system protocol: MEI" in out
+
+    def test_none_keyword(self, capsys):
+        assert main(["reduce", "none", "MOESI"]) == 0
+        assert "MEI" in capsys.readouterr().out
+
+    def test_unknown_protocol_raises(self):
+        from repro.errors import IntegrationError
+
+        with pytest.raises(IntegrationError):
+            main(["reduce", "XYZ", "MESI"])
+
+
+class TestTables:
+    def test_both_tables_printed(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("STALE") == 2
+        assert "system protocol MEI" in out
+        assert "system protocol MSI" in out
+
+
+class TestDeadlock:
+    def test_exactly_one_wedge(self, capsys):
+        assert main(["deadlock"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("HARDWARE DEADLOCK") == 1
+        assert out.count("completed") == 3
+
+
+class TestBench:
+    def test_runs_and_prints_stats(self, capsys):
+        code = main(
+            ["bench", "bcs", "proposed", "--lines", "2", "--iterations", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bcs/proposed:" in out
+        assert "bus.txns" in out
+
+    def test_check_flag(self, capsys):
+        code = main(
+            ["bench", "wcs", "software", "--lines", "2", "--iterations", "2",
+             "--check"]
+        )
+        assert code == 0
+
+
+class TestFigure:
+    def test_small_figure(self, capsys):
+        assert main(["figure", "6", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "proposed et=1" in out
+
+    def test_invalid_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "9"])
+
+
+class TestHeadlines:
+    def test_prints_five_rows(self, capsys):
+        assert main(["headlines", "--iterations", "2", "--lines", "4"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 5
+        assert "paper=" in out
+
+
+class TestVerify:
+    def test_matrix_printed_and_safe(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        wrapped_section = out.split("-- unwrapped")[0]
+        assert "UNSAFE" not in wrapped_section
+        assert "UNSAFE" in out  # the unwrapped section shows failures
+        assert out.count("SAFE") >= 16
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

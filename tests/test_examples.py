@@ -1,0 +1,50 @@
+"""Every example script must run to completion (regression smoke tests).
+
+Examples are executed in-process via runpy so their asserts fire here;
+the slow full-sweep script (`regenerate_results.py`) runs in --quick
+mode into a temp directory.
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, argv=()):
+    path = os.path.abspath(os.path.join(EXAMPLES, name))
+    old_argv = sys.argv
+    sys.argv = [path, *argv]
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "deadlock_demo.py",
+        "custom_platform.py",
+        "parallel_kernels.py",
+        "media_pipeline.py",
+        "network_rx.py",
+        "protocol_reduction.py",
+    ],
+)
+def test_example_runs(script, capsys):
+    run_example(script)
+    out = capsys.readouterr().out
+    assert out.strip()  # every example narrates its result
+
+
+def test_regenerate_results_quick(tmp_path, capsys):
+    run_example("regenerate_results.py", argv=[str(tmp_path), "--quick"])
+    produced = {p.name for p in tmp_path.iterdir()}
+    assert "figure6_bcs.csv" in produced
+    assert "headlines.md" in produced
+    assert "report.md" in produced

@@ -1,0 +1,84 @@
+"""Tests for the application kernels."""
+
+import pytest
+
+from repro.cpu import preset_arm920t, preset_generic, preset_powerpc755
+from repro.errors import ConfigError
+from repro.workloads.kernels import run_jacobi, run_reduction, run_token_ring
+
+SOLUTIONS = ("disabled", "software", "proposed")
+
+
+class TestReduction:
+    @pytest.mark.parametrize("solution", SOLUTIONS)
+    def test_correct_under_every_solution(self, solution):
+        result = run_reduction(2, 64, solution)
+        assert result.correct, (result.value, result.expected)
+
+    @pytest.mark.parametrize("n_cores", [2, 3, 4])
+    def test_scales_with_cores(self, n_cores):
+        result = run_reduction(n_cores, 60 if n_cores == 3 else 64, "proposed")
+        assert result.correct
+
+    def test_heterogeneous_platform(self):
+        cores = (preset_powerpc755(), preset_arm920t())
+        result = run_reduction(2, 64, "proposed", cores=cores)
+        assert result.correct
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ConfigError):
+            run_reduction(3, 64)
+
+    def test_proposed_fastest(self):
+        times = {s: run_reduction(2, 64, s).elapsed_ns for s in SOLUTIONS}
+        assert times["proposed"] < times["software"] < times["disabled"]
+
+    def test_unknown_solution_rejected(self):
+        with pytest.raises(ConfigError):
+            run_reduction(2, 64, "wishful")
+
+
+class TestJacobi:
+    @pytest.mark.parametrize("solution", SOLUTIONS)
+    def test_matches_python_reference(self, solution):
+        result = run_jacobi(2, 32, sweeps=4, solution=solution)
+        assert result.correct, (result.value, result.expected)
+
+    def test_more_sweeps_still_correct(self):
+        result = run_jacobi(2, 16, sweeps=7, solution="proposed")
+        assert result.correct
+
+    def test_four_cores(self):
+        result = run_jacobi(4, 32, sweeps=3, solution="proposed")
+        assert result.correct
+
+    def test_software_requires_aligned_partitions(self):
+        # chunk of 4 cells = 16 bytes: false-shares 32-byte lines.
+        with pytest.raises(ConfigError):
+            run_jacobi(4, 16, sweeps=2, solution="software")
+
+    def test_proposed_tolerates_unaligned_partitions(self):
+        # Hardware coherence handles false sharing correctly (slowly).
+        result = run_jacobi(4, 16, sweeps=2, solution="proposed")
+        assert result.correct
+
+
+class TestTokenRing:
+    @pytest.mark.parametrize("n_cores", [2, 3, 4])
+    def test_token_counts_hops(self, n_cores):
+        result = run_token_ring(n_cores, laps=3)
+        assert result.correct
+        assert result.value == n_cores * 3 + 1
+
+    def test_latency_scales_with_laps(self):
+        short = run_token_ring(2, laps=2).elapsed_ns
+        long = run_token_ring(2, laps=6).elapsed_ns
+        assert long > short
+
+    def test_mixed_speed_ring(self):
+        cores = (
+            preset_generic("fast", "MESI", freq_mhz=100),
+            preset_generic("slow", "MESI", freq_mhz=50),
+        )
+        result = run_token_ring(2, laps=3, cores=cores)
+        assert result.correct

@@ -1,0 +1,106 @@
+"""Tables 2 and 3 as executable sequences."""
+
+import pytest
+
+from repro.workloads import run_sequence, table2_demo, table3_demo
+from repro.workloads.sequences import TABLE2_OPS
+
+
+class TestTable2:
+    """MESI (P1) + MEI (P2): the shared-state problem."""
+
+    def test_unwrapped_states_match_paper(self):
+        result = table2_demo(wrapped=False)
+        observed = [step.states for step in result.steps]
+        assert observed == [
+            ("E", "I"),   # a: P1 reads
+            ("S", "E"),   # b: P2 reads -> P1 downgrades, P2 fills E
+            ("S", "M"),   # c: P2 writes silently
+            ("S", "M"),   # d: P1 reads its stale S copy
+        ]
+
+    def test_unwrapped_reads_stale(self):
+        result = table2_demo(wrapped=False)
+        assert result.steps[3].stale
+        assert result.stale_reads == 1
+        assert result.violations  # checker agrees
+
+    def test_wrapped_removes_shared_state(self):
+        result = table2_demo(wrapped=True)
+        for step in result.steps:
+            assert "S" not in step.states  # MEI system: S never appears
+
+    def test_wrapped_reads_fresh(self):
+        result = table2_demo(wrapped=True)
+        assert result.stale_reads == 0
+        assert result.violations == []
+        assert result.steps[3].value_read == 101
+
+    def test_wrapped_system_protocol(self):
+        assert table2_demo(wrapped=True).system_protocol == "MEI"
+
+
+class TestTable3:
+    """MSI (P1) + MESI (P2): the exclusive-state problem."""
+
+    def test_unwrapped_states_match_paper(self):
+        result = table3_demo(wrapped=False)
+        observed = [step.states for step in result.steps]
+        assert observed == [
+            ("S", "I"),   # a: P1 reads (MSI fills S)
+            ("S", "E"),   # b: P2 fills E (P1 cannot assert shared)
+            ("S", "M"),   # c: silent E -> M
+            ("S", "M"),   # d: stale read
+        ]
+
+    def test_unwrapped_reads_stale(self):
+        result = table3_demo(wrapped=False)
+        assert result.stale_reads == 1
+
+    def test_wrapped_removes_exclusive_state(self):
+        result = table3_demo(wrapped=True)
+        for step in result.steps:
+            assert "E" not in step.states  # MSI system: E never appears
+
+    def test_wrapped_reads_fresh(self):
+        result = table3_demo(wrapped=True)
+        assert result.stale_reads == 0
+        assert result.violations == []
+
+    def test_wrapped_system_protocol(self):
+        assert table3_demo(wrapped=True).system_protocol == "MSI"
+
+
+class TestRunSequence:
+    def test_render_contains_rows(self):
+        text = table2_demo(wrapped=False).render()
+        assert "STALE" in text
+        assert text.count("\n") >= 5
+
+    def test_custom_ops(self):
+        result = run_sequence(
+            ("MESI", "MESI"), [(0, "read"), (1, "read")], wrapped=True
+        )
+        assert result.steps[-1].states == ("S", "S")
+        assert result.stale_reads == 0
+
+    def test_wrong_arity_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            run_sequence(("MESI",), TABLE2_OPS)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(Exception):
+            run_sequence(("MESI", "MEI"), [(0, "frobnicate")])
+
+    def test_moesi_homogeneous_supplies_cache_to_cache(self):
+        result = run_sequence(
+            ("MOESI", "MOESI"),
+            [(0, "read"), (0, "write"), (1, "read"), (1, "read")],
+            wrapped=True,
+        )
+        # After P1's read of P0's dirty line: P0 owns, P1 shares.
+        assert result.steps[2].states == ("O", "S")
+        assert result.stale_reads == 0
+        assert result.violations == []

@@ -1,0 +1,135 @@
+"""Tests for the synthetic trace workloads."""
+
+import pytest
+
+from repro.core import SHARED_BASE, Platform, PlatformConfig
+from repro.cpu import preset_generic
+from repro.errors import ConfigError
+from repro.verify import CoherenceChecker
+from repro.workloads.tracegen import (
+    TraceAccess,
+    hotspot_trace,
+    producer_consumer_trace,
+    random_trace,
+    replay_parallel,
+    replay_trace,
+    sequential_trace,
+    strided_trace,
+)
+
+
+def make_platform(cache_size=1024, n_cores=2):
+    cores = tuple(
+        preset_generic(f"p{i}", "MESI", cache_size=cache_size)
+        for i in range(n_cores)
+    )
+    return Platform(PlatformConfig(cores=cores))
+
+
+class TestGenerators:
+    def test_sequential_touches_consecutive_words(self):
+        trace = sequential_trace(8, write_every=4)
+        assert [t.addr for t in trace] == [SHARED_BASE + 4 * i for i in range(8)]
+        assert sum(1 for t in trace if t.op == "write") == 2
+
+    def test_strided_spacing(self):
+        trace = strided_trace(4, stride_bytes=64)
+        assert trace[1].addr - trace[0].addr == 64
+
+    def test_strided_rejects_unaligned(self):
+        with pytest.raises(ConfigError):
+            strided_trace(4, stride_bytes=6)
+
+    def test_random_trace_seeded(self):
+        assert random_trace(20, 64, seed=3) == random_trace(20, 64, seed=3)
+        assert random_trace(20, 64, seed=3) != random_trace(20, 64, seed=4)
+
+    def test_random_trace_stays_in_footprint(self):
+        trace = random_trace(100, footprint_words=16)
+        for access in trace:
+            assert SHARED_BASE <= access.addr < SHARED_BASE + 64
+
+    def test_hotspot_concentrates_accesses(self):
+        trace = hotspot_trace(500, footprint_words=100, hot_fraction=0.1)
+        hot_limit = SHARED_BASE + 4 * 10
+        hot = sum(1 for t in trace if t.addr < hot_limit)
+        assert hot > 350  # ~90% expected
+
+    def test_hotspot_bad_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            hotspot_trace(10, 100, hot_fraction=1.5)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceAccess(0, "modify", 0x100)
+
+
+class TestReplay:
+    def test_sequential_hits_within_lines(self):
+        platform = make_platform()
+        result = replay_trace(platform, sequential_trace(32, write_every=0))
+        # 32 word reads over 4 lines: 4 misses, 28 hits.
+        assert result.read_misses == 4
+        assert result.hits == 28
+        assert result.hit_rate == pytest.approx(28 / 32)
+
+    def test_line_strided_trace_always_misses(self):
+        platform = make_platform(cache_size=256)  # 8 lines
+        result = replay_trace(platform, strided_trace(32, stride_bytes=32))
+        assert result.hits == 0
+        assert result.read_misses == 32
+
+    def test_capacity_evictions_produce_writebacks(self):
+        platform = make_platform(cache_size=256)  # 8 lines
+        trace = []
+        for i in range(16):  # dirty 16 distinct lines
+            trace.append(TraceAccess(0, "write", SHARED_BASE + 32 * i, value=i))
+        result = replay_trace(platform, trace)
+        assert result.writebacks >= 8
+
+    def test_values_returned_in_order(self):
+        platform = make_platform()
+        trace = [
+            TraceAccess(0, "write", SHARED_BASE, value=5),
+            TraceAccess(1, "read", SHARED_BASE),
+        ]
+        result = replay_trace(platform, trace)
+        assert result.values == [None, 5]
+
+    def test_producer_consumer_stays_coherent(self):
+        platform = make_platform()
+        checker = CoherenceChecker(platform)
+        result = replay_trace(platform, producer_consumer_trace(24))
+        assert result.values[1::2] == list(range(1, 25))
+        checker.check_all_lines()
+        assert checker.clean
+
+    def test_replay_parallel_contention(self):
+        platform = make_platform()
+        checker = CoherenceChecker(platform)
+        traces = {
+            0: random_trace(30, 32, proc=0, seed=1),
+            1: random_trace(30, 32, proc=1, seed=2),
+        }
+        result = replay_parallel(platform, traces)
+        assert result.accesses == 60
+        assert result.bus_txns > 0
+        checker.check_all_lines()
+        assert checker.clean
+
+    def test_replay_parallel_rejects_mismatched_proc(self):
+        platform = make_platform()
+        with pytest.raises(ConfigError):
+            replay_parallel(platform, {0: [TraceAccess(1, "read", SHARED_BASE)]})
+
+    def test_hotspot_beats_uniform_hit_rate(self):
+        uniform_platform = make_platform(cache_size=512)
+        skewed_platform = make_platform(cache_size=512)
+        footprint = 512  # words: 4x the 16-line cache
+        uniform = replay_trace(
+            uniform_platform, random_trace(400, footprint, seed=5)
+        )
+        skewed = replay_trace(
+            skewed_platform, hotspot_trace(400, footprint, seed=5)
+        )
+        assert skewed.hit_rate > uniform.hit_rate
