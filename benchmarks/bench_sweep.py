@@ -1,0 +1,42 @@
+"""The sweep runner itself: cold vs warm regeneration of Figure 5.
+
+Regenerates a reduced Figure 5 sweep through the :mod:`repro.exp`
+runner twice against one cache directory.  The cold pass executes every
+simulation; the warm pass must execute none and answer everything from
+the content-addressed cache — the speedup between the two passes is the
+cache's whole value proposition.
+"""
+
+import shutil
+import tempfile
+
+from conftest import report, run_once
+
+from repro.analysis import figure5_wcs, figure_to_csv
+from repro.exp import SweepRunner
+
+SWEEP = dict(line_counts=(1, 2, 4, 8), exec_times=(1, 2), iterations=4)
+
+
+def test_sweep_cold_then_warm(benchmark):
+    cache_dir = tempfile.mkdtemp(prefix="sweep-cache-")
+    try:
+        cold_runner = SweepRunner(cache_dir=cache_dir)
+        cold = figure5_wcs(runner=cold_runner, **SWEEP)
+        assert cold_runner.executed == cold_runner.manifest()["n_jobs"]
+
+        warm_runner = SweepRunner(cache_dir=cache_dir)
+        warm = run_once(benchmark, figure5_wcs, runner=warm_runner, **SWEEP)
+
+        assert warm_runner.executed == 0
+        assert warm_runner.cache_hits == cold_runner.manifest()["n_jobs"]
+        assert figure_to_csv(warm) == figure_to_csv(cold)
+        report(
+            benchmark,
+            "Sweep runner - warm cache regeneration",
+            cold_runner.summary() + "\n" + warm_runner.summary(),
+        )
+        benchmark.extra_info["cold_wall_s"] = cold_runner.manifest()["wall_s"]
+        benchmark.extra_info["warm_wall_s"] = warm_runner.manifest()["wall_s"]
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)

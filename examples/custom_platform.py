@@ -82,7 +82,7 @@ def main():
     assert value == 3 * rounds
 
     print(f"\ninterrupt timeline ({len(platform.tracer.records)} events):")
-    for record in platform.tracer.records[:12]:
+    for record in list(platform.tracer.records)[:12]:
         print("  " + record.format())
 
     print("\nselected statistics:")

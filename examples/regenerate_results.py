@@ -7,14 +7,22 @@ Produces, under ``results/`` (or the directory given as argv[1]):
 * ``headlines.md`` — the paper-vs-measured table
 * ``report.md`` — all figures as Markdown tables
 
+All simulations run through the :mod:`repro.exp` sweep runner:
+``--jobs N`` fans them out over N worker processes, and results are
+cached on disk (``--cache-dir``, default ``<outdir>/.sweep-cache``) so
+a rerun with unchanged parameters executes zero simulations.  Parallel
+and serial runs produce byte-identical artefacts.  The run manifest
+(per-job wall time, cache hits, worker utilisation) is written next to
+the cache.
+
 Pass ``--quick`` for a reduced sweep (seconds instead of minutes).
 
 Run:  python examples/regenerate_results.py [outdir] [--quick]
+          [--jobs N] [--cache-dir DIR] [--no-cache]
 """
 
-import json
+import argparse
 import os
-import sys
 
 from repro.analysis import (
     compute_headlines,
@@ -27,16 +35,34 @@ from repro.analysis import (
     figure_to_markdown,
     headlines_to_markdown,
 )
+from repro.exp import SweepRunner
+
+
+def parse_args():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("outdir", nargs="?", default="results")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweep (seconds instead of minutes)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="simulation worker processes (default: 1)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache directory "
+                             "(default: <outdir>/.sweep-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    return parser.parse_args()
 
 
 def main():
-    args = [a for a in sys.argv[1:]]
-    quick = "--quick" in args
-    args = [a for a in args if a != "--quick"]
-    outdir = args[0] if args else "results"
+    args = parse_args()
+    outdir = args.outdir
     os.makedirs(outdir, exist_ok=True)
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.path.join(outdir, ".sweep-cache")
+    runner = SweepRunner(jobs=args.jobs, cache_dir=cache_dir)
 
-    if quick:
+    if args.quick:
         sweep = dict(line_counts=(2, 8), exec_times=(1,), iterations=3)
         fig8_kwargs = dict(penalties=(13, 96), line_counts=(8,), iterations=3)
         headline_kwargs = dict(iterations=3, lines=8)
@@ -46,10 +72,10 @@ def main():
         headline_kwargs = dict(iterations=8, lines=32)
 
     figures = {
-        "figure5_wcs": figure5_wcs(**sweep),
-        "figure6_bcs": figure6_bcs(**sweep),
-        "figure7_tcs": figure7_tcs(**sweep),
-        "figure8_miss_penalty": figure8_miss_penalty(**fig8_kwargs),
+        "figure5_wcs": figure5_wcs(runner=runner, **sweep),
+        "figure6_bcs": figure6_bcs(runner=runner, **sweep),
+        "figure7_tcs": figure7_tcs(runner=runner, **sweep),
+        "figure8_miss_penalty": figure8_miss_penalty(runner=runner, **fig8_kwargs),
     }
 
     report_sections = []
@@ -63,7 +89,7 @@ def main():
         report_sections.append(figure_to_markdown(figure))
         print(f"wrote {csv_path} and {json_path}")
 
-    headlines = compute_headlines(**headline_kwargs)
+    headlines = compute_headlines(runner=runner, **headline_kwargs)
     headline_md = headlines_to_markdown(headlines)
     with open(os.path.join(outdir, "headlines.md"), "w") as handle:
         handle.write("# Headline comparison\n\n" + headline_md + "\n")
@@ -76,6 +102,12 @@ def main():
             + "\n"
         )
     print(f"wrote {outdir}/headlines.md and {outdir}/report.md")
+
+    if cache_dir is not None:
+        manifest_path = os.path.join(cache_dir, "manifest.json")
+        runner.write_manifest(manifest_path)
+        print(f"wrote {manifest_path}")
+    print(runner.summary())
 
 
 if __name__ == "__main__":

@@ -60,6 +60,7 @@ from .errors import (
     IntegrationError,
     ReproError,
 )
+from .exp import MicrobenchJob, ResultCache, SequenceJob, SweepRunner
 from .mem import MainMemory, MemoryMap, MemoryTiming, Region
 from .sim import Clock, Simulator
 from .sync import BakeryLock, HwLock, SwapLock, TurnLock
@@ -129,6 +130,11 @@ __all__ = [
     "figure8_miss_penalty",
     "compute_headlines",
     "render_headlines",
+    # experiment orchestration
+    "SweepRunner",
+    "ResultCache",
+    "MicrobenchJob",
+    "SequenceJob",
     # errors
     "ReproError",
     "ConfigError",

@@ -18,6 +18,13 @@ Commands
 ``verify``
     Exhaustively model-check every protocol pair, wrapped and
     unwrapped, and print the verdict matrix.
+``sweep [figures|headlines|ablations|all]``
+    Regenerate evaluation sweeps through the parallel runner
+    (:mod:`repro.exp`): ``--jobs N`` fans simulations over N worker
+    processes, ``--cache-dir DIR`` answers repeats from the on-disk
+    result cache, ``--manifest PATH`` writes the run manifest JSON.
+    ``figure`` and ``headlines`` accept the same ``--jobs`` /
+    ``--cache-dir`` flags.
 
 Every command accepts ``--iterations N`` to trade accuracy for speed.
 """
@@ -28,15 +35,21 @@ import argparse
 import sys
 
 from .analysis import (
+    ablation_arbitration,
+    ablation_interrupt,
+    ablation_locks,
+    ablation_wrapper,
     compute_headlines,
     figure5_wcs,
     figure6_bcs,
     figure7_tcs,
     figure8_miss_penalty,
     render_headlines,
+    render_rows,
 )
 from .core.deadlock import SOLUTIONS, run_deadlock_demo
 from .core.reduction import reduce_protocols
+from .exp import SweepRunner
 from .verify.model_check import check_matrix
 from .workloads import MicrobenchSpec, run_microbench, table2_demo, table3_demo
 
@@ -55,13 +68,33 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_runner_flags(p):
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="simulation worker processes (default: 1, serial)")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="on-disk result cache directory (default: off)")
+
     p = sub.add_parser("headlines", help="paper-vs-measured headline numbers")
     p.add_argument("--iterations", type=int, default=8)
     p.add_argument("--lines", type=int, default=32)
+    add_runner_flags(p)
 
     p = sub.add_parser("figure", help="regenerate one evaluation figure")
     p.add_argument("number", choices=sorted(_FIGURES))
     p.add_argument("--iterations", type=int, default=8)
+    add_runner_flags(p)
+
+    p = sub.add_parser(
+        "sweep", help="regenerate evaluation sweeps via the parallel runner"
+    )
+    p.add_argument("target", nargs="?", default="all",
+                   choices=("figures", "headlines", "ablations", "all"))
+    p.add_argument("--iterations", type=int, default=8)
+    p.add_argument("--quick", action="store_true",
+                   help="reduced sweep parameters (seconds instead of minutes)")
+    p.add_argument("--manifest", default=None, metavar="PATH",
+                   help="write the run manifest JSON here")
+    add_runner_flags(p)
 
     sub.add_parser("tables", help="run the Table 2/3 sequences")
 
@@ -84,14 +117,57 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_runner(args) -> SweepRunner:
+    return SweepRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+
+
 def _cmd_headlines(args) -> int:
-    print(render_headlines(compute_headlines(args.iterations, args.lines)))
+    runner = _make_runner(args)
+    print(render_headlines(compute_headlines(args.iterations, args.lines, runner=runner)))
     return 0
 
 
 def _cmd_figure(args) -> int:
-    figure = _FIGURES[args.number](iterations=args.iterations)
+    figure = _FIGURES[args.number](iterations=args.iterations, runner=_make_runner(args))
     print(figure.render())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    runner = _make_runner(args)
+    if args.quick:
+        figure_kwargs = dict(line_counts=(2, 8), exec_times=(1,), iterations=3)
+        fig8_kwargs = dict(penalties=(13, 96), line_counts=(8,), iterations=3)
+        headline_kwargs = dict(iterations=3, lines=8)
+        ablation_kwargs = dict(iterations=3)
+    else:
+        figure_kwargs = dict(iterations=args.iterations)
+        fig8_kwargs = dict(iterations=args.iterations)
+        headline_kwargs = dict(iterations=args.iterations)
+        ablation_kwargs = dict(iterations=args.iterations)
+
+    if args.target in ("figures", "all"):
+        for make in (figure5_wcs, figure6_bcs, figure7_tcs):
+            print(make(runner=runner, **figure_kwargs).render())
+            print()
+        print(figure8_miss_penalty(runner=runner, **fig8_kwargs).render())
+        print()
+    if args.target in ("headlines", "all"):
+        print(render_headlines(compute_headlines(runner=runner, **headline_kwargs)))
+        print()
+    if args.target in ("ablations", "all"):
+        print(render_rows("Wrapper on/off (stale reads)", ablation_wrapper(runner=runner)))
+        print()
+        print(render_rows("Lock implementation (TCS)", ablation_locks(runner=runner, **ablation_kwargs)))
+        print()
+        print(render_rows("ARM interrupt entry cost (WCS)", ablation_interrupt(runner=runner, **ablation_kwargs)))
+        print()
+        print(render_rows("Bus arbitration (WCS)", ablation_arbitration(runner=runner, **ablation_kwargs)))
+        print()
+    if args.manifest:
+        runner.write_manifest(args.manifest)
+        print(f"manifest written to {args.manifest}")
+    print(runner.summary())
     return 0
 
 
@@ -154,6 +230,7 @@ def _cmd_verify(_args) -> int:
 _COMMANDS = {
     "headlines": _cmd_headlines,
     "figure": _cmd_figure,
+    "sweep": _cmd_sweep,
     "tables": _cmd_tables,
     "deadlock": _cmd_deadlock,
     "reduce": _cmd_reduce,

@@ -15,11 +15,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from ..cpu.presets import preset_arm920t, preset_powerpc755
-from ..workloads.microbench import MicrobenchSpec, run_microbench
-from ..workloads.sequences import run_sequence
+from ..exp import MicrobenchJob, SequenceJob, SweepRunner, run_jobs
+from ..workloads.microbench import MicrobenchSpec
 
 __all__ = [
     "AblationRow",
@@ -51,19 +50,23 @@ def render_rows(title: str, rows: Sequence[AblationRow]) -> str:
 
 def ablation_wrapper(
     pairs: Sequence[Tuple[str, str]] = (("MESI", "MEI"), ("MSI", "MESI"), ("MESI", "MOESI")),
+    runner: Optional[SweepRunner] = None,
 ) -> List[AblationRow]:
     """Stale reads with and without the wrapper, per protocol pair."""
+    jobs = [
+        SequenceJob(tuple(pair), wrapped=wrapped)
+        for pair in pairs
+        for wrapped in (False, True)
+    ]
     rows = []
-    for pair in pairs:
-        for wrapped in (False, True):
-            result = run_sequence(pair, wrapped=wrapped)
-            mode = "wrapped" if wrapped else "unwrapped"
-            rows.append(
-                AblationRow(
-                    f"{pair[0]}+{pair[1]} {mode}: stale reads",
-                    result.stale_reads, "reads",
-                )
+    for job, result in zip(jobs, run_jobs(jobs, runner)):
+        mode = "wrapped" if job.wrapped else "unwrapped"
+        rows.append(
+            AblationRow(
+                f"{job.protocols[0]}+{job.protocols[1]} {mode}: stale reads",
+                result["stale_reads"], "reads",
             )
+        )
     return rows
 
 
@@ -71,49 +74,52 @@ def ablation_locks(
     kinds: Sequence[str] = ("swap", "bakery", "hw"),
     lines: int = 8,
     iterations: int = 8,
+    runner: Optional[SweepRunner] = None,
 ) -> List[AblationRow]:
     """TCS execution time per lock implementation (proposed solution)."""
-    rows = []
-    for kind in kinds:
-        spec = MicrobenchSpec(
-            "tcs", "proposed", lines=lines, iterations=iterations, lock=kind
+    jobs = [
+        MicrobenchJob(
+            MicrobenchSpec("tcs", "proposed", lines=lines, iterations=iterations, lock=kind)
         )
-        result = run_microbench(spec)
-        rows.append(AblationRow(f"TCS proposed, {kind} lock", result.elapsed_ns, "ns"))
-    return rows
+        for kind in kinds
+    ]
+    return [
+        AblationRow(f"TCS proposed, {kind} lock", result["elapsed_ns"], "ns")
+        for kind, result in zip(kinds, run_jobs(jobs, runner))
+    ]
 
 
 def ablation_interrupt(
     entry_cycles: Sequence[int] = (1, 4, 8, 16),
     lines: int = 8,
     iterations: int = 8,
+    runner: Optional[SweepRunner] = None,
 ) -> List[AblationRow]:
     """WCS proposed execution time vs ARM interrupt entry cost."""
-    rows = []
-    for cycles in entry_cycles:
-        cores = (
-            preset_powerpc755(),
-            preset_arm920t().with_(interrupt_entry_cycles=cycles),
+    spec = MicrobenchSpec("wcs", "proposed", lines=lines, iterations=iterations)
+    jobs = [
+        MicrobenchJob(spec, arm_interrupt_entry_cycles=cycles)
+        for cycles in entry_cycles
+    ]
+    return [
+        AblationRow(
+            f"WCS proposed, interrupt entry = {cycles} cycles",
+            result["elapsed_ns"], "ns",
         )
-        spec = MicrobenchSpec("wcs", "proposed", lines=lines, iterations=iterations)
-        result = run_microbench(spec, cores=cores)
-        rows.append(
-            AblationRow(
-                f"WCS proposed, interrupt entry = {cycles} cycles",
-                result.elapsed_ns, "ns",
-            )
-        )
-    return rows
+        for cycles, result in zip(entry_cycles, run_jobs(jobs, runner))
+    ]
 
 
 def ablation_arbitration(
     lines: int = 8,
     iterations: int = 8,
+    runner: Optional[SweepRunner] = None,
 ) -> List[AblationRow]:
     """WCS execution time under both arbitration policies."""
-    rows = []
-    for policy in ("fixed", "round-robin"):
-        spec = MicrobenchSpec("wcs", "proposed", lines=lines, iterations=iterations)
-        result = run_microbench(spec, arbitration=policy)
-        rows.append(AblationRow(f"WCS proposed, {policy} arbitration", result.elapsed_ns, "ns"))
-    return rows
+    policies = ("fixed", "round-robin")
+    spec = MicrobenchSpec("wcs", "proposed", lines=lines, iterations=iterations)
+    jobs = [MicrobenchJob(spec, arbitration=policy) for policy in policies]
+    return [
+        AblationRow(f"WCS proposed, {policy} arbitration", result["elapsed_ns"], "ns")
+        for policy, result in zip(policies, run_jobs(jobs, runner))
+    ]

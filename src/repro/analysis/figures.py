@@ -9,6 +9,13 @@ prints the same rows/series as the figures, as text.
 These sweeps are complete simulations; the benchmark harness under
 ``benchmarks/`` calls them with the default (paper) parameters, tests
 use reduced ones.
+
+Every sweep goes through :mod:`repro.exp`: the figure functions build a
+flat list of :class:`~repro.exp.MicrobenchJob` objects and hand it to a
+:class:`~repro.exp.SweepRunner` (pass one via ``runner=`` to fan jobs
+out over a worker pool and/or cache results on disk; the default is a
+fresh serial, uncached runner).  Results come back in submission order,
+so parallel and serial runs produce byte-identical figures.
 """
 
 from __future__ import annotations
@@ -16,8 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..mem.controller import MemoryTiming
-from ..workloads.microbench import MicrobenchSpec, run_microbench
+from ..exp import MicrobenchJob, SweepRunner, run_jobs
+from ..workloads.microbench import MicrobenchSpec
 
 __all__ = [
     "Series",
@@ -93,6 +100,7 @@ def scenario_figure(
     exec_times: Sequence[int] = DEFAULT_EXEC_TIMES,
     iterations: int = 8,
     title: str = "",
+    runner: Optional[SweepRunner] = None,
     **spec_overrides,
 ) -> FigureData:
     """Figures 5-7 generic sweep: ratio of execution time vs disabled.
@@ -106,17 +114,31 @@ def scenario_figure(
         for solution in ("software", "proposed"):
             name = f"{solution} et={exec_time}"
             series[name] = Series(name)
+    jobs: List[MicrobenchJob] = []
+    slots: List[Tuple[int, int, str]] = []
     for exec_time in exec_times:
         for lines in line_counts:
             base_spec = MicrobenchSpec(
                 scenario=scenario, solution="disabled", lines=lines,
                 exec_time=exec_time, iterations=iterations, **spec_overrides,
             )
-            baseline = run_microbench(base_spec).elapsed_ns
+            for solution in ("disabled", "software", "proposed"):
+                spec = (
+                    base_spec if solution == "disabled"
+                    else base_spec.with_(solution=solution)
+                )
+                jobs.append(MicrobenchJob(spec))
+                slots.append((exec_time, lines, solution))
+    elapsed = {
+        slot: result["elapsed_ns"]
+        for slot, result in zip(slots, run_jobs(jobs, runner))
+    }
+    for exec_time in exec_times:
+        for lines in line_counts:
+            baseline = elapsed[(exec_time, lines, "disabled")]
             for solution in ("software", "proposed"):
-                result = run_microbench(base_spec.with_(solution=solution))
                 series[f"{solution} et={exec_time}"].points[lines] = (
-                    result.elapsed_ns / baseline
+                    elapsed[(exec_time, lines, solution)] / baseline
                 )
     return FigureData(
         title=title or f"{scenario.upper()}: execution-time ratio vs cache-disabled",
@@ -150,6 +172,7 @@ def figure8_miss_penalty(
     scenarios: Sequence[str] = ("wcs", "tcs", "bcs"),
     exec_time: int = 1,
     iterations: int = 8,
+    runner: Optional[SweepRunner] = None,
     **spec_overrides,
 ) -> FigureData:
     """Figure 8: proposed/software ratio as the miss penalty grows.
@@ -164,20 +187,34 @@ def figure8_miss_penalty(
         ylabel="execution-time ratio (1.0 = software solution)",
         series=[],
     )
+    jobs: List[MicrobenchJob] = []
+    slots: List[Tuple[str, int, int, str]] = []
     for scenario in scenarios:
         for lines in line_counts:
-            series = Series(f"{scenario} lines={lines}")
             for penalty in penalties:
-                timing = MemoryTiming.for_miss_penalty(penalty)
                 spec = MicrobenchSpec(
                     scenario=scenario, solution="software", lines=lines,
                     exec_time=exec_time, iterations=iterations,
                     **spec_overrides,
                 )
-                software = run_microbench(spec, memory_timing=timing).elapsed_ns
-                proposed = run_microbench(
-                    spec.with_(solution="proposed"), memory_timing=timing
-                ).elapsed_ns
-                series.points[penalty] = proposed / software
+                for solution in ("software", "proposed"):
+                    jobs.append(
+                        MicrobenchJob(
+                            spec.with_(solution=solution), miss_penalty=penalty
+                        )
+                    )
+                    slots.append((scenario, lines, penalty, solution))
+    elapsed = {
+        slot: result["elapsed_ns"]
+        for slot, result in zip(slots, run_jobs(jobs, runner))
+    }
+    for scenario in scenarios:
+        for lines in line_counts:
+            series = Series(f"{scenario} lines={lines}")
+            for penalty in penalties:
+                series.points[penalty] = (
+                    elapsed[(scenario, lines, penalty, "proposed")]
+                    / elapsed[(scenario, lines, penalty, "software")]
+                )
             data.series.append(series)
     return data

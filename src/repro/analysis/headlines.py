@@ -18,8 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..mem.controller import MemoryTiming
-from ..workloads.microbench import MicrobenchSpec, run_microbench
+from ..exp import MicrobenchJob, SweepRunner, run_jobs
+from ..workloads.microbench import MicrobenchSpec
 
 __all__ = ["Headline", "compute_headlines", "render_headlines"]
 
@@ -45,14 +45,49 @@ def _speedup(slow_ns: int, fast_ns: int) -> float:
     return 100.0 * (slow_ns - fast_ns) / slow_ns
 
 
-def compute_headlines(iterations: int = 8, lines: int = 32) -> List[Headline]:
-    """Re-measure each quoted result (smaller ``iterations`` for tests)."""
+def compute_headlines(
+    iterations: int = 8,
+    lines: int = 32,
+    runner: Optional[SweepRunner] = None,
+) -> List[Headline]:
+    """Re-measure each quoted result (smaller ``iterations`` for tests).
+
+    All measurements are submitted to the sweep runner as one job list
+    (a worker pool and result cache apply when ``runner`` carries them);
+    the runner's in-order results are then paired back into headline
+    comparisons.
+    """
+    wcs4 = MicrobenchSpec("wcs", "disabled", lines=lines, exec_time=4, iterations=iterations)
+    bcs = MicrobenchSpec("bcs", "software", lines=lines, exec_time=1, iterations=iterations)
+    tcs = MicrobenchSpec("tcs", "software", lines=lines, exec_time=1, iterations=iterations)
+    margin_specs = [
+        MicrobenchSpec("wcs", "software", lines=n, exec_time=exec_time, iterations=iterations)
+        for exec_time in (1, 2, 4)
+        for n in (1, 4, 8, lines)
+    ]
+
+    jobs: List[MicrobenchJob] = [
+        MicrobenchJob(wcs4),
+        MicrobenchJob(wcs4.with_(solution="proposed")),
+    ]
+    for spec in margin_specs:
+        jobs.append(MicrobenchJob(spec))
+        jobs.append(MicrobenchJob(spec.with_(solution="proposed")))
+    jobs += [
+        MicrobenchJob(bcs),
+        MicrobenchJob(bcs.with_(solution="proposed")),
+        MicrobenchJob(tcs),
+        MicrobenchJob(tcs.with_(solution="proposed")),
+        MicrobenchJob(bcs, miss_penalty=96),
+        MicrobenchJob(bcs.with_(solution="proposed"), miss_penalty=96),
+    ]
+    elapsed = [result["elapsed_ns"] for result in run_jobs(jobs, runner)]
+    results = iter(elapsed)
+
     headlines: List[Headline] = []
 
     # WCS, exec_time=4: improvement of proposed over cache-disabled.
-    wcs4 = MicrobenchSpec("wcs", "disabled", lines=lines, exec_time=4, iterations=iterations)
-    disabled = run_microbench(wcs4).elapsed_ns
-    proposed = run_microbench(wcs4.with_(solution="proposed")).elapsed_ns
+    disabled, proposed = next(results), next(results)
     headlines.append(
         Headline(
             "WCS exec_time=4: proposed improvement vs cache-disabled",
@@ -62,38 +97,29 @@ def compute_headlines(iterations: int = 8, lines: int = 32) -> List[Headline]:
 
     # WCS: minimum proposed-vs-software margin across the sweep.
     margin = None
-    for exec_time in (1, 2, 4):
-        for n in (1, 4, 8, lines):
-            spec = MicrobenchSpec("wcs", "software", lines=n, exec_time=exec_time, iterations=iterations)
-            software = run_microbench(spec).elapsed_ns
-            prop = run_microbench(spec.with_(solution="proposed")).elapsed_ns
-            value = _speedup(software, prop)
-            margin = value if margin is None else min(margin, value)
+    for _spec in margin_specs:
+        software, prop = next(results), next(results)
+        value = _speedup(software, prop)
+        margin = value if margin is None else min(margin, value)
     headlines.append(
         Headline("WCS: minimum proposed speedup vs software across sweep", 2.51, margin)
     )
 
     # BCS at 32 lines, exec_time=1: speedup vs software.
-    bcs = MicrobenchSpec("bcs", "software", lines=lines, exec_time=1, iterations=iterations)
-    software = run_microbench(bcs).elapsed_ns
-    prop = run_microbench(bcs.with_(solution="proposed")).elapsed_ns
+    software, prop = next(results), next(results)
     headlines.append(
         Headline("BCS 32 lines, exec_time=1: proposed speedup vs software", 38.22, _speedup(software, prop))
     )
 
     # TCS at 32 lines, exec_time=1 (the paper's number is cut off in the
     # text; it reports a positive speedup at 32 lines).
-    tcs = MicrobenchSpec("tcs", "software", lines=lines, exec_time=1, iterations=iterations)
-    software = run_microbench(tcs).elapsed_ns
-    prop = run_microbench(tcs.with_(solution="proposed")).elapsed_ns
+    software, prop = next(results), next(results)
     headlines.append(
         Headline("TCS 32 lines, exec_time=1: proposed speedup vs software", 25.0, _speedup(software, prop))
     )
 
     # BCS at 32 lines with a 96-cycle miss penalty.
-    timing = MemoryTiming.for_miss_penalty(96)
-    software = run_microbench(bcs, memory_timing=timing).elapsed_ns
-    prop = run_microbench(bcs.with_(solution="proposed"), memory_timing=timing).elapsed_ns
+    software, prop = next(results), next(results)
     headlines.append(
         Headline("BCS 32 lines, 96-cycle miss penalty: speedup vs software", 76.0, _speedup(software, prop))
     )

@@ -1,0 +1,99 @@
+"""On-disk result cache, content-addressed by job payload + version.
+
+Every cache entry is one JSON file ``<root>/<sha256>.json`` whose key
+is the SHA-256 of the canonical JSON encoding of::
+
+    {"version": <repro.__version__>, "job": <job payload>}
+
+Including the package version means any release invalidates every
+cached result wholesale — the simulator's timing model may have
+changed, and a stale hit would silently corrupt regenerated figures.
+Changing any field of the job spec changes the payload and therefore
+the key, so distinct configurations can never collide.
+
+Writes go through a temp file + :func:`os.replace` so a crashed or
+concurrent run never leaves a torn entry; unreadable or corrupt entries
+are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+__all__ = ["ResultCache", "canonical_payload", "content_key"]
+
+
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ imports the analysis layer, which
+    # imports this module, before __version__ is bound.
+    from .. import __version__
+
+    return __version__
+
+
+def canonical_payload(payload: Dict[str, Any]) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(payload: Dict[str, Any], version: Optional[str] = None) -> str:
+    """SHA-256 cache key of a job payload under ``version``."""
+    if version is None:
+        version = _package_version()
+    blob = canonical_payload({"version": version, "job": payload})
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed JSON result files."""
+
+    def __init__(self, root: str, version: Optional[str] = None):
+        self.root = root
+        self.version = version if version is not None else _package_version()
+        os.makedirs(self.root, exist_ok=True)
+
+    def key_for(self, payload: Dict[str, Any]) -> str:
+        """The cache key of ``payload`` under this cache's version."""
+        return content_key(payload, self.version)
+
+    def path_for(self, key: str) -> str:
+        """Filesystem path of the entry for ``key``."""
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached result for ``key``, or None on miss/corruption."""
+        try:
+            with open(self.path_for(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or "result" not in entry:
+            return None
+        return entry["result"]
+
+    def put(self, key: str, payload: Dict[str, Any], result: Dict[str, Any]) -> None:
+        """Store ``result`` for ``key`` atomically.
+
+        The payload is stored alongside the result so entries stay
+        inspectable/debuggable with plain ``cat``.
+        """
+        entry = {"version": self.version, "job": payload, "result": result}
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, indent=1, sort_keys=True)
+            os.replace(tmp_path, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        return sum(1 for n in os.listdir(self.root) if n.endswith(".json"))

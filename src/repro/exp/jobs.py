@@ -1,0 +1,180 @@
+"""Simulation job specs: picklable, content-hashable units of work.
+
+A *job* is one independent simulator configuration — everything needed
+to reproduce a single data point of the evaluation.  Jobs are frozen
+dataclasses built from primitives only, so they
+
+* pickle cleanly across :mod:`multiprocessing` worker boundaries,
+* serialise to a canonical JSON *payload* that the result cache hashes
+  (together with the package version) into a content-addressed key, and
+* return plain ``dict`` results that round-trip through JSON unchanged.
+
+Two kinds cover the whole evaluation stack:
+
+* :class:`MicrobenchJob` — one WCS/TCS/BCS microbenchmark run
+  (Figures 5-8, the headline numbers, the lock / interrupt /
+  arbitration ablations);
+* :class:`SequenceJob` — one Table 2/3 protocol-integration sequence
+  (the wrapper ablation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ConfigError
+from ..workloads.microbench import MicrobenchSpec
+
+__all__ = ["SimJob", "MicrobenchJob", "SequenceJob", "job_from_payload"]
+
+
+class SimJob:
+    """Common interface of all sweep jobs.
+
+    Subclasses are frozen dataclasses and must provide ``kind`` (a class
+    attribute naming the job family), :meth:`payload` (a canonical,
+    JSON-serialisable description — the cache key input), ``label`` (a
+    short human-readable tag for manifests) and :meth:`run` (execute the
+    simulation, return a JSON-serialisable ``dict``).
+    """
+
+    kind: str = "abstract"
+
+    def payload(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable description of this job."""
+        raise NotImplementedError
+
+    @property
+    def label(self) -> str:
+        """Short human-readable tag (used in run manifests)."""
+        raise NotImplementedError
+
+    def run(self) -> Dict[str, Any]:
+        """Execute the simulation; return a JSON-serialisable result."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MicrobenchJob(SimJob):
+    """One microbenchmark configuration, optionally with overrides.
+
+    ``miss_penalty`` selects :meth:`MemoryTiming.for_miss_penalty`
+    (Figure 8); ``arbitration`` overrides the bus arbitration policy;
+    ``arm_interrupt_entry_cycles`` rebuilds the paper's PF2 core pair
+    with a modified ARM interrupt entry cost (the interrupt ablation).
+    """
+
+    spec: MicrobenchSpec
+    miss_penalty: Optional[int] = None
+    arbitration: Optional[str] = None
+    arm_interrupt_entry_cycles: Optional[int] = None
+
+    kind = "microbench"
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "spec": dataclasses.asdict(self.spec),
+            "miss_penalty": self.miss_penalty,
+            "arbitration": self.arbitration,
+            "arm_interrupt_entry_cycles": self.arm_interrupt_entry_cycles,
+        }
+
+    @property
+    def label(self) -> str:
+        tags = [
+            f"{self.spec.scenario}/{self.spec.solution}",
+            f"lines={self.spec.lines}",
+            f"et={self.spec.exec_time}",
+            f"it={self.spec.iterations}",
+        ]
+        if self.miss_penalty is not None:
+            tags.append(f"penalty={self.miss_penalty}")
+        if self.arbitration is not None:
+            tags.append(f"arb={self.arbitration}")
+        if self.arm_interrupt_entry_cycles is not None:
+            tags.append(f"irq_entry={self.arm_interrupt_entry_cycles}")
+        return " ".join(tags)
+
+    def run(self) -> Dict[str, Any]:
+        from ..mem.controller import MemoryTiming
+        from ..workloads.microbench import run_microbench
+
+        timing = (
+            MemoryTiming.for_miss_penalty(self.miss_penalty)
+            if self.miss_penalty is not None
+            else None
+        )
+        cores = None
+        if self.arm_interrupt_entry_cycles is not None:
+            from ..cpu.presets import preset_arm920t, preset_powerpc755
+
+            cores = (
+                preset_powerpc755(),
+                preset_arm920t().with_(
+                    interrupt_entry_cycles=self.arm_interrupt_entry_cycles
+                ),
+            )
+        overrides = {}
+        if self.arbitration is not None:
+            overrides["arbitration"] = self.arbitration
+        result = run_microbench(
+            self.spec, cores=cores, memory_timing=timing, **overrides
+        )
+        return {
+            "elapsed_ns": result.elapsed_ns,
+            "isr_entries": result.isr_entries,
+            "stats": result.stats,
+        }
+
+
+@dataclass(frozen=True)
+class SequenceJob(SimJob):
+    """One Table 2/3-style protocol-integration sequence run."""
+
+    protocols: Tuple[str, str]
+    wrapped: bool = True
+
+    kind = "sequence"
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "protocols": list(self.protocols),
+            "wrapped": self.wrapped,
+        }
+
+    @property
+    def label(self) -> str:
+        mode = "wrapped" if self.wrapped else "unwrapped"
+        return f"{self.protocols[0]}+{self.protocols[1]} {mode}"
+
+    def run(self) -> Dict[str, Any]:
+        from ..workloads.sequences import run_sequence
+
+        result = run_sequence(tuple(self.protocols), wrapped=self.wrapped)
+        return {
+            "stale_reads": result.stale_reads,
+            "violations": list(result.violations),
+            "system_protocol": result.system_protocol,
+        }
+
+
+def job_from_payload(payload: Dict[str, Any]) -> SimJob:
+    """Rebuild a job from its :meth:`SimJob.payload` dict."""
+    kind = payload.get("kind")
+    if kind == "microbench":
+        return MicrobenchJob(
+            spec=MicrobenchSpec(**payload["spec"]),
+            miss_penalty=payload.get("miss_penalty"),
+            arbitration=payload.get("arbitration"),
+            arm_interrupt_entry_cycles=payload.get("arm_interrupt_entry_cycles"),
+        )
+    if kind == "sequence":
+        return SequenceJob(
+            protocols=tuple(payload["protocols"]),
+            wrapped=payload.get("wrapped", True),
+        )
+    raise ConfigError(f"unknown job kind {kind!r}")

@@ -1,0 +1,205 @@
+"""The parallel sweep runner: fan jobs out, cache results, keep order.
+
+:class:`SweepRunner` executes a list of :class:`~repro.exp.jobs.SimJob`
+objects and returns their result dicts *in submission order*, which is
+what makes parallel runs byte-identical to serial ones: every job is an
+independent deterministic simulation, so only the completion order can
+differ, and the runner reassembles results by index before anyone looks
+at them.
+
+Per sweep the runner:
+
+1. resolves cache hits (when a cache directory is configured),
+2. deduplicates byte-identical pending jobs so repeated specs simulate
+   once,
+3. runs the remaining misses — serially, or over a
+   :mod:`multiprocessing` pool when ``jobs > 1`` and more than one miss
+   is pending,
+4. stores fresh results back into the cache, and
+5. appends one :class:`JobRecord` per job (wall time, cache hit,
+   worker pid) to the run manifest.
+
+A runner accumulates records across :meth:`run` calls, so one instance
+threaded through a whole regeneration (figures + headlines) yields a
+single manifest covering everything.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .cache import ResultCache, canonical_payload
+from .jobs import SimJob
+
+__all__ = ["JobRecord", "SweepRunner", "run_jobs"]
+
+
+def _execute(item: Tuple[int, SimJob]) -> Tuple[int, Dict[str, Any], float, int]:
+    """Pool worker: run one job, timing it (top-level for pickling)."""
+    index, job = item
+    start = time.perf_counter()
+    result = job.run()
+    return index, result, time.perf_counter() - start, os.getpid()
+
+
+@dataclass
+class JobRecord:
+    """Manifest entry for one job of a sweep."""
+
+    index: int
+    label: str
+    key: Optional[str]
+    cache_hit: bool
+    deduplicated: bool
+    wall_s: float
+    worker: Optional[int]
+
+
+class SweepRunner:
+    """Runs job lists over a worker pool with an on-disk result cache.
+
+    ``jobs`` is the worker-pool size (1 = serial, in-process);
+    ``cache_dir`` enables the content-addressed result cache.  Results
+    come back in submission order regardless of either setting.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        cache: Optional[ResultCache] = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.workers = int(jobs)
+        if cache is None and cache_dir is not None:
+            cache = ResultCache(cache_dir)
+        self.cache = cache
+        self.records: List[JobRecord] = []
+        self.sweeps = 0
+        self.total_wall_s = 0.0
+
+    # -- execution ---------------------------------------------------------
+    def run(self, jobs: Sequence[SimJob]) -> List[Dict[str, Any]]:
+        """Execute ``jobs``; results are returned in submission order."""
+        jobs = list(jobs)
+        start = time.perf_counter()
+        results: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
+        records: List[Optional[JobRecord]] = [None] * len(jobs)
+
+        pending: List[Tuple[int, SimJob]] = []
+        keys: Dict[int, Optional[str]] = {}
+        primary_for: Dict[str, int] = {}
+        duplicates: List[Tuple[int, int]] = []  # (index, primary index)
+        for index, job in enumerate(jobs):
+            payload = job.payload()
+            key = self.cache.key_for(payload) if self.cache is not None else None
+            keys[index] = key
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+                records[index] = JobRecord(
+                    index, job.label, key, True, False, 0.0, None
+                )
+                continue
+            dedupe_key = key if key is not None else canonical_payload(payload)
+            if dedupe_key in primary_for:
+                duplicates.append((index, primary_for[dedupe_key]))
+            else:
+                primary_for[dedupe_key] = index
+                pending.append((index, job))
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                processes = min(self.workers, len(pending))
+                with multiprocessing.Pool(processes=processes) as pool:
+                    outcomes = pool.map(_execute, pending)
+            else:
+                outcomes = [_execute(item) for item in pending]
+            for index, result, wall_s, worker in outcomes:
+                results[index] = result
+                records[index] = JobRecord(
+                    index, jobs[index].label, keys[index], False, False,
+                    wall_s, worker,
+                )
+                if self.cache is not None and keys[index] is not None:
+                    self.cache.put(keys[index], jobs[index].payload(), result)
+
+        for index, primary in duplicates:
+            results[index] = results[primary]
+            records[index] = JobRecord(
+                index, jobs[index].label, keys[index], False, True, 0.0, None
+            )
+
+        base = len(self.records)
+        for record in records:
+            record.index += base  # manifest indices stay globally unique
+            self.records.append(record)
+        self.sweeps += 1
+        self.total_wall_s += time.perf_counter() - start
+        return results  # type: ignore[return-value]
+
+    # -- manifest ----------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        """Jobs answered from the on-disk cache so far."""
+        return sum(1 for r in self.records if r.cache_hit)
+
+    @property
+    def executed(self) -> int:
+        """Simulations actually run (not cached, not deduplicated)."""
+        return sum(1 for r in self.records if not r.cache_hit and not r.deduplicated)
+
+    def manifest(self) -> Dict[str, Any]:
+        """The run manifest: totals plus one entry per job."""
+        sim_wall_s = sum(r.wall_s for r in self.records)
+        denominator = self.workers * self.total_wall_s
+        return {
+            "workers": self.workers,
+            "cache_dir": self.cache.root if self.cache is not None else None,
+            "cache_version": self.cache.version if self.cache is not None else None,
+            "sweeps": self.sweeps,
+            "n_jobs": len(self.records),
+            "cache_hits": self.cache_hits,
+            "deduplicated": sum(1 for r in self.records if r.deduplicated),
+            "executed": self.executed,
+            "wall_s": round(self.total_wall_s, 6),
+            "sim_wall_s": round(sim_wall_s, 6),
+            "worker_utilisation": (
+                round(sim_wall_s / denominator, 4) if denominator > 0 else 0.0
+            ),
+            "jobs": [asdict(r) for r in self.records],
+        }
+
+    def write_manifest(self, path: str) -> None:
+        """Write :meth:`manifest` as JSON to ``path``."""
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.manifest(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def summary(self) -> str:
+        """One-line human summary of the manifest totals."""
+        m = self.manifest()
+        return (
+            f"{m['n_jobs']} jobs: {m['executed']} simulated, "
+            f"{m['cache_hits']} cache hits, {m['deduplicated']} deduplicated "
+            f"({m['workers']} workers, {m['wall_s']:.2f}s wall, "
+            f"utilisation {m['worker_utilisation']:.0%})"
+        )
+
+
+def run_jobs(
+    jobs: Sequence[SimJob], runner: Optional[SweepRunner] = None
+) -> List[Dict[str, Any]]:
+    """Run ``jobs`` through ``runner`` (a fresh serial runner when None)."""
+    if runner is None:
+        runner = SweepRunner()
+    return runner.run(jobs)

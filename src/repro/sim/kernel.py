@@ -155,11 +155,16 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self.daemon = daemon
-        self._waiting_on: Optional[Event] = None
         # Kick-start on the current tick, after already-queued events.
+        # The bootstrap is tracked as _waiting_on so an interrupt that
+        # lands before it fires can detach it: otherwise the stale
+        # bootstrap callback would still start the generator after the
+        # Interrupt was delivered, and the first yielded event would
+        # resume it a second time.
         bootstrap = Event(sim)
         bootstrap.add_callback(self._resume)
         bootstrap.succeed()
+        self._waiting_on: Optional[Event] = bootstrap
 
     @property
     def is_alive(self) -> bool:
@@ -167,7 +172,13 @@ class Process(Event):
         return not self._triggered and not self._scheduled
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current time."""
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a process whose bootstrap has not fired yet cancels
+        the start: the generator body never runs and the process fails
+        with the :class:`Interrupt` (a fresh generator cannot catch an
+        exception thrown into it).
+        """
         if not self.is_alive:
             return
         target = self._waiting_on
@@ -184,6 +195,8 @@ class Process(Event):
 
     # -- driving ----------------------------------------------------------
     def _resume(self, event: Event) -> None:
+        if not self.is_alive:  # pragma: no cover - defensive; interrupt detaches
+            return
         self._waiting_on = None
         if event.ok:
             self._step(lambda: self.generator.send(event.value))
@@ -254,6 +267,8 @@ class AnyOf(Event):
 
     ``value`` is ``(index, child_value)`` of the first event to fire.
     """
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)

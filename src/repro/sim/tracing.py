@@ -13,9 +13,9 @@ reads after a run.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Deque, Iterable, Optional
 
 __all__ = ["TraceRecord", "Tracer", "Stats", "NullTracer"]
 
@@ -48,12 +48,17 @@ def _fmt(value: Any) -> str:
 
 
 class Tracer:
-    """Collects :class:`TraceRecord` objects on enabled channels."""
+    """Collects :class:`TraceRecord` objects on enabled channels.
+
+    ``records`` is a ring buffer: with a ``capacity``, the oldest record
+    is dropped in O(1) once full (``deque(maxlen=...)`` — a plain list
+    would shift every element on each eviction, O(n) per record for the
+    whole steady state of a capped trace).
+    """
 
     def __init__(self, channels: Optional[Iterable[str]] = None, capacity: Optional[int] = None):
-        self.records: list[TraceRecord] = []
+        self.records: Deque[TraceRecord] = deque(maxlen=capacity)
         self._channels: Optional[set[str]] = set(channels) if channels is not None else None
-        self._capacity = capacity
         self._listeners: list[Callable[[TraceRecord], None]] = []
 
     def enabled(self, channel: str) -> bool:
@@ -82,9 +87,7 @@ class Tracer:
         for listener in self._listeners:
             listener(record)
         if self.enabled(channel):
-            self.records.append(record)
-            if self._capacity is not None and len(self.records) > self._capacity:
-                del self.records[0]
+            self.records.append(record)  # deque(maxlen) evicts the oldest
 
     def find(self, channel: Optional[str] = None, kind: Optional[str] = None) -> list[TraceRecord]:
         """Filter recorded events by channel and/or kind."""

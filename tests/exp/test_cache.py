@@ -1,0 +1,104 @@
+"""Unit tests for the content-addressed result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.exp import MicrobenchJob, ResultCache, SequenceJob, content_key, job_from_payload
+from repro.workloads import MicrobenchSpec
+
+
+@pytest.fixture
+def spec():
+    return MicrobenchSpec("wcs", "proposed", lines=2, exec_time=1, iterations=2)
+
+
+class TestContentKey:
+    def test_stable_across_calls(self, spec):
+        payload = MicrobenchJob(spec).payload()
+        assert content_key(payload) == content_key(payload)
+
+    def test_spec_change_changes_key(self, spec):
+        a = MicrobenchJob(spec).payload()
+        b = MicrobenchJob(spec.with_(lines=4)).payload()
+        assert content_key(a) != content_key(b)
+
+    def test_override_change_changes_key(self, spec):
+        a = MicrobenchJob(spec).payload()
+        b = MicrobenchJob(spec, miss_penalty=96).payload()
+        c = MicrobenchJob(spec, arbitration="round-robin").payload()
+        assert len({content_key(p) for p in (a, b, c)}) == 3
+
+    def test_version_bump_changes_key(self, spec):
+        payload = MicrobenchJob(spec).payload()
+        assert content_key(payload, "1.0.0") != content_key(payload, "1.0.1")
+
+    def test_dict_order_is_irrelevant(self):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert content_key(a, "v") == content_key(b, "v")
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path, spec):
+        cache = ResultCache(str(tmp_path))
+        payload = MicrobenchJob(spec).payload()
+        key = cache.key_for(payload)
+        assert cache.get(key) is None
+        cache.put(key, payload, {"elapsed_ns": 123})
+        assert cache.get(key) == {"elapsed_ns": 123}
+        assert len(cache) == 1
+
+    def test_version_bump_invalidates(self, tmp_path, spec):
+        payload = MicrobenchJob(spec).payload()
+        old = ResultCache(str(tmp_path), version="1.0.0")
+        old.put(old.key_for(payload), payload, {"elapsed_ns": 1})
+        new = ResultCache(str(tmp_path), version="1.0.1")
+        assert new.get(new.key_for(payload)) is None
+
+    def test_spec_change_misses(self, tmp_path, spec):
+        cache = ResultCache(str(tmp_path))
+        payload = MicrobenchJob(spec).payload()
+        cache.put(cache.key_for(payload), payload, {"elapsed_ns": 1})
+        changed = MicrobenchJob(spec.with_(iterations=3)).payload()
+        assert cache.get(cache.key_for(changed)) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, spec):
+        cache = ResultCache(str(tmp_path))
+        payload = MicrobenchJob(spec).payload()
+        key = cache.key_for(payload)
+        with open(cache.path_for(key), "w") as handle:
+            handle.write("{not json")
+        assert cache.get(key) is None
+
+    def test_entries_are_inspectable_json(self, tmp_path, spec):
+        cache = ResultCache(str(tmp_path))
+        payload = MicrobenchJob(spec).payload()
+        key = cache.key_for(payload)
+        cache.put(key, payload, {"elapsed_ns": 42})
+        with open(cache.path_for(key)) as handle:
+            entry = json.load(handle)
+        assert entry["result"] == {"elapsed_ns": 42}
+        assert entry["job"] == payload
+
+    def test_no_temp_files_left_behind(self, tmp_path, spec):
+        cache = ResultCache(str(tmp_path))
+        payload = MicrobenchJob(spec).payload()
+        cache.put(cache.key_for(payload), payload, {"elapsed_ns": 1})
+        assert not [n for n in os.listdir(str(tmp_path)) if n.endswith(".tmp")]
+
+
+class TestJobPayloadRoundTrip:
+    def test_microbench_round_trips(self, spec):
+        job = MicrobenchJob(spec, miss_penalty=48, arbitration="round-robin")
+        assert job_from_payload(job.payload()) == job
+
+    def test_sequence_round_trips(self):
+        job = SequenceJob(("MESI", "MEI"), wrapped=False)
+        assert job_from_payload(job.payload()) == job
+
+    def test_payload_survives_json(self, spec):
+        job = MicrobenchJob(spec, arm_interrupt_entry_cycles=8)
+        payload = json.loads(json.dumps(job.payload()))
+        assert job_from_payload(payload) == job

@@ -1,0 +1,41 @@
+"""Parallel sweeps must be byte-identical to serial ones.
+
+The acceptance bar for the runner: fanning jobs over a worker pool (and
+answering repeats from the cache) may change nothing about the figures'
+CSV/JSON output — every job is an independent deterministic simulation
+and the runner returns results in submission order.
+"""
+
+from repro.analysis import (
+    compute_headlines,
+    figure5_wcs,
+    figure_to_csv,
+    figure_to_json,
+    headlines_to_markdown,
+)
+from repro.exp import SweepRunner
+
+REDUCED = dict(line_counts=(1, 2), exec_times=(1,), iterations=2)
+
+
+class TestFigureDeterminism:
+    def test_parallel_figure5_is_byte_identical_to_serial(self):
+        serial = figure5_wcs(**REDUCED)
+        parallel = figure5_wcs(runner=SweepRunner(jobs=4), **REDUCED)
+        assert figure_to_csv(parallel) == figure_to_csv(serial)
+        assert figure_to_json(parallel) == figure_to_json(serial)
+
+    def test_cached_rerun_is_byte_identical(self, tmp_path):
+        cold = figure5_wcs(runner=SweepRunner(jobs=2, cache_dir=str(tmp_path)), **REDUCED)
+        warm_runner = SweepRunner(jobs=2, cache_dir=str(tmp_path))
+        warm = figure5_wcs(runner=warm_runner, **REDUCED)
+        assert warm_runner.executed == 0  # answered entirely from cache
+        assert figure_to_csv(warm) == figure_to_csv(cold)
+        assert figure_to_json(warm) == figure_to_json(cold)
+
+
+class TestHeadlineDeterminism:
+    def test_parallel_headlines_match_serial(self):
+        serial = compute_headlines(iterations=2, lines=4)
+        parallel = compute_headlines(iterations=2, lines=4, runner=SweepRunner(jobs=4))
+        assert headlines_to_markdown(parallel) == headlines_to_markdown(serial)

@@ -1,0 +1,86 @@
+"""Unit tests for the sweep runner: ordering, caching, manifests."""
+
+import pytest
+
+from repro.exp import MicrobenchJob, SequenceJob, SweepRunner
+from repro.workloads import MicrobenchSpec
+
+
+def small_jobs():
+    spec = MicrobenchSpec("wcs", "disabled", lines=2, exec_time=1, iterations=2)
+    return [
+        MicrobenchJob(spec),
+        MicrobenchJob(spec.with_(solution="proposed")),
+        SequenceJob(("MESI", "MEI"), wrapped=False),
+    ]
+
+
+class TestSweepRunner:
+    def test_results_in_submission_order(self):
+        jobs = small_jobs()
+        results = SweepRunner().run(jobs)
+        assert len(results) == len(jobs)
+        assert results[0]["elapsed_ns"] > results[1]["elapsed_ns"]  # disabled slower
+        assert results[2]["stale_reads"] == 1
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+
+    def test_duplicate_jobs_simulate_once(self):
+        jobs = small_jobs()
+        runner = SweepRunner()
+        results = runner.run([jobs[0], jobs[1], jobs[0]])
+        assert results[0] == results[2]
+        assert runner.executed == 2
+        assert runner.manifest()["deduplicated"] == 1
+
+    def test_warm_cache_executes_nothing(self, tmp_path):
+        jobs = small_jobs()
+        cold = SweepRunner(cache_dir=str(tmp_path))
+        cold_results = cold.run(jobs)
+        assert cold.executed == len(jobs)
+
+        warm = SweepRunner(cache_dir=str(tmp_path))
+        warm_results = warm.run(jobs)
+        assert warm.executed == 0
+        assert warm.cache_hits == len(jobs)
+        assert warm_results == cold_results
+
+    def test_manifest_accumulates_across_sweeps(self, tmp_path):
+        jobs = small_jobs()
+        runner = SweepRunner(cache_dir=str(tmp_path))
+        runner.run(jobs[:2])
+        runner.run(jobs)  # first two hit, third misses
+        manifest = runner.manifest()
+        assert manifest["sweeps"] == 2
+        assert manifest["n_jobs"] == 5
+        assert manifest["cache_hits"] == 2
+        assert manifest["executed"] == 3
+        assert [entry["index"] for entry in manifest["jobs"]] == list(range(5))
+        assert all(entry["label"] for entry in manifest["jobs"])
+
+    def test_manifest_written_to_disk(self, tmp_path):
+        import json
+
+        runner = SweepRunner(cache_dir=str(tmp_path / "cache"))
+        runner.run(small_jobs()[:1])
+        path = str(tmp_path / "out" / "manifest.json")
+        runner.write_manifest(path)
+        with open(path) as handle:
+            manifest = json.load(handle)
+        assert manifest["n_jobs"] == 1
+        assert manifest["jobs"][0]["cache_hit"] is False
+        assert manifest["jobs"][0]["wall_s"] > 0
+
+    def test_parallel_pool_matches_serial(self, tmp_path):
+        jobs = small_jobs()
+        serial = SweepRunner().run(jobs)
+        parallel = SweepRunner(jobs=3).run(jobs)
+        assert parallel == serial
+
+    def test_summary_mentions_totals(self):
+        runner = SweepRunner()
+        runner.run(small_jobs()[:1])
+        summary = runner.summary()
+        assert "1 jobs" in summary and "1 simulated" in summary

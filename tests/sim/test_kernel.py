@@ -215,6 +215,48 @@ class TestProcess:
         sim.run()
         p.interrupt("late")  # must not raise
 
+    def test_interrupt_before_start_cancels_bootstrap(self, sim):
+        """Interrupting before the bootstrap fired must not start the body.
+
+        Regression: the bootstrap callback used to stay attached, so the
+        generator was started *after* the Interrupt was delivered, and
+        its first yielded event resumed the finished generator a second
+        time ("event triggered twice").
+        """
+        log = []
+
+        def victim():
+            log.append("started")
+            yield sim.timeout(10)
+
+        p = sim.process(victim())
+        p.interrupt("early")
+        p.add_callback(lambda _e: None)  # observe the failure
+        sim.run()
+        assert log == []
+        assert p.triggered and not p.ok
+        assert isinstance(p.value, Interrupt)
+        assert p.value.cause == "early"
+
+    def test_interrupt_before_start_no_double_resume(self, sim):
+        """The old crash path: catchable-interrupt victim, early interrupt."""
+        log = []
+
+        def victim():
+            try:
+                yield sim.timeout(10)
+                log.append("slept")
+            except Interrupt:
+                log.append("interrupted")
+                yield sim.timeout(5)
+                log.append("resumed")
+
+        p = sim.process(victim())
+        p.interrupt("early")
+        p.add_callback(lambda _e: None)
+        sim.run()  # used to raise SimulationError("event triggered twice")
+        assert "slept" not in log
+
     def test_is_alive_lifecycle(self, sim):
         def proc():
             yield sim.timeout(5)
@@ -371,3 +413,32 @@ class TestRun:
             return order
 
         assert build() == build()
+
+
+class TestSlots:
+    """Kernel event types must stay slotted (no per-instance __dict__).
+
+    Regression: AnyOf omitted __slots__, silently reintroducing a
+    __dict__ on every instance of the hottest combinator.
+    """
+
+    def test_kernel_event_types_have_no_dict(self, sim):
+        def gen():
+            yield sim.timeout(1)
+
+        instances = [
+            sim.event(),
+            sim.timeout(3),
+            sim.process(gen()),
+            AllOf(sim, [sim.event()]),
+            AnyOf(sim, [sim.event()]),
+        ]
+        for instance in instances:
+            assert not hasattr(instance, "__dict__"), type(instance).__name__
+
+    def test_event_subclasses_declare_slots(self):
+        from repro.sim import kernel
+
+        for cls in (kernel.Event, kernel.Timeout, kernel.Process,
+                    kernel.AllOf, kernel.AnyOf):
+            assert "__slots__" in cls.__dict__, cls.__name__

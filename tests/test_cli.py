@@ -77,6 +77,49 @@ class TestHeadlines:
         assert "paper=" in out
 
 
+class TestSweep:
+    def test_quick_headlines_sweep_with_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        manifest = str(tmp_path / "manifest.json")
+        code = main(["sweep", "headlines", "--quick", "--jobs", "2",
+                     "--cache-dir", cache, "--manifest", manifest])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paper=" in out
+        assert "simulated" in out
+
+        import json
+
+        with open(manifest) as handle:
+            data = json.load(handle)
+        assert data["workers"] == 2
+        assert data["executed"] > 0
+        assert data["cache_hits"] == 0
+
+        # Warm rerun: everything comes from the cache.
+        assert main(["sweep", "headlines", "--quick", "--jobs", "2",
+                     "--cache-dir", cache, "--manifest", manifest]) == 0
+        warm_out = capsys.readouterr().out
+        with open(manifest) as handle:
+            warm = json.load(handle)
+        assert warm["executed"] == 0
+        assert warm["cache_hits"] == warm["n_jobs"]
+        # Identical rendered numbers either way.
+        assert warm_out.splitlines()[:5] == out.splitlines()[:5]
+
+    def test_figure_accepts_runner_flags(self, capsys, tmp_path):
+        code = main(["figure", "5", "--iterations", "2", "--jobs", "2",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_ablations_target(self, capsys):
+        assert main(["sweep", "ablations", "--quick", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "stale reads" in out
+        assert "arbitration" in out
+
+
 class TestVerify:
     def test_matrix_printed_and_safe(self, capsys):
         assert main(["verify"]) == 0
