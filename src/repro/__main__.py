@@ -15,6 +15,12 @@ Commands
     mix (use ``none`` for a processor without coherence hardware).
 ``bench SCENARIO SOLUTION``
     Run one microbenchmark configuration and print its statistics.
+``bench hotpath``
+    Run the simulator hot-path suite (kernel events/sec, cache array
+    lookups/sec, disabled-trace emits/sec, Table-2 end-to-end wall
+    time) and print a comparison against the committed
+    ``BENCH_hotpath.json`` baseline.  ``--quick`` shrinks the workload
+    for smoke runs; ``--check`` exits non-zero on a regression.
 ``verify``
     Exhaustively model-check every protocol pair, wrapped and
     unwrapped, and print the verdict matrix.
@@ -107,13 +113,25 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("verify", help="model-check every protocol pair")
 
     p = sub.add_parser("bench", help="run one microbenchmark configuration")
-    p.add_argument("scenario", choices=("wcs", "tcs", "bcs"))
-    p.add_argument("solution", choices=("disabled", "software", "proposed"))
+    p.add_argument("scenario", choices=("wcs", "tcs", "bcs", "hotpath"))
+    p.add_argument("solution", nargs="?", default=None,
+                   choices=("disabled", "software", "proposed"))
     p.add_argument("--lines", type=int, default=8)
     p.add_argument("--exec-time", type=int, default=1)
     p.add_argument("--iterations", type=int, default=8)
     p.add_argument("--check", action="store_true",
-                   help="attach the coherence checker")
+                   help="attach the coherence checker (hotpath: fail on "
+                        "regression vs the baseline)")
+    p.add_argument("--quick", action="store_true",
+                   help="hotpath only: reduced workload for smoke runs")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="hotpath only: best-of-N timing repeats")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="hotpath only: baseline JSON (default: the "
+                        "committed BENCH_hotpath.json)")
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="hotpath only: allowed slowdown before --check "
+                        "fails (default: 0.25)")
     return parser
 
 
@@ -197,7 +215,43 @@ def _cmd_reduce(args) -> int:
     return 0
 
 
+def _cmd_bench_hotpath(args) -> int:
+    from pathlib import Path
+
+    from .exp import hotpath
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        for candidate in (
+            Path.cwd() / hotpath.BENCH_FILE,
+            Path(__file__).resolve().parents[2] / hotpath.BENCH_FILE,
+        ):
+            if candidate.is_file():
+                baseline_path = str(candidate)
+                break
+    baseline = hotpath.load_results(baseline_path) if baseline_path else None
+    current = hotpath.run_suite(quick=args.quick, repeats=args.repeats)
+    print(hotpath.render_comparison(current, baseline))
+    if baseline is None:
+        print("(no baseline found -- run benchmarks/bench_hotpath.py to commit one)")
+        return 0
+    if args.check:
+        failures = hotpath.check_regression(current, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression beyond {args.tolerance:.0%} tolerance")
+    return 0
+
+
 def _cmd_bench(args) -> int:
+    if args.scenario == "hotpath":
+        return _cmd_bench_hotpath(args)
+    if args.solution is None:
+        print(f"bench {args.scenario}: a solution "
+              "(disabled/software/proposed) is required", file=sys.stderr)
+        return 2
     spec = MicrobenchSpec(
         scenario=args.scenario,
         solution=args.solution,

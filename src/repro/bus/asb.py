@@ -79,6 +79,8 @@ class AsbBus:
         self.arbiter = arbiter or FixedPriorityArbiter(sim)
         self.tracer = tracer or Tracer(channels=())
         self.stats = stats or Stats()
+        # Cached guard: one attribute load per tenure when "bus" is off.
+        self._trace_bus = self.tracer.channel("bus")
         self.arbitration_cycles = arbitration_cycles
         self.address_cycles = address_cycles
         self.retry_penalty_cycles = retry_penalty_cycles
@@ -124,10 +126,12 @@ class AsbBus:
             yield sim.timeout(
                 self.clock.edge_then_cycles(sim.now, arb_cycles + self.address_cycles)
             )
-            self.tracer.emit(
-                sim.now, "bus", txn.master, "address-phase",
-                op=txn.op.value, addr=txn.addr, retry_no=txn.retries,
-            )
+            trace = self._trace_bus
+            if trace.enabled:
+                trace.emit(
+                    sim.now, txn.master, "address-phase",
+                    op=txn.op.value, addr=txn.addr, retry_no=txn.retries,
+                )
             replies = self._snoop_window(txn)
             retriers = [r for r in replies if r.action is SnoopAction.RETRY]
             if retriers:
@@ -135,7 +139,8 @@ class AsbBus:
                 # The wasted address phase is the intrinsic cost; extra
                 # recovery cycles are configurable.
                 self.stats.bump("bus.retries")
-                self.tracer.emit(sim.now, "bus", txn.master, "artry", addr=txn.addr)
+                if trace.enabled:
+                    trace.emit(sim.now, txn.master, "artry", addr=txn.addr)
                 if self.retry_penalty_cycles:
                     yield sim.timeout(self.clock.cycles(self.retry_penalty_cycles))
                 aborted = sim.now - tenure_start
@@ -164,11 +169,12 @@ class AsbBus:
             )
             if commit is not None:
                 commit(result)
-            self.tracer.emit(
-                sim.now, "bus", txn.master, "complete",
-                op=txn.op.value, addr=txn.addr, shared=shared,
-                supplied=result.supplied, retries=txn.retries,
-            )
+            if trace.enabled:
+                trace.emit(
+                    sim.now, txn.master, "complete",
+                    op=txn.op.value, addr=txn.addr, shared=shared,
+                    supplied=result.supplied, retries=txn.retries,
+                )
             tenure = sim.now - tenure_start
             self.stats.bump("bus.busy_ticks", tenure)
             self.stats.bump(f"bus.busy.{txn.master}", tenure)
@@ -178,14 +184,15 @@ class AsbBus:
     # -- internals -------------------------------------------------------------
     def _snoop_window(self, txn: Transaction) -> List[SnoopReply]:
         replies = []
+        trace = self._trace_bus
         for snooper in self.snoopers:
             snooper.observe(txn)
             if snooper.master_name == txn.master:
                 continue
             reply = snooper.snoop(txn)
-            if reply.action is not SnoopAction.OK:
-                self.tracer.emit(
-                    self.sim.now, "bus", snooper.master_name, "snoop",
+            if reply.action is not SnoopAction.OK and trace.enabled:
+                trace.emit(
+                    self.sim.now, snooper.master_name, "snoop",
                     op=txn.op.value, addr=txn.addr, action=reply.action.value,
                 )
             replies.append(reply)

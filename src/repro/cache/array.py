@@ -69,12 +69,24 @@ class CacheGeometry:
 
 
 class CacheArray:
-    """Tag/data storage with per-set LRU."""
+    """Tag/data storage with per-set LRU.
+
+    Alongside the way-indexed storage (``_sets``, which models the
+    physical ways and backs LRU victim selection) each set keeps a
+    ``tag -> (way, line)`` dict so :meth:`lookup` is O(1) instead of a
+    linear scan over the ways — the TAG-CAM-style behaviour every
+    processor access and every snoop pays for.  ``install``, ``remove``
+    and ``release_way`` keep the two views coherent; LRU stamping is
+    unchanged.
+    """
 
     def __init__(self, geometry: CacheGeometry):
         self.geom = geometry
         self._sets: List[List[Optional[CacheLine]]] = [
             [None] * geometry.ways for _ in range(geometry.n_sets)
+        ]
+        self._index: List[dict[int, Tuple[int, CacheLine]]] = [
+            {} for _ in range(geometry.n_sets)
         ]
         self._clock = 0
 
@@ -85,14 +97,19 @@ class CacheArray:
         ``touch`` refreshes the line's LRU stamp (processor-side accesses
         touch; snoops must not disturb recency).
         """
-        tag = self.geom.tag(addr)
-        for line in self._sets[self.geom.set_index(addr)]:
-            if line is not None and line.tag == tag and line.is_valid:
-                if touch:
-                    self._clock += 1
-                    line.lru_stamp = self._clock
-                return line
-        return None
+        geom = self.geom
+        entry = self._index[geom.set_index(addr)].get(geom.tag(addr))
+        if entry is None:
+            return None
+        line = entry[1]
+        if not line.is_valid:
+            # Invalidated in place (snoop/drain race); treated as a miss
+            # exactly like the way scan did.
+            return None
+        if touch:
+            self._clock += 1
+            line.lru_stamp = self._clock
+        return line
 
     def victim_for(self, addr: int) -> Tuple[int, Optional[CacheLine], Optional[int]]:
         """Choose the way a fill of ``addr`` will occupy.
@@ -117,11 +134,10 @@ class CacheArray:
             raise ConfigError(
                 f"fill of {len(data)} words into {self.geom.line_words}-word line"
             )
-        if self.lookup(addr) is not None:
-            raise ConfigError(
-                f"line 0x{self.geom.line_base(addr):08x} installed while "
-                "already resident (controller bug)"
-            )
+        assert self.lookup(addr) is None, (
+            f"line 0x{self.geom.line_base(addr):08x} installed while "
+            "already resident (controller bug)"
+        )
         self._clock += 1
         line = CacheLine(
             tag=self.geom.tag(addr),
@@ -130,19 +146,47 @@ class CacheArray:
             protocol=protocol,
             lru_stamp=self._clock,
         )
-        self._sets[self.geom.set_index(addr)][way] = line
+        set_index = self.geom.set_index(addr)
+        previous = self._sets[set_index][way]
+        if previous is not None:
+            # An invalid line may still occupy the way; drop its index
+            # entry so the dict never outlives the storage.
+            entry = self._index[set_index].get(previous.tag)
+            if entry is not None and entry[0] == way:
+                del self._index[set_index][previous.tag]
+        self._sets[set_index][way] = line
+        self._index[set_index][line.tag] = (way, line)
         return line
 
     def remove(self, addr: int) -> Optional[CacheLine]:
         """Invalidate and detach the line for ``addr`` (returns it)."""
+        set_index = self.geom.set_index(addr)
+        entry = self._index[set_index].pop(self.geom.tag(addr), None)
+        if entry is None:
+            return None
+        way, line = entry
+        self._sets[set_index][way] = None
+        if not line.is_valid:
+            # Already invalidated in place; the slot is freed but there
+            # is no live line to hand back (matches the way-scan miss).
+            return None
+        line.state = State.INVALID
+        return line
+
+    def release_way(self, addr: int, way: int) -> None:
+        """Free ``way`` of ``addr``'s set after an in-place retirement.
+
+        Controllers invalidate a victim's state in place (so snoops keep
+        seeing it until the write-back commits) and then release the
+        way; this clears both the storage slot and the tag index.
+        """
+        set_index = self.geom.set_index(addr)
+        self._sets[set_index][way] = None
+        index = self._index[set_index]
         tag = self.geom.tag(addr)
-        ways = self._sets[self.geom.set_index(addr)]
-        for way, line in enumerate(ways):
-            if line is not None and line.tag == tag and line.is_valid:
-                ways[way] = None
-                line.state = State.INVALID
-                return line
-        return None
+        entry = index.get(tag)
+        if entry is not None and entry[0] == way:
+            del index[tag]
 
     # -- inspection --------------------------------------------------------------
     def valid_lines(self) -> Iterator[Tuple[int, CacheLine]]:

@@ -92,6 +92,15 @@ class CacheController:
         self.protocol_wt = protocol_wt
         self.tracer = tracer or bus.tracer
         self.stats = stats or bus.stats
+        # Cached channel guards: disabled-channel emits cost only an
+        # attribute load on the hot processor-access path.
+        self._trace_mem = self.tracer.channel("mem")
+        self._trace_cache = self.tracer.channel("cache")
+        # Hot stat keys, interned once instead of one f-string per access.
+        self._stat_hits = f"{name}.hits"
+        self._stat_read_misses = f"{name}.read_misses"
+        self._stat_write_misses = f"{name}.write_misses"
+        self._stat_fills = f"{name}.fills"
         self.enabled = enabled
         #: whether this cache participates in bus snooping (False models
         #: the ARM920T: a write-back cache with no coherence hardware)
@@ -122,7 +131,9 @@ class CacheController:
                 value = yield from self._cached_read(addr, region)
             finally:
                 self.port.release()
-        self.tracer.emit(self.sim.now, "mem", self.name, "load", addr=addr, value=value)
+        trace = self._trace_mem
+        if trace.enabled:
+            trace.emit(self.sim.now, self.name, "load", addr=addr, value=value)
         return value
 
     def write(self, addr: int, value: int) -> Generator:
@@ -143,7 +154,9 @@ class CacheController:
                 yield from self._cached_write(addr, value, region)
             finally:
                 self.port.release()
-        self.tracer.emit(self.sim.now, "mem", self.name, "store", addr=addr, value=value)
+        trace = self._trace_mem
+        if trace.enabled:
+            trace.emit(self.sim.now, self.name, "store", addr=addr, value=value)
 
     def swap(self, addr: int, value: int) -> Generator:
         """Atomic exchange on an *uncached* word (the lock primitive)."""
@@ -156,7 +169,9 @@ class CacheController:
         result = yield from self._transact(
             Transaction(BusOp.SWAP, addr, self.name, data=value)
         )
-        self.tracer.emit(self.sim.now, "mem", self.name, "swap", addr=addr, value=value, old=result.data)
+        trace = self._trace_mem
+        if trace.enabled:
+            trace.emit(self.sim.now, self.name, "swap", addr=addr, value=value, old=result.data)
         return result.data
 
     def flush_line(self, addr: int, priority: Priority = Priority.NORMAL) -> Generator:
@@ -292,9 +307,9 @@ class CacheController:
     def _cached_read(self, addr: int, region) -> Generator:
         line = self.array.lookup(addr, touch=True)
         if line is not None:
-            self.stats.bump(f"{self.name}.hits")
+            self.stats.bump(self._stat_hits)
             return line.data[self.geom.word_offset(addr)]
-        self.stats.bump(f"{self.name}.read_misses")
+        self.stats.bump(self._stat_read_misses)
         line = yield from self._fill(addr, region, exclusive=False)
         return line.data[self.geom.word_offset(addr)]
 
@@ -304,7 +319,7 @@ class CacheController:
         if line is not None:
             yield from self._write_hit(addr, line, offset, value)
             return
-        self.stats.bump(f"{self.name}.write_misses")
+        self.stats.bump(self._stat_write_misses)
         protocol = self._protocol_for(region)
         if State.MODIFIED not in protocol.states:
             # Write-through, no-allocate: the word goes straight out.
@@ -323,7 +338,7 @@ class CacheController:
             line.state = State.MODIFIED
 
     def _write_hit(self, addr: int, line: CacheLine, offset: int, value: int) -> Generator:
-        self.stats.bump(f"{self.name}.hits")
+        self.stats.bump(self._stat_hits)
         new_state, action = line.protocol.write_hit(line.state)
         if action is WriteAction.NONE:
             base = self.geom.line_base(addr)
@@ -401,16 +416,18 @@ class CacheController:
             line = self.array.install(base, way, result.data, state, protocol)
             installed.append(line)
             self._notify_install(base)
-            self.tracer.emit(
-                self.sim.now, "cache", self.name, "fill",
-                addr=base, state=str(state), shared=shared, excl=exclusive,
-            )
+            trace = self._trace_cache
+            if trace.enabled:
+                trace.emit(
+                    self.sim.now, self.name, "fill",
+                    addr=base, state=str(state), shared=shared, excl=exclusive,
+                )
 
         yield from self._transact(
             Transaction(op, base, self.name, line_words=self.geom.line_words),
             commit=commit,
         )
-        self.stats.bump(f"{self.name}.fills")
+        self.stats.bump(self._stat_fills)
         return installed[0]
 
     def _evict(self, victim: CacheLine, victim_addr: int, way: int) -> Generator:
@@ -446,8 +463,7 @@ class CacheController:
         self.stats.bump(f"{self.name}.evictions")
 
     def _set_removed(self, victim_addr: int, way: int) -> None:
-        ways = self.array._sets[self.geom.set_index(victim_addr)]
-        ways[way] = None
+        self.array.release_way(victim_addr, way)
 
     def _flush_locked(self, addr: int, priority: Priority) -> Generator:
         base = self.geom.line_base(addr)
@@ -483,10 +499,12 @@ class CacheController:
             self._set_state(base, line, next_state, "snoop")
 
     def _set_state(self, base: int, line: CacheLine, state: State, cause: str) -> None:
-        self.tracer.emit(
-            self.sim.now, "cache", self.name, "state",
-            addr=base, frm=str(line.state), to=str(state), cause=cause,
-        )
+        trace = self._trace_cache
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, self.name, "state",
+                addr=base, frm=str(line.state), to=str(state), cause=cause,
+            )
         line.state = state
 
     def _notify_install(self, base: int) -> None:
@@ -494,7 +512,9 @@ class CacheController:
             listener(base)
 
     def _notify_remove(self, base: int, cause: str) -> None:
-        self.tracer.emit(self.sim.now, "cache", self.name, "invalidate", addr=base, cause=cause)
+        trace = self._trace_cache
+        if trace.enabled:
+            trace.emit(self.sim.now, self.name, "invalidate", addr=base, cause=cause)
         for listener in self.remove_listeners:
             listener(base)
 

@@ -75,6 +75,8 @@ class SnoopLogic(Snooper, Device):
         self._queued: Set[int] = set()
         self._inflight: Dict[int, List[Event]] = {}
         self.snoop_hits = 0
+        self._trace_irq = bus.tracer.channel("irq")
+        self._stat_hits = f"{self.master_name}.snoop_logic_hits"
         controller.install_listeners.append(self._on_install)
         controller.remove_listeners.append(self._on_remove)
         bus.attach_snooper(self)
@@ -119,11 +121,13 @@ class SnoopLogic(Snooper, Device):
             self._queue.append(base)
             self._queued.add(base)
         self.fiq.assert_line()
-        self.bus.stats.bump(f"{self.master_name}.snoop_logic_hits")
-        self.bus.tracer.emit(
-            self.sim.now, "irq", self.master_name, "snoop-hit",
-            addr=base, by=txn.master, op=txn.op.value,
-        )
+        self.bus.stats.bump(self._stat_hits)
+        trace = self._trace_irq
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, self.master_name, "snoop-hit",
+                addr=base, by=txn.master, op=txn.op.value,
+            )
         return SnoopReply(SnoopAction.RETRY, completion=completion)
 
     # -- mailbox device -----------------------------------------------------------

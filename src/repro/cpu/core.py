@@ -73,6 +73,10 @@ class Core:
         self.tracer = tracer or dcache.tracer
         self.stats = stats or dcache.stats
         self.trace_instructions = False
+        # Cached channel guards + interned stat key for the hot paths.
+        self._trace_core = self.tracer.channel("core")
+        self._trace_irq = self.tracer.channel("irq")
+        self._stat_isr_entries = f"{name}.isr_entries"
 
         self.regs = [0] * 16
         self.pc = 0
@@ -127,10 +131,12 @@ class Core:
             instr = self.program[self.pc]
             self.pc += 1
             if self.trace_instructions:
-                self.tracer.emit(
-                    self.sim.now, "core", self.name, "exec",
-                    pc=self.pc - 1, instr=instr.render(),
-                )
+                trace = self._trace_core
+                if trace.enabled:
+                    trace.emit(
+                        self.sim.now, self.name, "exec",
+                        pc=self.pc - 1, instr=instr.render(),
+                    )
             yield from self._execute(instr)
             self.regs[0] = 0  # r0 is architecturally zero
             self.retired += 1
@@ -166,8 +172,10 @@ class Core:
 
     def _enter_isr(self):
         self.isr_entries += 1
-        self.stats.bump(f"{self.name}.isr_entries")
-        self.tracer.emit(self.sim.now, "irq", self.name, "isr-enter", pc=self.pc)
+        self.stats.bump(self._stat_isr_entries)
+        trace = self._trace_irq
+        if trace.enabled:
+            trace.emit(self.sim.now, self.name, "isr-enter", pc=self.pc)
         yield self.sim.timeout(self.clock.cycles(self.interrupt_entry_cycles))
         self._saved_context = (self.pc, self.interrupts_enabled)
         self.in_isr = True
@@ -180,7 +188,9 @@ class Core:
         self.pc, self.interrupts_enabled = self._saved_context
         self._saved_context = None
         self.in_isr = False
-        self.tracer.emit(self.sim.now, "irq", self.name, "isr-exit", pc=self.pc)
+        trace = self._trace_irq
+        if trace.enabled:
+            trace.emit(self.sim.now, self.name, "isr-exit", pc=self.pc)
         yield self.sim.timeout(self.clock.cycles(self.rfi_cycles))
 
     # -- the ALU / memory dispatch ---------------------------------------------
@@ -269,7 +279,9 @@ class Core:
         elif op == "HALT":
             self.halted = True
             self.halt_time = self.sim.now
-            self.tracer.emit(self.sim.now, "core", self.name, "halt", retired=self.retired)
+            trace = self._trace_core
+            if trace.enabled:
+                trace.emit(self.sim.now, self.name, "halt", retired=self.retired)
             if not (self.done.triggered or self.done._scheduled):
                 self.done.succeed(self.sim.now)
         else:  # pragma: no cover - validate_instr guards this

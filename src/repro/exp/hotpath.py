@@ -1,0 +1,247 @@
+"""Hot-path microbenchmarks for the simulation substrate.
+
+Measures the three layers every paper-evaluation number flows through —
+the event kernel, the cache tag array, and the tracing fabric — plus
+the end-to-end wall time of a fixed Table-2 workload (the MESI + MEI
+protocol pair of the paper's Table 2 running the WCS critical-section
+kernel).  Results are written to ``BENCH_hotpath.json`` at the repo
+root so successive PRs accumulate a performance trajectory, and the CI
+``perf-smoke`` job fails on regressions against the committed baseline.
+
+The functions here are import-safe for both the ``benchmarks/`` script
+and the ``repro bench hotpath`` CLI subcommand; they depend only on the
+standard library and the package itself.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Callable, Dict, Optional
+
+from ..cache.array import CacheArray, CacheGeometry
+from ..cache.line import State
+from ..cache.protocols import make_protocol
+from ..sim import Simulator, Tracer
+
+__all__ = [
+    "BENCH_FILE",
+    "run_suite",
+    "render_comparison",
+    "check_regression",
+]
+
+#: canonical result file name (at the repository root)
+BENCH_FILE = "BENCH_hotpath.json"
+
+#: metrics where larger is better (rates); wall times are inverted
+RATE_METRICS = (
+    "kernel_events_per_sec",
+    "kernel_timeout_events_per_sec",
+    "array_lookups_per_sec",
+    "tracer_disabled_emits_per_sec",
+)
+TIME_METRICS = ("table2_e2e_seconds",)
+
+
+def _best_of(repeats: int, fn: Callable[[], float]) -> float:
+    """Smallest elapsed wall time over ``repeats`` runs of ``fn``."""
+    return min(fn() for _ in range(repeats))
+
+
+# ---------------------------------------------------------------------------
+# kernel
+# ---------------------------------------------------------------------------
+def _kernel_zero_delay(n: int) -> float:
+    """n rounds of event-create / succeed / resume, all on one tick.
+
+    This is the kernel's same-tick hot path: every ``succeed`` schedules
+    a zero-delay firing and every firing resumes a waiting process.
+    """
+    sim = Simulator()
+
+    def driver():
+        event = sim.event
+        for _ in range(n):
+            ev = event()
+            ev.succeed(None)
+            yield ev
+
+    sim.process(driver())
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start
+
+
+def _kernel_timeouts(n: int) -> float:
+    """n one-tick timeouts through the time heap (process resume path)."""
+    sim = Simulator()
+
+    def driver():
+        timeout = sim.timeout
+        for _ in range(n):
+            yield timeout(1)
+
+    sim.process(driver())
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# cache array
+# ---------------------------------------------------------------------------
+def _array_lookups(n: int) -> float:
+    """n lookups (3/4 hits, 1/4 misses) against a full 16 KiB 4-way array."""
+    geom = CacheGeometry(16 * 1024, 32, 4)
+    array = CacheArray(geom)
+    protocol = make_protocol("MESI")
+    data = [0] * geom.line_words
+    for set_index in range(geom.n_sets):
+        for way in range(geom.ways):
+            addr = geom.rebuild_addr(way, set_index)
+            array.install(addr, way, data, State.EXCLUSIVE, protocol)
+    hits = [geom.rebuild_addr(way, s) for way in range(3) for s in (0, 7, 31, 63)]
+    misses = [geom.rebuild_addr(geom.ways + 9, s) for s in (0, 7, 31, 63)]
+    addrs = (hits + misses) * (n // (len(hits) + len(misses)) + 1)
+    addrs = addrs[:n]
+    lookup = array.lookup
+    start = time.perf_counter()
+    for addr in addrs:
+        lookup(addr)
+    return time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# tracing
+# ---------------------------------------------------------------------------
+def _tracer_disabled_emits(n: int) -> float:
+    """n disabled-channel emissions as a component call site performs them.
+
+    Uses the cached channel-guard API when the tracer provides it (the
+    optimised call-site idiom); otherwise falls back to the legacy
+    unconditional ``emit`` call, which is what seed call sites paid.
+    """
+    tracer = Tracer(channels=())
+    if hasattr(tracer, "channel"):
+        ch = tracer.channel("bus")
+        start = time.perf_counter()
+        for i in range(n):
+            if ch.enabled:
+                ch.emit(i, "m0", "grant", op="rd", addr=i, retry_no=0)
+        return time.perf_counter() - start
+    emit = tracer.emit
+    start = time.perf_counter()
+    for i in range(n):
+        emit(i, "bus", "m0", "grant", op="rd", addr=i, retry_no=0)
+    return time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: the Table-2 protocol pair under the WCS kernel
+# ---------------------------------------------------------------------------
+def _table2_e2e(iterations: int) -> float:
+    """Wall time of the fixed Table-2 workload (MESI + MEI, WCS loop)."""
+    from ..cpu.presets import preset_generic
+    from ..workloads.microbench import MicrobenchSpec, run_microbench
+
+    spec = MicrobenchSpec(
+        scenario="wcs",
+        solution="proposed",
+        lines=16,
+        exec_time=2,
+        iterations=iterations,
+    )
+    cores = (preset_generic("p1", "MESI"), preset_generic("p2", "MEI"))
+    start = time.perf_counter()
+    result = run_microbench(spec, cores=cores)
+    elapsed = time.perf_counter() - start
+    if result.elapsed_ns <= 0:  # pragma: no cover - sanity guard
+        raise RuntimeError("table2 e2e workload simulated zero time")
+    return elapsed
+
+
+# ---------------------------------------------------------------------------
+# the suite
+# ---------------------------------------------------------------------------
+def run_suite(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
+    """Run every hot-path benchmark; returns the result document."""
+    scale = 1 if quick else 5
+    n_kernel = 40_000 * scale
+    n_array = 80_000 * scale
+    n_tracer = 120_000 * scale
+    # The e2e workload is FIXED across quick/full: it is a wall time, so
+    # a quick run must stay comparable to a committed full-mode baseline
+    # (the rate metrics are size-independent; a shrunk wall time is not).
+    e2e_iters = 20
+
+    metrics = {
+        "kernel_events_per_sec": n_kernel / _best_of(repeats, lambda: _kernel_zero_delay(n_kernel)),
+        "kernel_timeout_events_per_sec": n_kernel / _best_of(repeats, lambda: _kernel_timeouts(n_kernel)),
+        "array_lookups_per_sec": n_array / _best_of(repeats, lambda: _array_lookups(n_array)),
+        "tracer_disabled_emits_per_sec": n_tracer / _best_of(repeats, lambda: _tracer_disabled_emits(n_tracer)),
+        "table2_e2e_seconds": _best_of(repeats, lambda: _table2_e2e(e2e_iters)),
+    }
+    return {
+        "schema": 1,
+        "suite": "hotpath",
+        "quick": bool(quick),
+        "python": sys.version.split()[0],
+        "params": {
+            "kernel_events": n_kernel,
+            "array_lookups": n_array,
+            "tracer_emits": n_tracer,
+            "table2_iterations": e2e_iters,
+            "repeats": repeats,
+        },
+        "metrics": {k: round(v, 6) if k in TIME_METRICS else round(v, 1)
+                    for k, v in metrics.items()},
+    }
+
+
+def speedups(current: Dict[str, Any], baseline: Dict[str, Any]) -> Dict[str, float]:
+    """Per-metric speedup of ``current`` over ``baseline`` (>1 is faster)."""
+    out: Dict[str, float] = {}
+    cur, base = current.get("metrics", {}), baseline.get("metrics", {})
+    for key in RATE_METRICS:
+        if key in cur and key in base and base[key]:
+            out[key] = cur[key] / base[key]
+    for key in TIME_METRICS:
+        if key in cur and key in base and cur[key]:
+            out[key] = base[key] / cur[key]
+    return out
+
+
+def render_comparison(current: Dict[str, Any], baseline: Optional[Dict[str, Any]]) -> str:
+    """Human-readable table of the run, against a baseline when given."""
+    lines = [f"hotpath suite (quick={current.get('quick')}, py {current.get('python')})"]
+    ratios = speedups(current, baseline) if baseline else {}
+    for key, value in current.get("metrics", {}).items():
+        if key in TIME_METRICS:
+            rendered = f"{value:.4f} s"
+        else:
+            rendered = f"{value:>14,.0f} /s"
+        suffix = f"   {ratios[key]:.2f}x vs baseline" if key in ratios else ""
+        lines.append(f"  {key:<32} {rendered}{suffix}")
+    return "\n".join(lines)
+
+
+def check_regression(
+    current: Dict[str, Any], baseline: Dict[str, Any], tolerance: float = 0.25
+) -> list[str]:
+    """Metrics of ``current`` more than ``tolerance`` worse than baseline."""
+    failures = []
+    for key, ratio in speedups(current, baseline).items():
+        if ratio < 1.0 - tolerance:
+            failures.append(f"{key}: {ratio:.2f}x of baseline (floor {1.0 - tolerance:.2f}x)")
+    return failures
+
+
+def load_results(path: str) -> Optional[Dict[str, Any]]:
+    """Parse a previously written result file (None when absent)."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None

@@ -148,10 +148,12 @@ class DmaEngine(Device):
         if self.irq is not None:
             self.irq.assert_line()
         self._done_event.succeed(self.sim.now)
-        self.bus.tracer.emit(
-            self.sim.now, "bus", self.name, "dma-complete",
-            src=self._src, dst=self._dst, length=length,
-        )
+        trace = self.bus.tracer.channel("bus")
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, self.name, "dma-complete",
+                src=self._src, dst=self._dst, length=length,
+            )
 
     def _chunk(self, addr: int, remaining: int) -> int:
         """Largest line-aligned chunk that fits at ``addr``."""

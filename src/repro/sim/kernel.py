@@ -10,11 +10,22 @@ for the needs of a shared-bus SoC model:
 
 The kernel knows nothing about buses or caches; those are modelled as
 processes and shared objects in higher layers.
+
+Fast path
+---------
+Triggering an event always means "fire at the current tick, after
+everything already queued".  Those zero-delay firings dominate real
+runs (every ``succeed``, mutex hand-off, process resume...), so they
+bypass the time heap entirely: a plain FIFO run queue holds them, and
+the scheduler drains heap entries due at the current time before the
+FIFO.  Ordering is unchanged — see ``docs/timing-model.md`` ("kernel
+fast path & determinism guarantees") for the argument.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import DeadlockError, SimulationError
@@ -78,7 +89,8 @@ class Event:
         self.value = value
         self._ok = ok
         self._scheduled = True
-        self.sim._schedule(self, delay=0)
+        # Zero-delay: straight onto the same-tick run queue, no heap.
+        self.sim._fifo.append(self)
 
     def _fire(self) -> None:
         """Invoked by the simulator when this event's turn arrives."""
@@ -112,12 +124,22 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        super().__init__(sim)
-        self.delay = int(delay)
+        delay = int(delay)
+        # Inlined Event.__init__ + scheduling: a Timeout is created per
+        # modelled cycle boundary, making this the hottest constructor
+        # in the simulator.
+        self.sim = sim
         self.value = value
         self._ok = True
+        self._triggered = False
         self._scheduled = True
-        sim._schedule(self, delay=self.delay)
+        self._callbacks = []
+        self.delay = delay
+        if delay == 0:
+            sim._fifo.append(self)
+        else:
+            heappush(sim._queue, (sim.now + delay, sim._sequence, self))
+            sim._sequence += 1
 
 
 class Interrupt(Exception):
@@ -195,22 +217,17 @@ class Process(Event):
 
     # -- driving ----------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:  # pragma: no cover - defensive; interrupt detaches
+        if self._triggered or self._scheduled:  # pragma: no cover - defensive
             return
         self._waiting_on = None
-        if event.ok:
-            self._step(lambda: self.generator.send(event.value))
-        else:
-            self._step(lambda: self.generator.throw(event.value))
-
-    def _throw(self, exc: BaseException) -> None:
-        if not self.is_alive:
-            return
-        self._step(lambda: self.generator.throw(exc))
-
-    def _step(self, advance: Callable[[], Any]) -> None:
+        # Advance the generator directly — no per-step closure.  This
+        # runs once per event a process waits on, so the lambda that
+        # used to wrap send/throw was pure allocation overhead.
         try:
-            target = advance()
+            if event._ok:
+                target = self.generator.send(event.value)
+            else:
+                target = self.generator.throw(event.value)
         except StopIteration as stop:
             self._trigger(stop.value, ok=True)
             return
@@ -219,13 +236,34 @@ class Process(Event):
                 self._trigger(exc, ok=False)
                 return
             raise
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.is_alive:
+            return
+        try:
+            target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self._trigger(stop.value, ok=True)
+            return
+        except BaseException as raised:
+            if self._callbacks:
+                self._trigger(raised, ok=False)
+                return
+            raise
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must "
                 "yield Event instances (use sim.timeout / sim.event)"
             )
-        self._waiting_on = target
-        target.add_callback(self._resume)
+        if target._triggered:
+            self._resume(target)
+        else:
+            self._waiting_on = target
+            target._callbacks.append(self._resume)
 
 
 class AllOf(Event):
@@ -308,7 +346,10 @@ class Simulator:
 
     def __init__(self):
         self.now: int = 0
+        #: the time heap: (time, sequence, event), future events only
         self._queue: list[tuple[int, int, Event]] = []
+        #: the same-tick run queue: zero-delay events in schedule order
+        self._fifo: deque[Event] = deque()
         self._sequence = 0
         self._processes: list[Process] = []
 
@@ -341,22 +382,37 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: int) -> None:
-        heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
-        self._sequence += 1
+        if delay == 0:
+            self._fifo.append(event)
+        else:
+            heappush(self._queue, (self.now + delay, self._sequence, event))
+            self._sequence += 1
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the queue is empty."""
+        if self._fifo:
+            return self.now
         return self._queue[0][0] if self._queue else None
 
     def step(self) -> None:
-        """Fire the single next event (advancing ``now`` to its time)."""
-        if not self._queue:
+        """Fire the single next event (advancing ``now`` to its time).
+
+        Heap entries due at the current tick predate anything on the
+        same-tick FIFO (they were scheduled strictly earlier), so they
+        fire first — the merged order is identical to the old single
+        heap's (time, sequence) order.
+        """
+        queue = self._queue
+        if queue and (not self._fifo or queue[0][0] == self.now):
+            when, _seq, event = heappop(queue)
+            if when < self.now:  # pragma: no cover - queue is monotone
+                raise SimulationError("event queue went backwards")
+            self.now = when
+            event._fire()
+        elif self._fifo:
+            self._fifo.popleft()._fire()
+        else:
             raise SimulationError("step() on an empty event queue")
-        when, _seq, event = heapq.heappop(self._queue)
-        if when < self.now:  # pragma: no cover - queue is monotone
-            raise SimulationError("event queue went backwards")
-        self.now = when
-        event._fire()
 
     def run(
         self,
@@ -374,14 +430,28 @@ class Simulator:
         step-wise use where external code triggers events between runs).
         """
         fired = 0
-        while self._queue:
-            if stop_event is not None and stop_event.triggered:
+        queue = self._queue
+        fifo = self._fifo
+        fifo_pop = fifo.popleft
+        while queue or fifo:
+            if stop_event is not None and stop_event._triggered:
                 return self.now
-            next_time = self._queue[0][0]
-            if until is not None and next_time > until:
-                self.now = until
-                return self.now
-            self.step()
+            if until is not None:
+                next_time = self.now if fifo else queue[0][0]
+                if next_time > until:
+                    self.now = until
+                    return self.now
+            if queue and (not fifo or queue[0][0] == self.now):
+                # Due heap entries predate every FIFO entry at this tick
+                # (their delay was >0, so they were scheduled on an
+                # earlier tick): they fire before the same-tick FIFO.
+                when, _seq, event = heappop(queue)
+                self.now = when
+                event._fire()
+            else:
+                # Batch-drain the same-tick run queue before the clock
+                # may advance.
+                fifo_pop()._fire()
             fired += 1
             if max_events is not None and fired >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")

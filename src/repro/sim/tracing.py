@@ -6,6 +6,22 @@ cache state change, interrupt, lock operation...).  Tracing is off by
 default; benchmarks leave it off, tests and the coherence checker turn
 on the channels they need.
 
+Hot call sites do not call :meth:`Tracer.emit` directly — building the
+keyword dict for a record that is then dropped costs more than many of
+the modelled operations themselves.  Instead a component asks once for
+a cached :class:`TraceChannel` guard object and emits through it::
+
+    self._trace_bus = tracer.channel("bus")
+    ...
+    trace = self._trace_bus
+    if trace.enabled:
+        trace.emit(now, source, kind, addr=addr)
+
+When the channel is disabled and no listeners are attached, the cost is
+two attribute loads and a branch — no dict, no record, no call.  The
+tracer keeps every handed-out channel's ``enabled`` flag current when
+channels are enabled or listeners attached.
+
 :class:`Stats` is a plain counter bag used for the headline metrics
 (bus cycles busy, misses, interrupts, retries) that the analysis layer
 reads after a run.
@@ -15,12 +31,12 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Iterable, Optional
+from typing import Any, Callable, Deque, Dict, Iterable, Optional
 
-__all__ = ["TraceRecord", "Tracer", "Stats", "NullTracer"]
+__all__ = ["TraceRecord", "TraceChannel", "Tracer", "Stats", "NullTracer"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One timestamped simulation event.
 
@@ -47,6 +63,38 @@ def _fmt(value: Any) -> str:
     return str(value)
 
 
+class TraceChannel:
+    """A cached per-channel emit guard (see :meth:`Tracer.channel`).
+
+    ``enabled`` is a plain attribute the owning tracer keeps current:
+    False exactly when an emit would be a no-op, so call sites skip the
+    whole call (and its kwargs dict) with one attribute load.  ``store``
+    tracks whether records on this channel are kept in the buffer (they
+    may be False while ``enabled`` is True: listeners see all channels).
+    """
+
+    __slots__ = ("_tracer", "name", "enabled", "store")
+
+    def __init__(self, tracer: "Tracer", name: str, store: bool, enabled: bool):
+        self._tracer = tracer
+        self.name = name
+        self.store = store
+        self.enabled = enabled
+
+    def emit(self, time: int, source: str, kind: str, **fields: Any) -> None:
+        """Record one event on this channel (call only when ``enabled``)."""
+        tracer = self._tracer
+        record = TraceRecord(time, self.name, source, kind, fields)
+        for listener in tracer._listeners:
+            listener(record)
+        if self.store:
+            tracer.records.append(record)  # deque(maxlen) evicts the oldest
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.enabled else "off"
+        return f"<TraceChannel {self.name!r} {state}>"
+
+
 class Tracer:
     """Collects :class:`TraceRecord` objects on enabled channels.
 
@@ -60,6 +108,7 @@ class Tracer:
         self.records: Deque[TraceRecord] = deque(maxlen=capacity)
         self._channels: Optional[set[str]] = set(channels) if channels is not None else None
         self._listeners: list[Callable[[TraceRecord], None]] = []
+        self._channel_cache: Dict[str, TraceChannel] = {}
 
     def enabled(self, channel: str) -> bool:
         """True when ``channel`` is being recorded."""
@@ -69,6 +118,7 @@ class Tracer:
         """Start recording ``channel`` (no-op if all channels are on)."""
         if self._channels is not None:
             self._channels.add(channel)
+            self._refresh_channels()
 
     def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
         """Invoke ``listener(record)`` on every emitted record.
@@ -78,9 +128,33 @@ class Tracer:
         storage off while still being checked.
         """
         self._listeners.append(listener)
+        self._refresh_channels()
 
+    # -- channel guards ----------------------------------------------------
+    def channel(self, name: str) -> TraceChannel:
+        """The cached emit guard for ``name`` (one object per channel)."""
+        guard = self._channel_cache.get(name)
+        if guard is None:
+            guard = TraceChannel(self, name, self._stores(name), self._live(name))
+            self._channel_cache[name] = guard
+        return guard
+
+    def _stores(self, name: str) -> bool:
+        """Whether records on ``name`` are kept in the buffer."""
+        return self._channels is None or name in self._channels
+
+    def _live(self, name: str) -> bool:
+        """Whether an emit on ``name`` does any work at all."""
+        return bool(self._listeners) or self._stores(name)
+
+    def _refresh_channels(self) -> None:
+        for guard in self._channel_cache.values():
+            guard.store = self._stores(guard.name)
+            guard.enabled = self._live(guard.name)
+
+    # -- direct emission ---------------------------------------------------
     def emit(self, time: int, channel: str, source: str, kind: str, **fields: Any) -> None:
-        """Record one event (cheap no-op on disabled channels w/o listeners)."""
+        """Record one event (no record is built on a dead channel)."""
         if not self._listeners and not self.enabled(channel):
             return
         record = TraceRecord(time, channel, source, kind, fields)
@@ -109,13 +183,23 @@ class NullTracer(Tracer):
     def __init__(self):
         super().__init__(channels=())
 
+    def _stores(self, name: str) -> bool:
+        # enable() on the base class would start recording; a NullTracer
+        # never stores, whatever the channel set says.
+        return False
+
     def emit(self, time: int, channel: str, source: str, kind: str, **fields: Any) -> None:
+        if not self._listeners:
+            return
+        record = TraceRecord(time, channel, source, kind, fields)
         for listener in self._listeners:
-            listener(TraceRecord(time, channel, source, kind, fields))
+            listener(record)
 
 
 class Stats:
     """A counter bag with a tiny convenience API."""
+
+    __slots__ = ("counters",)
 
     def __init__(self):
         self.counters: Counter[str] = Counter()

@@ -152,7 +152,8 @@ def test_property_install_always_findable_and_bounded(addresses):
             continue  # controllers only fill on a miss
         way, victim, victim_addr = array.victim_for(addr)
         if victim is not None:
-            array._sets[geom.set_index(victim_addr)][way] = None
+            victim.state = State.INVALID
+            array.release_way(victim_addr, way)
         array.install(addr, way, [0] * 8, State.EXCLUSIVE, MEI)
         assert array.lookup(addr) is not None
     assert array.occupancy() <= 16

@@ -442,3 +442,136 @@ class TestSlots:
         for cls in (kernel.Event, kernel.Timeout, kernel.Process,
                     kernel.AllOf, kernel.AnyOf):
             assert "__slots__" in cls.__dict__, cls.__name__
+
+
+class TestCombinatorFailure:
+    def test_all_of_propagates_child_failure(self, sim):
+        bad = sim.event()
+        slow = sim.timeout(5)
+        caught = []
+
+        def joiner():
+            try:
+                yield sim.all_of([slow, bad])
+            except RuntimeError as exc:
+                caught.append((sim.now, str(exc)))
+
+        def failer():
+            yield sim.timeout(2)
+            bad.fail(RuntimeError("boom"))
+
+        sim.process(joiner())
+        sim.process(failer(), daemon=True)
+        sim.run()
+        # Fails as soon as the child fails -- no waiting for the rest.
+        assert caught == [(2, "boom")]
+
+    def test_all_of_failure_only_raised_once(self, sim):
+        first, second = sim.event(), sim.event()
+        caught = []
+
+        def joiner():
+            try:
+                yield sim.all_of([first, second])
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        def failer():
+            yield sim.timeout(1)
+            first.fail(RuntimeError("first"))
+            second.fail(RuntimeError("second"))
+
+        sim.process(joiner())
+        sim.process(failer(), daemon=True)
+        sim.run()
+        assert caught == ["first"]
+
+    def test_any_of_propagates_child_failure(self, sim):
+        bad = sim.event()
+        slow = sim.timeout(50)
+        caught = []
+
+        def racer():
+            try:
+                yield sim.any_of([slow, bad])
+            except ValueError as exc:
+                caught.append((sim.now, str(exc)))
+
+        def failer():
+            yield sim.timeout(3)
+            bad.fail(ValueError("lost"))
+
+        sim.process(racer())
+        sim.process(failer(), daemon=True)
+        sim.run()
+        assert caught == [(3, "lost")]
+
+    def test_any_of_success_beats_later_failure(self, sim):
+        bad = sim.event()
+        fast = sim.timeout(1)
+        got = []
+
+        def racer():
+            got.append((yield sim.any_of([fast, bad])))
+
+        def failer():
+            yield sim.timeout(10)
+            bad.fail(RuntimeError("too late"))
+
+        sim.process(racer())
+        sim.process(failer(), daemon=True)
+        sim.run()
+        assert got == [(0, None)]
+
+
+class TestRunUntilBoundaries:
+    def test_until_exactly_on_event_fires_it(self, sim):
+        fired = []
+
+        def proc():
+            yield sim.timeout(10)
+            fired.append(sim.now)
+
+        sim.process(proc(), daemon=True)
+        assert sim.run(until=10) == 10
+        assert fired == [10]
+
+    def test_until_between_events_advances_clock_only(self, sim):
+        fired = []
+
+        def proc():
+            yield sim.timeout(10)
+            fired.append(sim.now)
+            yield sim.timeout(10)
+            fired.append(sim.now)
+
+        sim.process(proc(), daemon=True)
+        assert sim.run(until=15) == 15
+        assert fired == [10]
+        assert sim.run(until=25) == 25
+        assert fired == [10, 20]
+
+    def test_until_fires_zero_delay_chain_at_boundary(self, sim):
+        log = []
+
+        def proc():
+            yield sim.timeout(10)
+            ev = sim.event()
+            ev.succeed("x")
+            log.append((sim.now, (yield ev)))
+
+        sim.process(proc(), daemon=True)
+        sim.run(until=10)
+        assert log == [(10, "x")]
+
+    def test_until_before_any_event(self, sim):
+        fired = []
+
+        def proc():
+            yield sim.timeout(100)
+            fired.append(sim.now)
+
+        sim.process(proc(), daemon=True)
+        assert sim.run(until=5) == 5
+        assert sim.now == 5
+        assert fired == []

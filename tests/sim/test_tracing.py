@@ -98,3 +98,109 @@ class TestStats:
         a.merge(b)
         assert a.get("k") == 3
         assert a.get("other") == 3
+
+
+class TestTraceChannel:
+    """The cached per-channel guards used by hot emit call sites."""
+
+    def test_channel_is_cached(self):
+        tracer = Tracer(channels=("bus",))
+        assert tracer.channel("bus") is tracer.channel("bus")
+
+    def test_guard_reflects_enabled_set(self):
+        tracer = Tracer(channels=("bus",))
+        assert tracer.channel("bus").enabled
+        assert not tracer.channel("cache").enabled
+
+    def test_enable_refreshes_existing_guards(self):
+        tracer = Tracer(channels=())
+        guard = tracer.channel("irq")
+        assert not guard.enabled
+        tracer.enable("irq")
+        assert guard.enabled and guard.store
+
+    def test_listener_enables_guard_without_storage(self):
+        tracer = Tracer(channels=())
+        guard = tracer.channel("mem")
+        seen = []
+        tracer.add_listener(seen.append)
+        assert guard.enabled and not guard.store
+        guard.emit(5, "c0", "load", addr=4)
+        assert len(seen) == 1
+        assert len(tracer.records) == 0
+
+    def test_channel_emit_stores_on_enabled_channel(self):
+        tracer = Tracer(channels=("bus",))
+        tracer.channel("bus").emit(10, "m0", "grant", addr=0x100)
+        assert len(tracer.records) == 1
+        assert tracer.records[0].channel == "bus"
+        assert tracer.records[0].fields["addr"] == 0x100
+
+    def test_channel_emit_respects_capacity(self):
+        tracer = Tracer(capacity=3)
+        guard = tracer.channel("x")
+        for i in range(10):
+            guard.emit(i, "s", "k")
+        assert len(tracer.records) == 3
+        assert tracer.records[0].time == 7
+
+    def test_null_tracer_guards_stay_dead(self):
+        tracer = NullTracer()
+        guard = tracer.channel("bus")
+        assert not guard.enabled
+        tracer.enable("bus")  # must NOT start recording on a NullTracer
+        assert not guard.enabled and not guard.store
+
+    def test_null_tracer_listener_enables_guard(self):
+        tracer = NullTracer()
+        guard = tracer.channel("bus")
+        seen = []
+        tracer.add_listener(seen.append)
+        assert guard.enabled and not guard.store
+        guard.emit(1, "a", "grant")
+        assert len(seen) == 1
+        assert len(tracer.records) == 0
+
+
+class TestEmitAllocation:
+    """Disabled channels must not even construct a TraceRecord."""
+
+    @staticmethod
+    def _count_records(monkeypatch):
+        from repro.sim import tracing
+
+        calls = []
+        real = tracing.TraceRecord
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(tracing, "TraceRecord", counting)
+        return calls
+
+    def test_emit_builds_no_record_on_disabled_channel(self, monkeypatch):
+        calls = self._count_records(monkeypatch)
+        tracer = Tracer(channels=("bus",))
+        tracer.emit(1, "cache", "m0", "fill", addr=0x40)
+        assert calls == []
+        tracer.emit(2, "bus", "m0", "grant")
+        assert len(calls) == 1
+
+    def test_null_tracer_emit_builds_no_record(self, monkeypatch):
+        calls = self._count_records(monkeypatch)
+        NullTracer().emit(1, "bus", "m0", "grant", addr=0x40)
+        assert calls == []
+
+    def test_capped_buffer_still_constructs_and_evicts(self, monkeypatch):
+        calls = self._count_records(monkeypatch)
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.emit(i, "x", "s", "k")
+        assert len(calls) == 5  # every record built...
+        assert len(tracer.records) == 2  # ...but only the newest kept
+        assert [r.time for r in tracer.records] == [3, 4]
+
+    def test_trace_record_has_no_dict(self):
+        record = TraceRecord(1, "bus", "a", "grant", {"addr": 4})
+        assert not hasattr(record, "__dict__")
