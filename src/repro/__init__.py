@@ -58,9 +58,11 @@ from .errors import (
     ConfigError,
     DeadlockError,
     IntegrationError,
+    LivelockError,
     ReproError,
 )
 from .exp import MicrobenchJob, ResultCache, SequenceJob, SweepRunner
+from .faults import FaultSpec, Watchdog, WatchdogConfig, WatchdogReport
 from .mem import MainMemory, MemoryMap, MemoryTiming, Region
 from .sim import Clock, Simulator
 from .sync import BakeryLock, HwLock, SwapLock, TurnLock
@@ -135,10 +137,16 @@ __all__ = [
     "ResultCache",
     "MicrobenchJob",
     "SequenceJob",
+    # fault injection + liveness
+    "FaultSpec",
+    "Watchdog",
+    "WatchdogConfig",
+    "WatchdogReport",
     # errors
     "ReproError",
     "ConfigError",
     "IntegrationError",
     "DeadlockError",
+    "LivelockError",
     "__version__",
 ]

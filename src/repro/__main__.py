@@ -10,6 +10,13 @@ Commands
     Execute the Table 2 / Table 3 sequences with and without wrappers.
 ``deadlock``
     Run the Fig 4 scenario under all four lock strategies.
+``faults``
+    Run the fault-injection matrix: every registered fault class is
+    armed against a contended workload and must be classified
+    detected-by-watchdog, detected-by-checker, retry-ceiling, or
+    benign.  ``--list`` prints the matrix without running; ``--dump``
+    writes the JSON report (watchdog dumps included); exits non-zero
+    on any classification mismatch.
 ``reduce P1 P2 [P3...]``
     Print the integrated protocol and wrapper policies for a protocol
     mix (use ``none`` for a processor without coherence hardware).
@@ -105,6 +112,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("tables", help="run the Table 2/3 sequences")
 
     sub.add_parser("deadlock", help="run the Fig 4 scenario + remedies")
+
+    p = sub.add_parser("faults", help="run the fault-injection matrix")
+    p.add_argument("--list", action="store_true",
+                   help="print the matrix entries without running them")
+    p.add_argument("--only", default=None, metavar="NAME",
+                   help="run a single matrix entry by name")
+    p.add_argument("--dump", default=None, metavar="PATH",
+                   help="write the JSON report (incl. watchdog dumps) here")
+    p.add_argument("--max-events", type=int, default=None,
+                   help="override the per-entry event backstop")
 
     p = sub.add_parser("reduce", help="integrate a protocol mix")
     p.add_argument("protocols", nargs="+",
@@ -206,6 +223,38 @@ def _cmd_deadlock(_args) -> int:
     return 0 if wedged == 1 else 1
 
 
+def _cmd_faults(args) -> int:
+    from .faults.matrix import (
+        MATRIX_MAX_EVENTS,
+        default_matrix,
+        render_results,
+        results_to_json,
+        run_matrix,
+    )
+
+    entries = default_matrix()
+    if args.only is not None:
+        entries = tuple(e for e in entries if e.name == args.only)
+        if not entries:
+            known = ", ".join(e.name for e in default_matrix())
+            print(f"unknown matrix entry {args.only!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+    if args.list:
+        for entry in entries:
+            print(f"{entry.name:<16} expect={entry.expected:<14} "
+                  f"{entry.spec.describe()}")
+            print(f"{'':<16} {entry.rationale}")
+        return 0
+    results = run_matrix(entries, max_events=args.max_events or MATRIX_MAX_EVENTS)
+    print(render_results(results))
+    if args.dump:
+        with open(args.dump, "w") as handle:
+            handle.write(results_to_json(results))
+        print(f"report written to {args.dump}")
+    return 0 if all(r.ok for r in results) else 1
+
+
 def _cmd_reduce(args) -> int:
     protocols = [None if p.lower() == "none" else p for p in args.protocols]
     result = reduce_protocols(protocols)
@@ -287,6 +336,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "tables": _cmd_tables,
     "deadlock": _cmd_deadlock,
+    "faults": _cmd_faults,
     "reduce": _cmd_reduce,
     "bench": _cmd_bench,
     "verify": _cmd_verify,

@@ -1,12 +1,13 @@
 """Shared system bus: transactions, arbitration, the ASB-like bus model."""
 
 from .arbiter import Arbiter, FixedPriorityArbiter, RoundRobinArbiter
-from .asb import AsbBus, Snooper
+from .asb import AsbBus, Snooper, TenureState
 from .types import BusOp, BusResult, Priority, SnoopAction, SnoopReply, Transaction
 
 __all__ = [
     "AsbBus",
     "Snooper",
+    "TenureState",
     "BusOp",
     "BusResult",
     "Priority",

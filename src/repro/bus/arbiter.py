@@ -70,6 +70,17 @@ class Arbiter:
         """Number of queued requests across all levels."""
         return sum(len(q) for q in self._queues.values())
 
+    def snapshot(self) -> dict:
+        """Diagnostic view: holder, grant count, queued masters per band."""
+        return {
+            "holder": self._holder,
+            "grants": self.grants,
+            "queued": {
+                level.name.lower(): [master for master, _ in queue]
+                for level, queue in self._queues.items()
+            },
+        }
+
     # -- selection policy --------------------------------------------------
     def _grant_next(self) -> None:
         choice = self._select()

@@ -24,9 +24,9 @@ checker relies on.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Generator, List, Optional
+from typing import TYPE_CHECKING, Callable, Generator, List, Optional, Tuple
 
-from ..errors import BusError
+from ..errors import BusError, LivelockError
 from ..sim import Clock, Simulator, Stats, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -34,7 +34,40 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 from .arbiter import Arbiter, FixedPriorityArbiter
 from .types import BusOp, BusResult, Priority, SnoopAction, SnoopReply, Transaction
 
-__all__ = ["AsbBus", "Snooper"]
+__all__ = ["AsbBus", "Snooper", "TenureState"]
+
+
+class TenureState:
+    """Live view of one in-flight bus transaction, for diagnostics.
+
+    ``phase`` is one of ``arbitrating`` / ``address`` / ``backed-off`` /
+    ``data``; ``since`` is when the current phase began; ``waiting_on``
+    names the snoopers whose drain completions a backed-off master is
+    waiting for.  The watchdog renders these in its diagnostic dump.
+    """
+
+    __slots__ = ("master", "op", "addr", "phase", "since", "retries", "waiting_on")
+
+    def __init__(self, master: str, op: str, addr: int, now: int):
+        self.master = master
+        self.op = op
+        self.addr = addr
+        self.phase = "arbitrating"
+        self.since = now
+        self.retries = 0
+        self.waiting_on: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """One-line rendering for reports."""
+        text = (
+            f"{self.master} {self.op} @0x{self.addr:08x} "
+            f"{self.phase} since t={self.since}"
+        )
+        if self.retries:
+            text += f" retries={self.retries}"
+        if self.waiting_on:
+            text += " waiting-on=" + ",".join(self.waiting_on)
+        return text
 
 
 class Snooper:
@@ -72,6 +105,7 @@ class AsbBus:
         arbitration_cycles: int = 1,
         address_cycles: int = 1,
         retry_penalty_cycles: int = 0,
+        max_retries: Optional[int] = 1000,
     ):
         self.sim = sim
         self.clock = clock
@@ -84,7 +118,16 @@ class AsbBus:
         self.arbitration_cycles = arbitration_cycles
         self.address_cycles = address_cycles
         self.retry_penalty_cycles = retry_penalty_cycles
+        #: ARTRY ceiling per transaction; None disables the monitor.
+        self.max_retries = max_retries
         self.snoopers: List[Snooper] = []
+        #: completed tenures (plain attribute: golden stats stay intact)
+        self.completions = 0
+        self._inflight: dict = {}
+
+    def inflight_tenures(self) -> List[TenureState]:
+        """Live :class:`TenureState` for every in-flight transaction."""
+        return list(self._inflight.values())
 
     # -- topology -----------------------------------------------------------
     def attach_snooper(self, snooper: Snooper) -> None:
@@ -115,74 +158,111 @@ class AsbBus:
         self.stats.bump("bus.txns")
         self.stats.bump(f"bus.op.{txn.op.value}")
         self.stats.bump(f"bus.master.{txn.master}")
-        while True:
-            yield self.arbiter.request(txn.master, priority)
-            tenure_start = sim.now
-            # Arbitration + address phase, aligned to the bus clock.
-            # Snoop pushes skip arbitration: after ARTRY the arbiter
-            # hands the bus to the snooper directly (the BOFF/ARTRY
-            # handover of Section 3).
-            arb_cycles = 0 if priority is Priority.DRAIN else self.arbitration_cycles
-            yield sim.timeout(
-                self.clock.edge_then_cycles(sim.now, arb_cycles + self.address_cycles)
-            )
-            trace = self._trace_bus
-            if trace.enabled:
-                trace.emit(
-                    sim.now, txn.master, "address-phase",
-                    op=txn.op.value, addr=txn.addr, retry_no=txn.retries,
+        state = TenureState(txn.master, txn.op.value, txn.addr, start)
+        self._inflight[id(txn)] = state
+        held = False
+        try:
+            while True:
+                yield self.arbiter.request(txn.master, priority)
+                held = True
+                tenure_start = sim.now
+                state.phase = "address"
+                state.since = tenure_start
+                # Arbitration + address phase, aligned to the bus clock.
+                # Snoop pushes skip arbitration: after ARTRY the arbiter
+                # hands the bus to the snooper directly (the BOFF/ARTRY
+                # handover of Section 3).
+                arb_cycles = 0 if priority is Priority.DRAIN else self.arbitration_cycles
+                yield sim.timeout(
+                    self.clock.edge_then_cycles(sim.now, arb_cycles + self.address_cycles)
                 )
-            replies = self._snoop_window(txn)
-            retriers = [r for r in replies if r.action is SnoopAction.RETRY]
-            if retriers:
-                # ARTRY: abort the tenure, back off until drains finish.
-                # The wasted address phase is the intrinsic cost; extra
-                # recovery cycles are configurable.
-                self.stats.bump("bus.retries")
+                trace = self._trace_bus
                 if trace.enabled:
-                    trace.emit(sim.now, txn.master, "artry", addr=txn.addr)
-                if self.retry_penalty_cycles:
-                    yield sim.timeout(self.clock.cycles(self.retry_penalty_cycles))
-                aborted = sim.now - tenure_start
-                self.stats.bump("bus.busy_ticks", aborted)
-                self.stats.bump(f"bus.busy.{txn.master}", aborted)
-                self.arbiter.release(txn.master)
-                txn.retries += 1
-                yield sim.all_of([r.completion for r in retriers])
-                priority = Priority.RETRY
-                continue
-            shared = any(
-                r.action in (SnoopAction.SHARED, SnoopAction.SUPPLY) for r in replies
-            )
-            supplier = next(
-                (r for r in replies if r.action is SnoopAction.SUPPLY), None
-            )
-            data, cycles = self._data_phase(txn, supplier)
-            yield sim.timeout(self.clock.cycles(cycles))
-            result = BusResult(
-                data=data,
-                shared=shared,
-                retries=txn.retries,
-                start_time=start,
-                end_time=sim.now,
-                supplied=supplier is not None,
-            )
-            if commit is not None:
-                commit(result)
-            if trace.enabled:
-                trace.emit(
-                    sim.now, txn.master, "complete",
-                    op=txn.op.value, addr=txn.addr, shared=shared,
-                    supplied=result.supplied, retries=txn.retries,
+                    trace.emit(
+                        sim.now, txn.master, "address-phase",
+                        op=txn.op.value, addr=txn.addr, retry_no=txn.retries,
+                    )
+                replies = self._snoop_window(txn)
+                retriers = [
+                    (name, r) for name, r in replies if r.action is SnoopAction.RETRY
+                ]
+                if retriers:
+                    # ARTRY: abort the tenure, back off until drains finish.
+                    # The wasted address phase is the intrinsic cost; extra
+                    # recovery cycles are configurable.
+                    self.stats.bump("bus.retries")
+                    if trace.enabled:
+                        trace.emit(sim.now, txn.master, "artry", addr=txn.addr)
+                    if self.retry_penalty_cycles:
+                        yield sim.timeout(self.clock.cycles(self.retry_penalty_cycles))
+                    aborted = sim.now - tenure_start
+                    self.stats.bump("bus.busy_ticks", aborted)
+                    self.stats.bump(f"bus.busy.{txn.master}", aborted)
+                    self.arbiter.release(txn.master)
+                    held = False
+                    txn.retries += 1
+                    state.retries = txn.retries
+                    if self.max_retries is not None and txn.retries > self.max_retries:
+                        raise LivelockError(
+                            f"{txn.master} {txn.op.value} @0x{txn.addr:08x} "
+                            f"ARTRY'd {txn.retries} times "
+                            f"(ceiling {self.max_retries}): livelocked retry loop",
+                            master=txn.master,
+                            address=txn.addr,
+                            retries=txn.retries,
+                        )
+                    state.phase = "backed-off"
+                    state.since = sim.now
+                    state.waiting_on = tuple(name for name, _ in retriers)
+                    yield sim.all_of([r.completion for _, r in retriers])
+                    state.waiting_on = ()
+                    state.phase = "arbitrating"
+                    state.since = sim.now
+                    priority = Priority.RETRY
+                    continue
+                shared = any(
+                    r.action in (SnoopAction.SHARED, SnoopAction.SUPPLY)
+                    for _, r in replies
                 )
-            tenure = sim.now - tenure_start
-            self.stats.bump("bus.busy_ticks", tenure)
-            self.stats.bump(f"bus.busy.{txn.master}", tenure)
-            self.arbiter.release(txn.master)
-            return result
+                supplier = next(
+                    (r for _, r in replies if r.action is SnoopAction.SUPPLY), None
+                )
+                state.phase = "data"
+                state.since = sim.now
+                data, cycles = self._data_phase(txn, supplier)
+                yield sim.timeout(self.clock.cycles(cycles))
+                result = BusResult(
+                    data=data,
+                    shared=shared,
+                    retries=txn.retries,
+                    start_time=start,
+                    end_time=sim.now,
+                    supplied=supplier is not None,
+                )
+                if commit is not None:
+                    commit(result)
+                if trace.enabled:
+                    trace.emit(
+                        sim.now, txn.master, "complete",
+                        op=txn.op.value, addr=txn.addr, shared=shared,
+                        supplied=result.supplied, retries=txn.retries,
+                    )
+                tenure = sim.now - tenure_start
+                self.stats.bump("bus.busy_ticks", tenure)
+                self.stats.bump(f"bus.busy.{txn.master}", tenure)
+                self.arbiter.release(txn.master)
+                held = False
+                self.completions += 1
+                return result
+        finally:
+            del self._inflight[id(txn)]
+            if held:
+                # A fault mid-tenure (snooper exception, data-phase
+                # error) must not wedge the bus for every other master.
+                self.arbiter.release(txn.master)
 
     # -- internals -------------------------------------------------------------
-    def _snoop_window(self, txn: Transaction) -> List[SnoopReply]:
+    def _snoop_window(self, txn: Transaction) -> List[Tuple[str, SnoopReply]]:
         replies = []
         trace = self._trace_bus
         for snooper in self.snoopers:
@@ -195,7 +275,7 @@ class AsbBus:
                     self.sim.now, snooper.master_name, "snoop",
                     op=txn.op.value, addr=txn.addr, action=reply.action.value,
                 )
-            replies.append(reply)
+            replies.append((snooper.master_name, reply))
         return replies
 
     def _data_phase(self, txn: Transaction, supplier: Optional[SnoopReply]):

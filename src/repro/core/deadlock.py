@@ -15,11 +15,13 @@ variables,
    transaction ... instead of draining out the lock variables").
 
 Nobody can make progress.  :func:`run_deadlock_demo` builds exactly
-this interleaving; with ``solution="none"`` the simulator's event queue
-drains with live processes waiting and a
-:class:`~repro.errors.DeadlockError` fires.  The paper's two remedies —
-never caching lock variables (software lock) and the hardware lock
-register — both complete, as does the Bakery variant of the first.
+this interleaving; with ``solution="none"`` the progress watchdog
+(:mod:`repro.faults.watchdog`) notices both masters' heartbeats go flat
+and aborts with a :class:`~repro.errors.DeadlockError` whose report
+names each blocked master and what it is waiting on.  The paper's two
+remedies — never caching lock variables (software lock) and the
+hardware lock register — both complete, as does the Bakery variant of
+the first.
 """
 
 from __future__ import annotations
@@ -29,7 +31,8 @@ from typing import Dict, Optional, Tuple
 
 from ..cpu.assembler import Assembler, Program
 from ..cpu.presets import preset_arm920t, preset_powerpc755
-from ..errors import ConfigError, DeadlockError
+from ..errors import ConfigError, DeadlockError, LivelockError
+from ..faults import WatchdogConfig, WatchdogReport
 from ..sync.locks import BakeryLock, HwLock, SwapLock
 from .platform import (
     LOCK_BASE,
@@ -59,6 +62,8 @@ class DeadlockOutcome:
     deadlocked: bool
     detail: str
     elapsed_ns: Optional[int] = None
+    #: the watchdog's full diagnostic dump, when the run wedged
+    report: Optional[WatchdogReport] = None
 
     def render(self) -> str:
         """One-line human-readable verdict."""
@@ -131,11 +136,18 @@ def _build_programs(platform: Platform, solution: str) -> Dict[str, Program]:
     return {ppc_name: ppc.assemble(), arm_name: arm.assemble()}
 
 
-def run_deadlock_demo(solution: str = "none", max_events: int = 2_000_000) -> DeadlockOutcome:
+def run_deadlock_demo(
+    solution: str = "none",
+    max_events: int = 2_000_000,
+    watchdog: Optional[WatchdogConfig] = None,
+) -> DeadlockOutcome:
     """Run the Fig 4 interleaving under one of the four lock strategies.
 
     ``solution="none"`` caches the lock variables and is expected to
-    wedge; the other three complete.
+    wedge; the other three complete.  The watchdog (default thresholds
+    unless overridden) converts the wedge into a structured outcome:
+    ``detail`` names every blocked master and what it is waiting on,
+    and ``report`` carries the full diagnostic dump.
     """
     if solution not in SOLUTIONS:
         raise ConfigError(f"unknown deadlock solution {solution!r}; pick from {SOLUTIONS}")
@@ -144,13 +156,19 @@ def run_deadlock_demo(solution: str = "none", max_events: int = 2_000_000) -> De
         hardware_coherence=True,
         cacheable_locks=(solution in ("none", "lock-register")),
         lock_register=(solution == "lock-register"),
+        watchdog=watchdog or WatchdogConfig(),
     )
     platform = Platform(config)
     platform.load_programs(_build_programs(platform, solution))
     try:
         elapsed = platform.run(max_events=max_events)
-    except DeadlockError as exc:
-        return DeadlockOutcome(solution=solution, deadlocked=True, detail=str(exc))
+    except (DeadlockError, LivelockError) as exc:
+        return DeadlockOutcome(
+            solution=solution,
+            deadlocked=True,
+            detail=str(exc),
+            report=exc.report,
+        )
     return DeadlockOutcome(
         solution=solution, deadlocked=False,
         detail="all cores halted", elapsed_ns=elapsed,

@@ -29,6 +29,7 @@ from ..cpu.assembler import Program
 from ..cpu.core import Core
 from ..cpu.presets import CoreConfig
 from ..errors import ConfigError, IntegrationError
+from ..faults import FaultEngine, FaultSpec, Watchdog, WatchdogConfig, apply_faults
 from ..mem.controller import MemoryController, MemoryTiming
 from ..mem.map import MemoryMap, Region, WritePolicy
 from ..mem.memory import MainMemory
@@ -96,6 +97,14 @@ class PlatformConfig:
     lock_register: bool = False
     arbitration: str = "fixed"            # "fixed" | "round-robin"
     trace_channels: Tuple[str, ...] = ()  # e.g. ("bus", "cache", "irq")
+    #: ring-buffer cap on stored trace records (None = unbounded)
+    trace_capacity: Optional[int] = None
+    #: ARTRY ceiling per bus transaction before LivelockError (None = off)
+    max_bus_retries: Optional[int] = 1000
+    #: attach a progress watchdog with these thresholds (None = off)
+    watchdog: Optional[WatchdogConfig] = None
+    #: fault injectors to arm (empty = pristine platform)
+    faults: Tuple[FaultSpec, ...] = ()
 
     def __post_init__(self):
         if not self.cores:
@@ -125,7 +134,9 @@ class Platform:
     def __init__(self, config: PlatformConfig):
         self.config = config
         self.sim = Simulator()
-        self.tracer = Tracer(channels=config.trace_channels)
+        self.tracer = Tracer(
+            channels=config.trace_channels, capacity=config.trace_capacity
+        )
         self.stats = Stats()
         self.pf_class = classify_platform(config.cores)
 
@@ -145,6 +156,7 @@ class Platform:
             arbiter=arbiter_cls(self.sim),
             tracer=self.tracer,
             stats=self.stats,
+            max_retries=config.max_bus_retries,
         )
 
         self.cores: List[Core] = []
@@ -163,6 +175,12 @@ class Platform:
         self.snoop_logics: List[Optional[SnoopLogic]] = [None] * len(self.cores)
         if config.hardware_coherence:
             self._attach_coherence()
+
+        # Faults arm last so injectors see the fully wired topology.
+        self.fault_engine: Optional[FaultEngine] = apply_faults(self, config.faults)
+        self.watchdog: Optional[Watchdog] = (
+            Watchdog(self, config.watchdog) if config.watchdog is not None else None
+        )
 
     # -- construction -------------------------------------------------------
     def _build_map(self) -> MemoryMap:
@@ -322,6 +340,8 @@ class Platform:
                 started.append(core)
         if not started:
             raise ConfigError("no core has a program loaded")
+        if self.watchdog is not None:
+            self.watchdog.start()
         all_done = self.sim.all_of([core.done for core in started])
         self.sim.run(until=until, stop_event=all_done, max_events=max_events)
         if not all_done.triggered:

@@ -87,6 +87,9 @@ class Core:
         self.fiq = InterruptLine(sim, name=f"{name}.nfiq")
         self.done = sim.event()
         self.retired = 0
+        #: retires outside ISRs — the watchdog's liveness heartbeat (an
+        #: ISR spin keeps `retired` climbing while mainline work is stuck)
+        self.mainline_retired = 0
         self.isr_entries = 0
         self.halt_time: Optional[int] = None
         self.process = None
@@ -140,6 +143,8 @@ class Core:
             yield from self._execute(instr)
             self.regs[0] = 0  # r0 is architecturally zero
             self.retired += 1
+            if not self.in_isr:
+                self.mainline_retired += 1
 
     def _fiq_ready(self) -> bool:
         if not (self.fiq.asserted and self.interrupts_enabled and not self.in_isr):

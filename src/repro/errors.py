@@ -22,7 +22,15 @@ class DeadlockError(SimulationError):
     Raised when the event queue empties while processes are still waiting,
     or when a watchdog detects that no instruction has retired for longer
     than its threshold (the paper's *hardware deadlock*, Section 3/Fig 4).
+
+    ``report`` carries the watchdog's structured diagnostic dump
+    (:class:`repro.faults.WatchdogReport`) when the watchdog raised it;
+    None for the bare queue-exhaustion detection.
     """
+
+    def __init__(self, detail: str, report=None):
+        super().__init__(detail)
+        self.report = report
 
 
 class ConfigError(ReproError):
@@ -35,6 +43,38 @@ class MemoryError_(ReproError):
 
 class BusError(ReproError):
     """Protocol violations or misuse of the shared bus model."""
+
+
+class LivelockError(BusError):
+    """A master is spinning without forward progress.
+
+    Raised by the bus when a transaction exceeds its ARTRY retry
+    ceiling, or by the watchdog when events keep firing while no master
+    retires a mainline instruction or completes a bus transaction.
+
+    Attributes
+    ----------
+    master / address / retries:
+        Identify the spinning transaction when the bounded-retry monitor
+        raised it (None for a watchdog-detected livelock).
+    report:
+        The watchdog's structured diagnostic dump
+        (:class:`repro.faults.WatchdogReport`), when available.
+    """
+
+    def __init__(
+        self,
+        detail: str,
+        master=None,
+        address=None,
+        retries=None,
+        report=None,
+    ):
+        super().__init__(detail)
+        self.master = master
+        self.address = address
+        self.retries = retries
+        self.report = report
 
 
 class ProtocolError(ReproError):

@@ -1,0 +1,24 @@
+"""Deterministic fault injection and liveness watchdog.
+
+See ``docs/robustness.md`` for the fault taxonomy and watchdog design.
+The fault matrix (expected detection outcome per fault class) lives in
+:mod:`repro.faults.matrix`; import it directly — it pulls in workloads
+and is not needed by the platform wiring.
+"""
+
+from .injectors import SITES, FaultEngine, FaultInjector, apply_faults
+from .spec import FaultSpec, FaultTrigger
+from .watchdog import MasterState, Watchdog, WatchdogConfig, WatchdogReport
+
+__all__ = [
+    "FaultSpec",
+    "FaultTrigger",
+    "FaultInjector",
+    "FaultEngine",
+    "SITES",
+    "apply_faults",
+    "Watchdog",
+    "WatchdogConfig",
+    "WatchdogReport",
+    "MasterState",
+]

@@ -1,0 +1,128 @@
+"""Addressable fault specifications.
+
+A :class:`FaultSpec` names one injection *site* (a registered fault
+class, e.g. ``"drain.drop"``), a trigger predicate (target component,
+address, bus op, skip count), a deterministic seed and a fire budget.
+Specs are frozen and hashable so they can ride inside
+:class:`~repro.core.platform.PlatformConfig` and be replayed
+byte-identically: the same spec against the same workload injects at
+exactly the same simulated instants on every run.
+
+The registered sites live in :mod:`repro.faults.injectors`; see
+``docs/robustness.md`` for the taxonomy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..errors import ConfigError
+
+__all__ = ["FaultSpec", "FaultTrigger"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One addressable fault: site, trigger predicate, seed, budget."""
+
+    #: registered fault class, e.g. "drain.drop" (see injectors.SITES)
+    site: str
+    #: target component / master name (None = every candidate site)
+    master: Optional[str] = None
+    #: address filter — matches the exact address or its line base
+    addr: Optional[int] = None
+    #: bus-op filter (BusOp.value string, e.g. "read-line")
+    op: Optional[str] = None
+    #: skip the first N matching occasions before arming
+    after_n: int = 0
+    #: fire at most this many times (None = unlimited)
+    count: Optional[int] = 1
+    #: seeded per-occasion coin; 1.0 fires on every matching occasion
+    probability: float = 1.0
+    seed: int = 0
+    #: delay-style faults: how late the faulted action lands (ns)
+    delay_ns: int = 0
+    #: mem.delay: extra data-phase bus cycles per faulted access
+    extra_cycles: int = 0
+
+    def __post_init__(self):
+        if not self.site:
+            raise ConfigError("FaultSpec needs a site name")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError(f"fault probability {self.probability} outside [0, 1]")
+        if self.after_n < 0 or self.delay_ns < 0 or self.extra_cycles < 0:
+            raise ConfigError("after_n, delay_ns and extra_cycles must be >= 0")
+        if self.count is not None and self.count < 1:
+            raise ConfigError("fault count must be >= 1 (or None for unlimited)")
+
+    def with_(self, **changes) -> "FaultSpec":
+        """A modified copy."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Short human-readable rendering for reports."""
+        parts = [self.site]
+        if self.master is not None:
+            parts.append(f"@{self.master}")
+        if self.addr is not None:
+            parts.append(f"addr=0x{self.addr:08x}")
+        if self.count != 1:
+            parts.append(f"count={self.count if self.count is not None else 'inf'}")
+        if self.probability < 1.0:
+            parts.append(f"p={self.probability}")
+        return " ".join(parts)
+
+
+class FaultTrigger:
+    """Runtime trigger state for one armed spec.
+
+    Separates the *predicate* (does this occasion match?) from the
+    *budget* (after_n / count / seeded probability), so injectors share
+    one deterministic decision procedure.  The RNG is seeded from the
+    spec alone — identical spec, identical workload, identical firing
+    pattern.
+    """
+
+    __slots__ = ("spec", "occasions", "fires", "_rng")
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        self.occasions = 0
+        self.fires = 0
+        self._rng = random.Random(
+            f"{spec.seed}:{spec.site}:{spec.master}:{spec.addr}:{spec.op}"
+        )
+
+    def matches(
+        self,
+        master: Optional[str] = None,
+        addr: Optional[int] = None,
+        line_base: Optional[int] = None,
+        op: Optional[str] = None,
+    ) -> bool:
+        """Predicate only: does this occasion fall under the spec?"""
+        spec = self.spec
+        if spec.master is not None and master != spec.master:
+            return False
+        if spec.addr is not None and addr is not None:
+            if spec.addr != addr and spec.addr != line_base:
+                return False
+        if spec.op is not None and op is not None and spec.op != op:
+            return False
+        return True
+
+    def should_fire(self, **context) -> bool:
+        """Predicate + budget; advances the occasion/fire counters."""
+        if not self.matches(**context):
+            return False
+        self.occasions += 1
+        if self.occasions <= self.spec.after_n:
+            return False
+        if self.spec.count is not None and self.fires >= self.spec.count:
+            return False
+        if self.spec.probability < 1.0 and self._rng.random() >= self.spec.probability:
+            return False
+        self.fires += 1
+        return True

@@ -1,0 +1,313 @@
+"""Deadlock / livelock watchdog.
+
+A :class:`Watchdog` rides a platform as a daemon process and samples
+per-master progress heartbeats every ``check_interval_ns``.  The
+heartbeat is :attr:`~repro.cpu.core.Core.mainline_retired` — retires
+*outside* interrupt service — so a core spinning in its snoop-service
+ISR (stale TAG-CAM entry, wedged drain) still counts as stuck.  When a
+non-halted master's heartbeat is flat for ``stall_threshold_ns`` the
+watchdog aborts the run with a structured :class:`WatchdogReport`
+instead of letting the simulation hang or burn events forever.
+
+Deadlock vs livelock is decided by what happened *during* the stall
+window: if bus grants or instruction retires kept climbing while the
+stalled master made no mainline progress, something is spinning
+(livelock, :class:`~repro.errors.LivelockError`); if nothing moved at
+all it is a true deadlock (:class:`~repro.errors.DeadlockError`, the
+paper's Fig 4 scenario).  Both carry the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError, DeadlockError, LivelockError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.platform import Platform
+
+__all__ = ["WatchdogConfig", "WatchdogReport", "MasterState", "Watchdog"]
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Thresholds for the progress watchdog."""
+
+    #: how often heartbeats are sampled (simulated ns)
+    check_interval_ns: int = 25_000
+    #: a flat heartbeat for this long aborts the run (simulated ns)
+    stall_threshold_ns: int = 200_000
+    #: how many tail trace records the diagnostic dump keeps
+    dump_records: int = 32
+
+    def __post_init__(self):
+        if self.check_interval_ns < 1:
+            raise ConfigError("watchdog check_interval_ns must be >= 1")
+        if self.stall_threshold_ns < self.check_interval_ns:
+            raise ConfigError(
+                "watchdog stall_threshold_ns must be >= check_interval_ns"
+            )
+        if self.dump_records < 0:
+            raise ConfigError("watchdog dump_records must be >= 0")
+
+    def with_(self, **changes) -> "WatchdogConfig":
+        """A modified copy."""
+        return replace(self, **changes)
+
+
+@dataclass
+class MasterState:
+    """One master's progress snapshot inside a :class:`WatchdogReport`."""
+
+    name: str
+    halted: bool
+    in_isr: bool
+    retired: int
+    mainline_retired: int
+    stalled_ns: int
+    #: what the master is (apparently) stuck on, human-readable
+    waiting: str
+
+    def describe(self) -> str:
+        """One-line rendering for reports."""
+        flags = []
+        if self.halted:
+            flags.append("halted")
+        if self.in_isr:
+            flags.append("in-isr")
+        text = (
+            f"{self.name}: retired={self.retired} "
+            f"mainline={self.mainline_retired} stalled={self.stalled_ns}ns"
+        )
+        if flags:
+            text += " [" + ",".join(flags) + "]"
+        if self.waiting:
+            text += f" — {self.waiting}"
+        return text
+
+
+@dataclass
+class WatchdogReport:
+    """Structured diagnostic dump produced when the watchdog fires."""
+
+    time: int
+    kind: str  # "deadlock" | "livelock"
+    masters: List[MasterState]
+    #: live bus tenures (TenureState.describe() lines)
+    tenures: List[str]
+    #: arbiter holder / grant count / queued masters per band
+    arbiter: dict
+    #: coherent masters' queued-but-incomplete snoop pushes
+    pending_drains: Dict[str, int]
+    #: snoop logics' queued + in-flight service requests (line addresses)
+    snoop_pending: Dict[str, dict]
+    #: ARTRY counts of the in-flight transactions, per master
+    retry_counts: Dict[str, int]
+    #: armed fault injectors with their fire counts
+    faults: List[str]
+    #: formatted tail of the trace buffer
+    trace_tail: List[str]
+
+    @property
+    def stalled(self) -> List[MasterState]:
+        """The masters whose heartbeat tripped the threshold."""
+        return [m for m in self.masters if m.stalled_ns > 0 and not m.halted]
+
+    def blockage_summary(self) -> str:
+        """One sentence per blocked master: who, and waiting on what."""
+        parts = [
+            f"{m.name} blocked for {m.stalled_ns}ns "
+            f"({m.waiting or 'no bus transaction in flight'})"
+            for m in self.stalled
+        ]
+        return f"{self.kind} at t={self.time}: " + "; ".join(parts)
+
+    def render(self) -> str:
+        """The full multi-line diagnostic dump."""
+        lines = [f"=== watchdog {self.kind} report @t={self.time} ==="]
+        lines.append(self.blockage_summary())
+        lines.append("masters:")
+        lines.extend(f"  {m.describe()}" for m in self.masters)
+        lines.append("in-flight bus tenures:")
+        lines.extend(f"  {t}" for t in self.tenures or ["  (none)"])
+        queued = ", ".join(
+            f"{band}=[{','.join(masters)}]"
+            for band, masters in self.arbiter.get("queued", {}).items()
+            if masters
+        )
+        lines.append(
+            f"arbiter: holder={self.arbiter.get('holder')} "
+            f"grants={self.arbiter.get('grants')} queued: {queued or '(empty)'}"
+        )
+        if self.retry_counts:
+            lines.append(
+                "retry counts: "
+                + ", ".join(f"{m}={n}" for m, n in sorted(self.retry_counts.items()))
+            )
+        for master, count in sorted(self.pending_drains.items()):
+            if count:
+                lines.append(f"pending drains: {master}={count}")
+        for master, pending in sorted(self.snoop_pending.items()):
+            if pending["queued"] or pending["inflight"]:
+                lines.append(
+                    f"snoop service {master}: queued="
+                    + str([hex(a) for a in pending["queued"]])
+                    + " inflight="
+                    + str([hex(a) for a in pending["inflight"]])
+                )
+        if self.faults:
+            lines.append("armed faults:")
+            lines.extend(f"  {f}" for f in self.faults)
+        if self.trace_tail:
+            lines.append(f"last {len(self.trace_tail)} trace records:")
+            lines.extend(f"  {r}" for r in self.trace_tail)
+        return "\n".join(lines)
+
+
+class _Beat:
+    """Heartbeat tracking for one master."""
+
+    __slots__ = ("count", "since", "grants", "retired_total")
+
+    def __init__(self, count: int, since: int, grants: int, retired_total: int):
+        self.count = count
+        self.since = since
+        self.grants = grants
+        self.retired_total = retired_total
+
+
+class Watchdog:
+    """Per-master progress monitor; aborts wedged or spinning runs."""
+
+    def __init__(self, platform: "Platform", config: Optional[WatchdogConfig] = None):
+        self.platform = platform
+        self.config = config or WatchdogConfig()
+        self._beats: Dict[str, _Beat] = {}
+        self._process = None
+        #: set when the watchdog aborted the run
+        self.report: Optional[WatchdogReport] = None
+
+    def start(self) -> None:
+        """Spawn the sampling daemon (idempotent)."""
+        if self._process is None:
+            self._process = self.platform.sim.process(
+                self._watch(), name="watchdog", daemon=True
+            )
+
+    # -- sampling -----------------------------------------------------------
+    def _watch(self):
+        sim = self.platform.sim
+        interval = self.config.check_interval_ns
+        while True:
+            yield sim.timeout(interval)
+            self._check()
+
+    def _totals(self) -> Tuple[int, int]:
+        grants = self.platform.bus.arbiter.grants
+        retired = sum(core.retired for core in self.platform.cores)
+        return grants, retired + self.platform.bus.completions
+
+    def _check(self) -> None:
+        platform = self.platform
+        now = platform.sim.now
+        grants, retired_total = self._totals()
+        stalled: List[Tuple[str, _Beat]] = []
+        for core in platform.cores:
+            if core.process is None:
+                continue
+            beat = self._beats.get(core.name)
+            current = core.mainline_retired
+            if beat is None or beat.count != current or core.halted:
+                self._beats[core.name] = _Beat(current, now, grants, retired_total)
+                continue
+            if now - beat.since >= self.config.stall_threshold_ns:
+                stalled.append((core.name, beat))
+        if not stalled:
+            return
+        # Livelock iff the system kept doing *something* (grants, ISR
+        # retires, tenure completions) after the last master froze; the
+        # earliest stall start would see the later masters' final
+        # retires and misread a true deadlock as a livelock.
+        reference = max((beat for _, beat in stalled), key=lambda b: b.since)
+        moved = (
+            grants != reference.grants or retired_total != reference.retired_total
+        )
+        kind = "livelock" if moved else "deadlock"
+        report = self.build_report(kind, {name: now - b.since for name, b in stalled})
+        self.report = report
+        detail = report.blockage_summary()
+        if kind == "livelock":
+            raise LivelockError(detail, report=report)
+        raise DeadlockError(detail, report=report)
+
+    # -- reporting ----------------------------------------------------------
+    def _waiting_description(self, core) -> str:
+        platform = self.platform
+        tenures = [
+            t for t in platform.bus.inflight_tenures() if t.master == core.name
+        ]
+        if tenures:
+            return "; ".join(t.describe() for t in tenures)
+        index = platform.index_of(core.name)
+        logic = platform.snoop_logics[index]
+        if logic is not None and (core.fiq.asserted or logic.pending):
+            return (
+                f"no bus transaction; nFIQ "
+                f"{'asserted' if core.fiq.asserted else 'clear'}, "
+                f"{logic.pending} pending snoop-service request(s)"
+            )
+        wrapper = platform.wrappers[index]
+        if wrapper is not None and wrapper.pending_drains:
+            return f"no bus transaction; {wrapper.pending_drains} queued drain(s)"
+        return ""
+
+    def build_report(
+        self, kind: str, stalled_ns: Optional[Dict[str, int]] = None
+    ) -> WatchdogReport:
+        """Snapshot the platform into a :class:`WatchdogReport`.
+
+        ``stalled_ns`` maps master names to how long their heartbeat has
+        been flat; omitted masters report 0.
+        """
+        platform = self.platform
+        stalled_ns = stalled_ns or {}
+        masters = [
+            MasterState(
+                name=core.name,
+                halted=core.halted,
+                in_isr=core.in_isr,
+                retired=core.retired,
+                mainline_retired=core.mainline_retired,
+                stalled_ns=stalled_ns.get(core.name, 0),
+                waiting=self._waiting_description(core),
+            )
+            for core in platform.cores
+        ]
+        tenures = platform.bus.inflight_tenures()
+        snoop_pending = {}
+        pending_drains = {}
+        for index, core in enumerate(platform.cores):
+            logic = platform.snoop_logics[index]
+            if logic is not None:
+                snoop_pending[core.name] = {
+                    "queued": list(logic._queue),
+                    "inflight": sorted(logic._inflight),
+                }
+            wrapper = platform.wrappers[index]
+            if wrapper is not None:
+                pending_drains[core.name] = wrapper.pending_drains
+        engine = getattr(platform, "fault_engine", None)
+        tail = list(platform.tracer.records)[-self.config.dump_records :]
+        return WatchdogReport(
+            time=platform.sim.now,
+            kind=kind,
+            masters=masters,
+            tenures=[t.describe() for t in tenures],
+            arbiter=platform.bus.arbiter.snapshot(),
+            pending_drains=pending_drains,
+            snoop_pending=snoop_pending,
+            retry_counts={t.master: t.retries for t in tenures if t.retries},
+            faults=engine.summary() if engine is not None else [],
+            trace_tail=[r.format() for r in tail],
+        )

@@ -394,6 +394,11 @@ class Simulator:
             return self.now
         return self._queue[0][0] if self._queue else None
 
+    @property
+    def queue_depth(self) -> int:
+        """Scheduled-but-unfired events (heap + same-tick FIFO)."""
+        return len(self._queue) + len(self._fifo)
+
     def step(self) -> None:
         """Fire the single next event (advancing ``now`` to its time).
 

@@ -75,8 +75,31 @@ class TestFixedPriority:
         arbiter = FixedPriorityArbiter(sim)
         arbiter.request("a")
         sim.run(detect_deadlock=False)
-        with pytest.raises(BusError):
+        with pytest.raises(BusError) as exc_info:
             arbiter.release("b")
+        # The error names both the offender and the actual holder.
+        assert "a" in str(exc_info.value)
+        assert "b" in str(exc_info.value)
+        # The grant state is untouched by the rejected release.
+        assert arbiter.holder == "a"
+
+    def test_release_when_idle_rejected(self, sim):
+        arbiter = FixedPriorityArbiter(sim)
+        with pytest.raises(BusError):
+            arbiter.release("a")
+
+    def test_snapshot_reports_holder_and_queues(self, sim):
+        arbiter = FixedPriorityArbiter(sim)
+        arbiter.request("a")
+        arbiter.request("b")
+        arbiter.request("c", Priority.RETRY)
+        sim.run(detect_deadlock=False)
+        snap = arbiter.snapshot()
+        assert snap["holder"] == "a"
+        assert snap["grants"] == 1
+        assert snap["queued"]["normal"] == ["b"]
+        assert snap["queued"]["retry"] == ["c"]
+        assert snap["queued"]["drain"] == []
 
     def test_pending_counts_queued(self, sim):
         arbiter = FixedPriorityArbiter(sim)

@@ -11,15 +11,18 @@ from repro.bus import (
     Snooper,
     Transaction,
 )
+from repro.errors import BusError, LivelockError
 from repro.mem import MainMemory, MemoryController, MemoryMap, Region
 from repro.sim import Clock, Simulator
 
 
-def make_bus(snoopers=()):
+def make_bus(snoopers=(), **bus_kwargs):
     sim = Simulator()
     memory = MainMemory()
     memory_map = MemoryMap([Region("ram", 0, 1 << 20)])
-    bus = AsbBus(sim, Clock.from_mhz(50), MemoryController(memory, memory_map))
+    bus = AsbBus(
+        sim, Clock.from_mhz(50), MemoryController(memory, memory_map), **bus_kwargs
+    )
     for snooper in snoopers:
         bus.attach_snooper(snooper)
     return sim, memory, bus
@@ -184,6 +187,89 @@ class TestSnooping:
         bus.detach_snooper(snooper)
         run_txn(sim, bus, Transaction(BusOp.READ, 0x0, "m"))
         assert snooper.seen == []
+
+
+class StormSnooper(Snooper):
+    """ARTRY with an instantly-satisfied completion, forever."""
+
+    master_name = "owner"
+
+    def __init__(self, sim):
+        self.sim = sim
+
+    def snoop(self, txn):
+        completion = self.sim.event()
+        completion.succeed()
+        return SnoopReply(SnoopAction.RETRY, completion=completion)
+
+
+class TestLiveness:
+    def test_retry_ceiling_raises_livelock_error(self):
+        sim, _memory, bus = make_bus(max_retries=5)
+        bus.attach_snooper(StormSnooper(sim))
+        proc = sim.process(bus.transact(Transaction(BusOp.READ, 0x40, "m")))
+        with pytest.raises(LivelockError) as exc_info:
+            sim.run()
+        error = exc_info.value
+        assert error.master == "m"
+        assert error.address == 0x40
+        assert error.retries == 6
+        assert "0x00000040" in str(error)
+
+    def test_ceiling_none_disables_monitor(self):
+        sim, _memory, bus = make_bus(max_retries=None)
+        bus.attach_snooper(StormSnooper(sim))
+        sim.process(bus.transact(Transaction(BusOp.READ, 0x40, "m")))
+        # Bounded run: the spin continues without an error.
+        with pytest.raises(Exception, match="max_events"):
+            sim.run(max_events=5000)
+
+    def test_default_ceiling_leaves_normal_retries_alone(self):
+        sim, _memory, bus = make_bus()
+        assert bus.max_retries == 1000
+
+    def test_inflight_tenures_visible_while_backed_off(self):
+        sim, _memory, bus = make_bus()
+
+        class NeverDrains(Snooper):
+            master_name = "owner"
+
+            def snoop(self, txn):
+                return SnoopReply(SnoopAction.RETRY, completion=sim.event())
+
+        bus.attach_snooper(NeverDrains())
+        sim.process(bus.transact(Transaction(BusOp.READ_LINE, 0x80, "m")))
+        sim.run(until=500, detect_deadlock=False)
+        (state,) = bus.inflight_tenures()
+        assert state.master == "m"
+        assert state.phase == "backed-off"
+        assert state.waiting_on == ("owner",)
+        assert state.retries == 1
+        assert "waiting-on=owner" in state.describe()
+
+    def test_bus_released_when_tenure_raises(self):
+        sim, _memory, bus = make_bus()
+
+        def bad_commit(_result):
+            raise RuntimeError("commit exploded")
+
+        proc = sim.process(
+            bus.transact(Transaction(BusOp.READ, 0x0, "m"), commit=bad_commit)
+        )
+        proc.add_callback(lambda _e: None)  # swallow the failure
+        sim.run()
+        # The arbiter must not be left held by the dead tenure...
+        assert bus.arbiter.holder is None
+        assert bus.inflight_tenures() == []
+        # ...so another master can still transact.
+        result = run_txn(sim, bus, Transaction(BusOp.READ, 0x20, "n"))
+        assert result is not None
+
+    def test_completions_count_tenures(self):
+        sim, _memory, bus = make_bus()
+        run_txn(sim, bus, Transaction(BusOp.READ, 0x0, "m"))
+        run_txn(sim, bus, Transaction(BusOp.WRITE, 0x0, "m", data=1))
+        assert bus.completions == 2
 
 
 class TestStats:

@@ -14,6 +14,35 @@ def test_cached_locks_deadlock():
     assert "arm920t" in outcome.detail
 
 
+@pytest.mark.parametrize("solution", SOLUTIONS)
+def test_liveness_matrix(solution):
+    """Every solution either completes or wedges with a full diagnosis."""
+    outcome = run_deadlock_demo(solution)
+    if solution == "none":
+        assert outcome.deadlocked
+        assert outcome.report is not None
+    else:
+        assert not outcome.deadlocked
+        assert outcome.report is None
+        assert outcome.elapsed_ns > 0
+
+
+def test_deadlock_diagnostic_report():
+    report = run_deadlock_demo("none").report
+    assert report.kind == "deadlock"
+    stalled = {m.name for m in report.stalled}
+    assert stalled == {"ppc755", "arm920t"}
+    # The PowerPC is backed off waiting on the ARM's drain...
+    ppc = next(m for m in report.masters if m.name == "ppc755")
+    assert "backed-off" in ppc.waiting
+    assert "arm920t" in ppc.waiting
+    # ...and the ARM has the unserviceable snoop request pending.
+    assert report.snoop_pending["arm920t"]["inflight"]
+    rendered = report.render()
+    assert "watchdog deadlock report" in rendered
+    assert "in-flight bus tenures" in rendered
+
+
 @pytest.mark.parametrize("solution", ["uncached-locks", "lock-register", "bakery"])
 def test_remedies_complete(solution):
     outcome = run_deadlock_demo(solution)

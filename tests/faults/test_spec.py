@@ -1,0 +1,101 @@
+"""FaultSpec validation and FaultTrigger determinism."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultSpec, FaultTrigger
+
+
+class TestSpecValidation:
+    def test_needs_a_site(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultSpec("mem.delay", probability=1.5)
+        with pytest.raises(ConfigError):
+            FaultSpec("mem.delay", probability=-0.1)
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec("drain.delay", delay_ns=-1)
+        with pytest.raises(ConfigError):
+            FaultSpec("drain.drop", after_n=-1)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec("drain.drop", count=0)
+
+    def test_with_copies(self):
+        spec = FaultSpec("drain.drop", master="a")
+        other = spec.with_(master="b", count=None)
+        assert other.master == "b"
+        assert other.count is None
+        assert spec.master == "a"
+
+    def test_describe_mentions_site_and_target(self):
+        text = FaultSpec(
+            "snoop.silent", master="ppc755", addr=0x2000_0000, count=None
+        ).describe()
+        assert "snoop.silent" in text
+        assert "@ppc755" in text
+        assert "0x20000000" in text
+        assert "count=inf" in text
+
+    def test_spec_is_hashable(self):
+        # Specs ride inside the frozen PlatformConfig.
+        assert hash(FaultSpec("drain.drop")) == hash(FaultSpec("drain.drop"))
+
+
+class TestTriggerPredicate:
+    def test_master_filter(self):
+        trigger = FaultTrigger(FaultSpec("drain.drop", master="a"))
+        assert trigger.matches(master="a")
+        assert not trigger.matches(master="b")
+        assert not trigger.matches()  # a master filter needs a master
+
+    def test_addr_matches_exact_or_line_base(self):
+        trigger = FaultTrigger(FaultSpec("mem.delay", addr=0x100, extra_cycles=1))
+        assert trigger.matches(addr=0x100)
+        assert trigger.matches(addr=0x104, line_base=0x100)
+        assert not trigger.matches(addr=0x200, line_base=0x200)
+
+    def test_op_filter(self):
+        trigger = FaultTrigger(FaultSpec("retry.storm", op="read-line"))
+        assert trigger.matches(op="read-line")
+        assert not trigger.matches(op="write")
+
+
+class TestTriggerBudget:
+    def test_count_limits_fires(self):
+        trigger = FaultTrigger(FaultSpec("drain.drop", count=2))
+        fired = [trigger.should_fire() for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+        assert trigger.fires == 2
+        assert trigger.occasions == 5
+
+    def test_after_n_skips_first_occasions(self):
+        trigger = FaultTrigger(FaultSpec("drain.drop", after_n=3, count=None))
+        fired = [trigger.should_fire() for _ in range(5)]
+        assert fired == [False, False, False, True, True]
+
+    def test_probability_is_seed_deterministic(self):
+        spec = FaultSpec("mem.delay", probability=0.5, count=None,
+                         extra_cycles=1, seed=11)
+        a = FaultTrigger(spec)
+        b = FaultTrigger(spec)
+        pattern_a = [a.should_fire() for _ in range(50)]
+        pattern_b = [b.should_fire() for _ in range(50)]
+        assert pattern_a == pattern_b
+        assert 0 < a.fires < 50  # p=0.5 actually mixes hits and misses
+        # A different seed gives a different pattern.
+        c = FaultTrigger(spec.with_(seed=12))
+        pattern_c = [c.should_fire() for _ in range(50)]
+        assert pattern_c != pattern_a
+
+    def test_non_matching_occasion_not_counted(self):
+        trigger = FaultTrigger(FaultSpec("drain.drop", master="a", count=1))
+        assert not trigger.should_fire(master="b")
+        assert trigger.occasions == 0
+        assert trigger.should_fire(master="a")

@@ -1,0 +1,57 @@
+"""Watchdog config validation, non-interference, and detection."""
+
+import pytest
+
+from repro.core.platform import Platform, PlatformConfig
+from repro.cpu.presets import preset_arm920t, preset_powerpc755
+from repro.errors import ConfigError
+from repro.faults import WatchdogConfig
+from repro.workloads.microbench import MicrobenchSpec, run_microbench
+
+
+class TestConfig:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            WatchdogConfig(check_interval_ns=0)
+
+    def test_threshold_must_cover_interval(self):
+        with pytest.raises(ConfigError):
+            WatchdogConfig(check_interval_ns=1000, stall_threshold_ns=500)
+
+    def test_with_copies(self):
+        config = WatchdogConfig().with_(stall_threshold_ns=500_000)
+        assert config.stall_threshold_ns == 500_000
+
+
+class TestNonInterference:
+    def test_healthy_workload_unbothered(self):
+        """A watchdog on a legitimate contended run must never fire."""
+        spec = MicrobenchSpec(scenario="wcs", solution="proposed",
+                              lines=4, iterations=2)
+        plain = run_microbench(spec)
+        watched = run_microbench(spec, watchdog=WatchdogConfig())
+        assert watched.elapsed_ns == plain.elapsed_ns
+        assert watched.stats == plain.stats
+
+    def test_platform_without_watchdog_has_none(self):
+        platform = Platform(
+            PlatformConfig(cores=(preset_powerpc755(), preset_arm920t()))
+        )
+        assert platform.watchdog is None
+        assert platform.fault_engine is None
+
+
+class TestReporting:
+    def test_build_report_snapshot_on_healthy_platform(self):
+        spec = MicrobenchSpec(scenario="wcs", solution="proposed",
+                              lines=4, iterations=2)
+        result = run_microbench(
+            spec, keep_platform=True, watchdog=WatchdogConfig()
+        )
+        report = result.platform.watchdog.build_report("livelock")
+        names = {m.name for m in report.masters}
+        assert names == {"ppc755", "arm920t"}
+        assert report.stalled == []  # nothing was stuck
+        assert "watchdog livelock report" in report.render()
+        # The completed run's counters made it into the snapshot.
+        assert all(m.retired > 0 for m in report.masters)

@@ -39,6 +39,27 @@ class TestDeadlock:
         assert out.count("completed") == 3
 
 
+class TestFaults:
+    def test_list_prints_matrix(self, capsys):
+        assert main(["faults", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "drain-drop" in out
+        assert "expect=watchdog" in out
+        assert "expect=benign" in out
+
+    def test_single_entry_with_dump(self, capsys, tmp_path):
+        dump = tmp_path / "faults.json"
+        assert main(["faults", "--only", "drain-drop", "--dump", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "watchdog" in out
+        assert "MISMATCH" not in out
+        assert "drain-drop" in dump.read_text()
+
+    def test_unknown_entry_rejected(self, capsys):
+        assert main(["faults", "--only", "gremlin"]) == 2
+        assert "unknown matrix entry" in capsys.readouterr().err
+
+
 class TestBench:
     def test_runs_and_prints_stats(self, capsys):
         code = main(
