@@ -31,6 +31,10 @@ Commands
 ``verify``
     Exhaustively model-check every protocol pair, wrapped and
     unwrapped, and print the verdict matrix.
+``lint``
+    Run the static-analysis suite (:mod:`repro.lint`) over the package
+    source: AST hazard rules plus the protocol-table validators.  See
+    ``docs/static-analysis.md``.
 ``sweep [figures|headlines|ablations|all]``
     Regenerate evaluation sweeps through the parallel runner
     (:mod:`repro.exp`): ``--jobs N`` fans simulations over N worker
@@ -39,7 +43,13 @@ Commands
     ``figure`` and ``headlines`` accept the same ``--jobs`` /
     ``--cache-dir`` flags.
 
-Every command accepts ``--iterations N`` to trade accuracy for speed.
+Every simulation command accepts ``--iterations N`` to trade accuracy
+for speed.
+
+Exit codes are uniform across subcommands: 0 success, 1 failure of the
+command's check (regression, mismatch, lint finding), 2 usage or
+configuration errors (bad arguments, unknown protocol/entry, missing
+baseline).
 """
 
 from __future__ import annotations
@@ -62,7 +72,9 @@ from .analysis import (
 )
 from .core.deadlock import SOLUTIONS, run_deadlock_demo
 from .core.reduction import reduce_protocols
+from .errors import ConfigError, IntegrationError, ReproError
 from .exp import SweepRunner
+from .lint.cli import add_lint_arguments, run_lint
 from .verify.model_check import check_matrix
 from .workloads import MicrobenchSpec, run_microbench, table2_demo, table3_demo
 
@@ -128,6 +140,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="protocol names (MEI/MSI/MESI/MOESI/DRAGON) or 'none'")
 
     sub.add_parser("verify", help="model-check every protocol pair")
+
+    p = sub.add_parser("lint", help="run the static-analysis suite")
+    add_lint_arguments(p)
 
     p = sub.add_parser("bench", help="run one microbenchmark configuration")
     p.add_argument("scenario", choices=("wcs", "tcs", "bcs", "hotpath"))
@@ -279,6 +294,12 @@ def _cmd_bench_hotpath(args) -> int:
                 baseline_path = str(candidate)
                 break
     baseline = hotpath.load_results(baseline_path) if baseline_path else None
+    if args.check and baseline is None:
+        # A regression check without a baseline cannot pass vacuously:
+        # CI relying on this exit code must notice the missing file.
+        print("bench hotpath --check: no baseline found -- run "
+              "benchmarks/bench_hotpath.py to commit one", file=sys.stderr)
+        return 2
     current = hotpath.run_suite(quick=args.quick, repeats=args.repeats)
     print(hotpath.render_comparison(current, baseline))
     if baseline is None:
@@ -330,6 +351,10 @@ def _cmd_verify(_args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_lint(args) -> int:
+    return run_lint(args)
+
+
 _COMMANDS = {
     "headlines": _cmd_headlines,
     "figure": _cmd_figure,
@@ -340,13 +365,30 @@ _COMMANDS = {
     "reduce": _cmd_reduce,
     "bench": _cmd_bench,
     "verify": _cmd_verify,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Domain errors become the uniform exit codes the module docstring
+    documents instead of tracebacks: bad inputs (unknown protocols,
+    malformed fault specs, unreadable files) exit 2, everything else in
+    the :class:`ReproError` family exits 1.
+    """
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ConfigError, IntegrationError) as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -77,6 +77,11 @@ class Snooper:
     snooper must ignore (a cache does not snoop its own fills).
     """
 
+    # Pure interface: no instance state of its own, and an empty
+    # __slots__ keeps subclasses free to choose their own layout
+    # without this base smuggling in a __dict__.
+    __slots__ = ()
+
     master_name: str = ""
 
     def snoop(self, txn: Transaction) -> SnoopReply:
@@ -91,7 +96,8 @@ class Snooper:
         """
 
 
-class AsbBus:
+# One bus per platform: a __dict__ here is off the per-event path.
+class AsbBus:  # repro: lint-ok[slots]
     """The shared bus: arbitration, snooping, data movement, timing."""
 
     def __init__(

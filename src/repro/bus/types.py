@@ -83,7 +83,7 @@ class Priority(IntEnum):
     NORMAL = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """One bus transaction as issued by a master.
 
@@ -127,7 +127,7 @@ class SnoopAction(Enum):
     RETRY = "retry"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SnoopReply:
     """A snooper's answer to one address phase.
 
@@ -151,7 +151,7 @@ class SnoopReply:
 SnoopReply.OK = SnoopReply(SnoopAction.OK)  # type: ignore[attr-defined]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BusResult:
     """Outcome of a completed transaction, as seen by the master."""
 

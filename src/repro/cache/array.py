@@ -22,6 +22,11 @@ def _is_pow2(n: int) -> bool:
 class CacheGeometry:
     """Size/line/associativity arithmetic, shared by array and TAG CAM."""
 
+    __slots__ = (
+        "size_bytes", "line_bytes", "ways", "line_words", "n_sets",
+        "_offset_bits", "_index_bits",
+    )
+
     def __init__(self, size_bytes: int, line_bytes: int = 32, ways: int = 4):
         if not _is_pow2(size_bytes) or not _is_pow2(line_bytes) or not _is_pow2(ways):
             raise ConfigError("cache size, line size and ways must be powers of two")
@@ -79,6 +84,8 @@ class CacheArray:
     and ``release_way`` keep the two views coherent; LRU stamping is
     unchanged.
     """
+
+    __slots__ = ("geom", "_sets", "_index", "_clock")
 
     def __init__(self, geometry: CacheGeometry):
         self.geom = geometry

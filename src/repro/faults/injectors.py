@@ -82,6 +82,8 @@ class FaultInjector:
 class _SnooperProxy(Snooper):
     """Delegates to the wrapped snooper; the injector filters replies."""
 
+    _wraps = "repro.bus.asb.Snooper"
+
     def __init__(self, inner: Snooper, injector: "_SnooperFault"):
         self.inner = inner
         self.injector = injector
@@ -193,6 +195,8 @@ class RetryStormFault(_SnooperFault):
 class _FaultyFiqLine:
     """Proxy in front of an :class:`InterruptLine`; filters assertions."""
 
+    _wraps = "repro.cpu.interrupts.InterruptLine"
+
     def __init__(self, inner, injector: "_FiqFault", logic):
         self._inner = inner
         self._injector = injector
@@ -200,6 +204,12 @@ class _FaultyFiqLine:
 
     def assert_line(self) -> None:
         self._injector.filter_assert(self._inner, self._logic)
+
+    def deassert(self) -> None:
+        self._inner.deassert()
+
+    def wait(self):
+        return self._inner.wait()
 
     def __getattr__(self, name):
         return getattr(self._inner, name)
@@ -325,6 +335,8 @@ class StarvationFault(FaultInjector):
 # -- memory-controller fault --------------------------------------------------
 class _SlowController:
     """Delegating proxy that stretches faulted data phases."""
+
+    _wraps = "repro.mem.controller.MemoryController"
 
     def __init__(self, inner, injector: "MemDelayFault"):
         self._inner = inner

@@ -1,0 +1,35 @@
+"""Static analysis for the simulator (``python -m repro lint``).
+
+See :mod:`repro.lint.core` for the framework, the ``repro.lint.*`` rule
+modules for the individual checks, and ``docs/static-analysis.md`` for
+the rule catalog and suppression syntax.
+"""
+
+from .core import (
+    RULES,
+    AstRule,
+    Finding,
+    ModuleSource,
+    Project,
+    Rule,
+    Severity,
+    load_project,
+    register,
+    run_rules,
+)
+from .tables import validate_protocol, validate_reduction
+
+__all__ = [
+    "RULES",
+    "AstRule",
+    "Finding",
+    "ModuleSource",
+    "Project",
+    "Rule",
+    "Severity",
+    "load_project",
+    "register",
+    "run_rules",
+    "validate_protocol",
+    "validate_reduction",
+]

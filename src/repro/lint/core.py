@@ -1,0 +1,335 @@
+"""The static-analysis framework: rules, findings, suppressions.
+
+``repro lint`` complements the *dynamic* verification layers (the
+runtime coherence checker, the exhaustive model checker, the fault
+matrix) with checks that need no simulation at all: AST passes over the
+package source catch simulator hazards (nondeterministic iteration,
+unslotted hot-path classes, unguarded trace emits, bad process yields,
+fault proxies that silently bypass injection), and table validators
+import the protocol FSMs and prove their transition tables sound.
+
+The pieces:
+
+* :class:`Finding` — one diagnostic, anchored to a file and line.
+* :class:`Rule` — a registered check.  AST rules subclass
+  :class:`AstRule` and inspect one parsed module at a time; whole-
+  project rules (the table validators, the proxy-coverage check)
+  subclass :class:`Rule` directly and see the :class:`Project`.
+* :class:`Project` / :class:`ModuleSource` — the parsed source tree,
+  with per-module suppression tables and lazily built AST parent links.
+* ``# repro: lint-ok[rule-id]`` — the inline suppression syntax.  A
+  suppression names the rule(s) it silences and applies to its own line
+  (or, on a comment-only line, to the next line).  Blanket or malformed
+  suppressions are themselves findings, as are suppressions that no
+  longer silence anything — the repo can never accumulate dead waivers.
+
+Running everything::
+
+    from repro.lint import run_rules, load_project
+    findings = run_rules(load_project())
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "ModuleSource",
+    "Project",
+    "Rule",
+    "AstRule",
+    "RULES",
+    "register",
+    "load_project",
+    "run_rules",
+    "SUPPRESSION_RULE_ID",
+]
+
+#: findings about the suppression comments themselves use this rule id
+SUPPRESSION_RULE_ID = "suppression"
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*lint-ok(?:\[([^\]]*)\])?")
+
+
+class Severity(Enum):
+    """How a finding affects the exit code (errors fail the run)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One diagnostic produced by a rule."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: Severity = Severity.ERROR
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """Line-number-insensitive identity, used by baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        """``path:line: [severity] rule: message`` — one line per finding."""
+        return (
+            f"{self.path}:{self.line}: [{self.severity.value}] "
+            f"{self.rule}: {self.message}"
+        )
+
+
+class ModuleSource:
+    """One parsed source file plus its suppression table."""
+
+    def __init__(self, path: str, text: str):
+        #: path relative to the project root, POSIX-style (stable in reports)
+        self.path = path
+        self.text = text
+        self.tree = ast.parse(text, filename=path)
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+        #: line -> rule ids suppressed on that line ("*" never appears:
+        #: blanket suppressions are rejected at parse time)
+        self.suppressions: Dict[int, Set[str]] = {}
+        #: (line, rule) pairs that actually silenced a finding
+        self.used_suppressions: Set[Tuple[int, str]] = set()
+        #: findings about malformed suppression comments
+        self.suppression_findings: List[Finding] = []
+        self._parse_suppressions()
+
+    # -- suppressions ------------------------------------------------------
+    def _parse_suppressions(self) -> None:
+        # Tokenize so only genuine comments count — a docstring that
+        # *documents* the lint-ok syntax must not create a waiver.
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(self.text).readline))
+        except tokenize.TokenError:  # pragma: no cover - ast.parse caught it
+            return
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            lineno = token.start[0]
+            ids = match.group(1)
+            rules = [r.strip() for r in (ids or "").split(",") if r.strip()]
+            if not rules:
+                self.suppression_findings.append(
+                    Finding(
+                        rule=SUPPRESSION_RULE_ID,
+                        path=self.path,
+                        line=lineno,
+                        message=(
+                            "blanket suppression: lint-ok must name the "
+                            "rule(s) it silences, e.g. lint-ok[slots]"
+                        ),
+                    )
+                )
+                continue
+            # A comment-only line suppresses the next line; a trailing
+            # comment suppresses its own line.
+            line_text = self.text.splitlines()[lineno - 1]
+            own_line = line_text.lstrip().startswith("#")
+            target = lineno + 1 if own_line else lineno
+            self.suppressions.setdefault(target, set()).update(rules)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """True (and mark used) when an inline waiver covers ``finding``."""
+        rules = self.suppressions.get(finding.line)
+        if rules and finding.rule in rules:
+            self.used_suppressions.add((finding.line, finding.rule))
+            return True
+        return False
+
+    def unused_suppression_findings(self) -> List[Finding]:
+        """A warning per waiver that silenced nothing this run."""
+        findings = []
+        for line, rules in sorted(self.suppressions.items()):
+            for rule in sorted(rules):
+                if (line, rule) not in self.used_suppressions:
+                    findings.append(
+                        Finding(
+                            rule=SUPPRESSION_RULE_ID,
+                            path=self.path,
+                            line=line,
+                            message=f"unused suppression for rule {rule!r}",
+                            severity=Severity.WARNING,
+                        )
+                    )
+        return findings
+
+    # -- AST helpers -------------------------------------------------------
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """Child -> parent links for the whole tree (built once)."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        parents = self.parents
+        current = parents.get(node)
+        while current is not None:
+            yield current
+            current = parents.get(current)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ModuleSource {self.path}>"
+
+
+@dataclass
+class Project:
+    """The file set one lint run inspects."""
+
+    root: Path
+    modules: List[ModuleSource] = field(default_factory=list)
+
+    def module(self, path_suffix: str) -> Optional[ModuleSource]:
+        """The module whose path ends with ``path_suffix`` (or None)."""
+        for mod in self.modules:
+            if mod.path.endswith(path_suffix):
+                return mod
+        return None
+
+
+def load_project(paths: Optional[Sequence[str]] = None) -> Project:
+    """Parse the package source into a :class:`Project`.
+
+    With no ``paths`` the package's own source tree (``src/repro``) is
+    used, located relative to this file so the lint run works from any
+    working directory.
+    """
+    if paths:
+        files: List[Path] = []
+        for raw in paths:
+            p = Path(raw)
+            if p.is_dir():
+                files.extend(sorted(p.rglob("*.py")))
+            else:
+                files.append(p)
+        root = Path(paths[0])
+        root = root if root.is_dir() else root.parent
+    else:
+        root = Path(__file__).resolve().parents[1]  # .../src/repro
+        files = sorted(root.rglob("*.py"))
+    project = Project(root=root)
+    for file in files:
+        try:
+            relative = file.resolve().relative_to(root.resolve())
+            label = relative.as_posix()
+        except ValueError:
+            label = file.as_posix()
+        project.modules.append(ModuleSource(label, file.read_text()))
+    return project
+
+
+class Rule:
+    """Base class: one registered static check.
+
+    Subclasses set ``id``, ``description`` and ``severity`` and override
+    :meth:`check`.  Path anchoring is the rule's job; the framework
+    applies suppressions and severity afterwards.
+    """
+
+    id: str = "?"
+    description: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        """Yield findings over the whole project."""
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, message: str) -> Finding:
+        """A finding attributed to this rule."""
+        return Finding(
+            rule=self.id, path=path, line=line, message=message,
+            severity=self.severity,
+        )
+
+
+class AstRule(Rule):
+    """A rule that inspects one parsed module at a time."""
+
+    #: path fragments (POSIX) this rule never applies to
+    exempt_paths: Tuple[str, ...] = ()
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            if any(fragment in module.path for fragment in self.exempt_paths):
+                continue
+            yield from self.visit_module(module)
+
+    def visit_module(self, module: ModuleSource) -> Iterable[Finding]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+
+#: the rule registry, id -> instance, in registration order
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator: instantiate and add to :data:`RULES`."""
+    instance = cls()
+    if instance.id in RULES:
+        raise ValueError(f"duplicate lint rule id {instance.id!r}")
+    RULES[instance.id] = instance
+    return cls
+
+
+def run_rules(
+    project: Project,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run (a subset of) the registered rules and apply suppressions.
+
+    Returns the surviving findings sorted by (path, line, rule);
+    includes the suppression hygiene findings (malformed waivers always,
+    unused waivers only when every rule ran — a partial run cannot tell
+    a dead waiver from one whose rule was skipped).
+    """
+    # Import for registration side effects; deferred to avoid a cycle at
+    # package import time (rule modules import this one).
+    from . import rules as _rules  # noqa: F401  (registration import)
+
+    if rule_ids is None:
+        selected = list(RULES.values())
+    else:
+        unknown = [r for r in rule_ids if r not in RULES]
+        if unknown:
+            raise KeyError(
+                f"unknown lint rule(s): {', '.join(sorted(unknown))}; "
+                f"registered: {', '.join(RULES)}"
+            )
+        selected = [RULES[r] for r in rule_ids]
+    findings: List[Finding] = []
+    modules_by_path = {m.path: m for m in project.modules}
+    for rule in selected:
+        for finding in rule.check(project):
+            module = modules_by_path.get(finding.path)
+            if module is not None and module.is_suppressed(finding):
+                continue
+            findings.append(finding)
+    for module in project.modules:
+        findings.extend(module.suppression_findings)
+        if rule_ids is None:
+            findings.extend(module.unused_suppression_findings())
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings

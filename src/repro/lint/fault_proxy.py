@@ -1,0 +1,148 @@
+"""``fault-proxy`` — delegating fault proxies cover the wrapped surface.
+
+The injectors in :mod:`repro.faults.injectors` wrap live components
+(snoopers, interrupt lines, the memory controller) with proxy classes.
+A proxy that relies on ``__getattr__`` passthrough for methods it does
+not override has a failure mode PR 3 met in the wild: when the wrapped
+class grows a public method, the proxy forwards it silently — the fault
+keeps "passing" while no longer intercepting the interaction it was
+written to perturb, and the matrix's expected classification goes stale
+without any test failing.
+
+Contract enforced here:
+
+* every proxy class (anything in ``faults/injectors.py`` that defines
+  ``__getattr__``) must declare what it wraps with a ``_wraps`` class
+  attribute holding the dotted path of the wrapped class::
+
+      class _FaultyFiqLine:
+          _wraps = "repro.cpu.interrupts.InterruptLine"
+
+* the proxy must define **every public method** of the wrapped class
+  explicitly — delegating one-liners are fine; what is banned is the
+  *implicit* forwarding that hides surface growth.  Adding a method to
+  the wrapped class then fails lint until someone decides, visibly,
+  whether the proxy intercepts or delegates it.
+
+The wrapped class is resolved statically (its module is parsed, never
+imported): ``repro.cpu.interrupts.InterruptLine`` maps to
+``cpu/interrupts.py`` in the linted project, falling back to the
+installed package source when the lint run covers only a subset of
+files.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
+
+from .core import Finding, ModuleSource, Project, Rule, register
+
+__all__ = ["FaultProxyRule"]
+
+_INJECTORS_SUFFIX = "faults/injectors.py"
+
+
+def _class_defs(tree: ast.Module) -> List[ast.ClassDef]:
+    return [node for node in ast.walk(tree) if isinstance(node, ast.ClassDef)]
+
+
+def _method_names(cls: ast.ClassDef) -> List[str]:
+    return [
+        stmt.name
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _wraps_target(cls: ast.ClassDef) -> Optional[str]:
+    """The ``_wraps`` dotted path declared in the class body, if any."""
+    for stmt in cls.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "_wraps":
+                value = stmt.value
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    return value.value
+    return None
+
+
+def _resolve_wrapped(
+    project: Project, dotted: str
+) -> Tuple[Optional[ast.ClassDef], str]:
+    """(class node, module label) for a ``pkg.mod.Class`` dotted path."""
+    parts = dotted.split(".")
+    if len(parts) < 2:
+        return None, dotted
+    class_name = parts[-1]
+    # Drop the top-level package name: project paths are package-relative.
+    rel = "/".join(parts[1:-1]) + ".py"
+    module = project.module(rel)
+    tree = module.tree if module is not None else None
+    label = module.path if module is not None else rel
+    if tree is None:
+        candidate = Path(__file__).resolve().parents[1] / rel
+        if candidate.is_file():
+            tree = ast.parse(candidate.read_text(), filename=str(candidate))
+    if tree is None:
+        return None, label
+    for cls in _class_defs(tree):
+        if cls.name == class_name:
+            return cls, label
+    return None, label
+
+
+@register
+class FaultProxyRule(Rule):
+    """Fault proxies must explicitly cover the wrapped public surface."""
+
+    id = "fault-proxy"
+    description = (
+        "delegating proxies in faults/injectors.py must declare _wraps and "
+        "define every public method of the wrapped class"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            if module.path.endswith(_INJECTORS_SUFFIX):
+                yield from self._check_module(project, module)
+
+    def _check_module(
+        self, project: Project, module: ModuleSource
+    ) -> Iterable[Finding]:
+        for cls in _class_defs(module.tree):
+            methods = set(_method_names(cls))
+            dotted = _wraps_target(cls)
+            if dotted is None:
+                if "__getattr__" in methods:
+                    yield self.finding(
+                        module.path,
+                        cls.lineno,
+                        f"proxy {cls.name} defines __getattr__ passthrough "
+                        "but no _wraps declaration naming the wrapped class",
+                    )
+                continue
+            wrapped, label = _resolve_wrapped(project, dotted)
+            if wrapped is None:
+                yield self.finding(
+                    module.path,
+                    cls.lineno,
+                    f"{cls.name}._wraps = {dotted!r} does not resolve to a "
+                    f"class (looked in {label})",
+                )
+                continue
+            public = [n for n in _method_names(wrapped) if not n.startswith("_")]
+            for name in public:
+                if name not in methods:
+                    yield self.finding(
+                        module.path,
+                        cls.lineno,
+                        f"proxy {cls.name} does not cover {dotted.split('.')[-1]}"
+                        f".{name}; define it explicitly (intercept or "
+                        "delegate) so wrapped-surface growth is visible",
+                    )

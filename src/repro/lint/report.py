@@ -1,0 +1,115 @@
+"""Reporters and the baseline mechanism for ``repro lint``.
+
+Two output formats:
+
+* **text** — one ``path:line: [severity] rule: message`` per finding,
+  grouped by file, plus a summary line.  This is the human format.
+* **json** — a stable machine-readable document (schema below) that CI
+  uploads as an artifact and the baseline machinery consumes.
+
+A *baseline* is a JSON report from a previous run.  With
+``--baseline FILE`` only findings absent from that file fail the run —
+the way large codebases ratchet a new rule in without a flag day.
+Matching is line-number-insensitive (rule, path, message) so pure code
+motion doesn't resurrect waived findings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Set, TextIO, Tuple
+
+from .core import Finding, Severity
+
+__all__ = [
+    "render_text",
+    "render_json",
+    "load_baseline",
+    "filter_baseline",
+    "JSON_SCHEMA_VERSION",
+]
+
+#: bumped whenever the JSON document shape changes incompatibly
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], stream: TextIO) -> None:
+    """Write the human-readable report: findings grouped by file."""
+    if not findings:
+        stream.write("repro lint: clean\n")
+        return
+    last_path = None
+    for finding in findings:
+        if finding.path != last_path:
+            if last_path is not None:
+                stream.write("\n")
+            last_path = finding.path
+        stream.write(finding.render() + "\n")
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    stream.write(
+        f"\nrepro lint: {errors} error(s), {warnings} warning(s) "
+        f"in {len({f.path for f in findings})} file(s)\n"
+    )
+
+
+def render_json(findings: Sequence[Finding], stream: TextIO) -> None:
+    """Write the machine-readable report (also the baseline format)."""
+    document = {
+        "schema": JSON_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "errors": sum(1 for f in findings if f.severity is Severity.ERROR),
+        "warnings": sum(1 for f in findings if f.severity is Severity.WARNING),
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "severity": f.severity.value,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    json.dump(document, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def load_baseline(path: str) -> Set[Tuple[str, str, str]]:
+    """The (rule, path, message) keys recorded in a JSON report file.
+
+    Raises ``ValueError`` on documents this version cannot read, so a
+    stale or hand-mangled baseline fails loudly instead of silently
+    accepting every finding.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "findings" not in document:
+        raise ValueError(f"{path}: not a repro-lint JSON report")
+    schema = document.get("schema")
+    if schema != JSON_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: baseline schema {schema!r} unsupported "
+            f"(expected {JSON_SCHEMA_VERSION})"
+        )
+    keys: Set[Tuple[str, str, str]] = set()
+    for entry in document["findings"]:
+        keys.add((entry["rule"], entry["path"], entry["message"]))
+    return keys
+
+
+def filter_baseline(
+    findings: Sequence[Finding],
+    baseline: Set[Tuple[str, str, str]],
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, n_baselined)."""
+    fresh = [f for f in findings if f.key not in baseline]
+    return fresh, len(findings) - len(fresh)
+
+
+def severity_counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    """``{"error": n, "warning": m}`` over ``findings``."""
+    counts = {"error": 0, "warning": 0}
+    for finding in findings:
+        counts[finding.severity.value] += 1
+    return counts

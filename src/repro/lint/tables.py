@@ -1,0 +1,327 @@
+"""``protocol-tables`` — static soundness proofs over the protocol FSMs.
+
+The dynamic model checker (:mod:`repro.verify.model_check`) explores
+pairs of caches through the simulator; these validators need no
+simulation at all.  They import each protocol class and check the
+transition *tables* directly:
+
+* **closure** — every (state, snooped-op) pair, every fill combination
+  and every processor hit either returns a well-formed result whose
+  target state belongs to the protocol's declared state set, or raises
+  :class:`~repro.errors.ProtocolError` (the explicit "illegal input"
+  marker).  Any other exception, a missing return, or a foreign target
+  state is a table bug.
+* **side-condition sanity** — a drain demand only ever comes from a
+  dirty state; cache-to-cache supply only from protocols that declare
+  ``supports_supply``; update application only in response to an
+  ``UPDATE`` snoop.
+* **reachability** — every declared state is reachable from reset
+  (INVALID) through some sequence of fills, hits and snoops.  A state
+  that cannot be reached is dead weight at best and usually a sign a
+  transition was dropped.
+* **reduction algebra** — over all processor pairs drawn from
+  {MEI, MSI, MESI, MOESI, None}: reduction is commutative (same system
+  protocol, per-processor policies swapped with the operands), the
+  integrated state set equals the intersection of the operand state
+  sets and is contained in each operand's; homogeneous pairs reduce to
+  themselves with identity wrappers.  Dragon integrates only with
+  itself and refuses mixed pairs symmetrically; SI (write-through
+  lines) is outside the wrapper algebra and is refused symmetrically
+  too.
+
+The validator functions take the objects under test as parameters so
+the mutation tests in ``tests/lint`` can hand them deliberately broken
+tables and assert rejection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from .core import Finding, Project, Rule, register
+
+__all__ = ["ProtocolTablesRule", "validate_protocol", "validate_reduction"]
+
+
+def validate_protocol(proto) -> List[str]:
+    """Problems with one protocol instance's transition table ([] = sound)."""
+    from ..cache.line import State
+    from ..cache.protocols.base import SnoopOp, SnoopOutcome, WriteAction
+    from ..errors import ProtocolError
+
+    problems: List[str] = []
+    states = proto.states
+    name = proto.name
+
+    if not states:
+        return [f"{name}: empty state set"]
+    for state in states:
+        if not isinstance(state, State):
+            problems.append(f"{name}: non-State entry {state!r} in state set")
+    if State.INVALID not in states:
+        problems.append(f"{name}: reset state INVALID missing from state set")
+    if problems:
+        return problems  # the remaining checks assume a sane state set
+
+    reached = {State.INVALID}
+    frontier = [State.INVALID]
+
+    def reach(target) -> None:
+        if isinstance(target, State) and target in states and target not in reached:
+            reached.add(target)
+            frontier.append(target)
+
+    # -- fills (edges out of INVALID) -------------------------------------
+    for exclusive in (False, True):
+        for shared in (False, True):
+            label = f"fill(exclusive={exclusive}, shared={shared})"
+            try:
+                result = proto.fill_state(exclusive, shared)
+            except ProtocolError:
+                continue  # explicitly illegal fill (SI/Dragon RWITM)
+            except Exception as exc:  # noqa: BLE001 - any other escape is a bug
+                problems.append(f"{name}: {label} raised {type(exc).__name__}: {exc}")
+                continue
+            if not isinstance(result, State) or result not in states:
+                problems.append(f"{name}: {label} -> {result!r} outside state set")
+            elif result is State.INVALID:
+                problems.append(f"{name}: {label} allocates in INVALID")
+            else:
+                reach(result)
+
+    # -- per-state closure, breadth-first so reachability falls out -------
+    while frontier:
+        state = frontier.pop()
+        label = f"read_hit({state.name})"
+        try:
+            result = proto.read_hit(state)
+        except ProtocolError:
+            pass
+        except Exception as exc:  # noqa: BLE001
+            problems.append(f"{name}: {label} raised {type(exc).__name__}: {exc}")
+        else:
+            if not isinstance(result, State) or result not in states:
+                problems.append(f"{name}: {label} -> {result!r} outside state set")
+            else:
+                reach(result)
+
+        label = f"write_hit({state.name})"
+        try:
+            result = proto.write_hit(state)
+        except ProtocolError:
+            pass
+        except Exception as exc:  # noqa: BLE001
+            problems.append(f"{name}: {label} raised {type(exc).__name__}: {exc}")
+        else:
+            ok = (
+                isinstance(result, tuple)
+                and len(result) == 2
+                and isinstance(result[0], State)
+                and result[0] in states
+                and isinstance(result[1], WriteAction)
+            )
+            if not ok:
+                problems.append(
+                    f"{name}: {label} -> {result!r} is not a "
+                    "(state-in-set, WriteAction) pair"
+                )
+            else:
+                reach(result[0])
+
+        for op in SnoopOp:
+            label = f"snoop({state.name}, {op.name})"
+            try:
+                outcome = proto.snoop(state, op)
+            except ProtocolError:
+                continue  # explicitly illegal input
+            except Exception as exc:  # noqa: BLE001
+                problems.append(f"{name}: {label} raised {type(exc).__name__}: {exc}")
+                continue
+            if not isinstance(outcome, SnoopOutcome):
+                problems.append(f"{name}: {label} -> {outcome!r} (not a SnoopOutcome)")
+                continue
+            if not isinstance(outcome.next_state, State) or (
+                outcome.next_state not in states
+            ):
+                problems.append(
+                    f"{name}: {label} targets {outcome.next_state!r} "
+                    "outside the protocol's state set"
+                )
+            else:
+                reach(outcome.next_state)
+            if outcome.drain and not state.is_dirty:
+                problems.append(
+                    f"{name}: {label} demands a drain from clean state "
+                    f"{state.name}"
+                )
+            if outcome.supply and not proto.supports_supply:
+                problems.append(
+                    f"{name}: {label} supplies cache-to-cache but the "
+                    "protocol declares supports_supply=False"
+                )
+            if outcome.apply_update and op is not SnoopOp.UPDATE:
+                problems.append(
+                    f"{name}: {label} applies an update on a non-UPDATE snoop"
+                )
+
+    unreachable = states - reached
+    for state in sorted(unreachable, key=lambda s: s.name):
+        problems.append(
+            f"{name}: state {state.name} is unreachable from reset (INVALID)"
+        )
+    return problems
+
+
+#: the invalidation protocols the wrapper algebra integrates, plus a
+#: no-coherence-hardware processor (None forces the MEI treatment)
+_ALGEBRA_MEMBERS: Sequence[Optional[str]] = ("MEI", "MSI", "MESI", "MOESI", None)
+_REFUSED_MEMBERS: Sequence[str] = ("DRAGON", "SI")
+
+
+def validate_reduction(
+    reduce_fn: Optional[Callable] = None,
+    states_map=None,
+    system_states_fn: Optional[Callable] = None,
+) -> List[str]:
+    """Problems with the reduction algebra ([] = consistent).
+
+    The three collaborators default to the shipped implementation and
+    are injectable so mutation tests can break one at a time.
+    """
+    from ..core import reduction as _reduction
+    from ..errors import IntegrationError
+
+    reduce_fn = reduce_fn or _reduction.reduce_protocols
+    states_map = states_map if states_map is not None else _reduction.PROTOCOL_STATES
+    system_states_fn = system_states_fn or _reduction.system_states
+
+    problems: List[str] = []
+
+    def effective(member: Optional[str]):
+        return states_map["MEI" if member is None else member]
+
+    def label(member: Optional[str]) -> str:
+        return "none" if member is None else member
+
+    for a in _ALGEBRA_MEMBERS:
+        for b in _ALGEBRA_MEMBERS:
+            pair = f"reduce({label(a)}, {label(b)})"
+            try:
+                forward = reduce_fn([a, b])
+                backward = reduce_fn([b, a])
+            except IntegrationError as exc:
+                problems.append(f"{pair}: refused a legal pair: {exc}")
+                continue
+            if forward.system_protocol != backward.system_protocol:
+                problems.append(
+                    f"{pair}: not commutative — {forward.system_protocol} vs "
+                    f"{backward.system_protocol} when swapped"
+                )
+            if forward.policies != tuple(reversed(backward.policies)):
+                problems.append(
+                    f"{pair}: per-processor policies do not swap with the "
+                    "operands"
+                )
+            expected = effective(a) & effective(b)
+            actual = system_states_fn([a, b])
+            if actual != system_states_fn([b, a]):
+                problems.append(f"{pair}: system_states is not commutative")
+            if actual != expected:
+                problems.append(
+                    f"{pair}: integrated state set "
+                    f"{sorted(s.name for s in actual)} != operand "
+                    f"intersection {sorted(s.name for s in expected)}"
+                )
+            if not (actual <= effective(a) and actual <= effective(b)):
+                problems.append(
+                    f"{pair}: integrated states escape an operand's state set"
+                )
+            system = forward.system_protocol
+            if system not in states_map:
+                problems.append(f"{pair}: unknown system protocol {system!r}")
+            elif not actual <= states_map[system]:
+                problems.append(
+                    f"{pair}: system protocol {system} cannot represent the "
+                    "integrated state set"
+                )
+            if a == b and a is not None:
+                if system != a:
+                    problems.append(
+                        f"{pair}: homogeneous pair reduced to {system}, "
+                        f"expected {a}"
+                    )
+                if not all(p.is_identity for p in forward.policies):
+                    problems.append(
+                        f"{pair}: homogeneous pair needs non-identity wrappers"
+                    )
+
+    # -- protocols outside the algebra must be refused symmetrically ------
+    for outsider in _REFUSED_MEMBERS:
+        for member in (*_ALGEBRA_MEMBERS, *_REFUSED_MEMBERS):
+            if outsider == "DRAGON" and member == "DRAGON":
+                continue  # homogeneous Dragon is legal, checked below
+            for ordered in ([outsider, member], [member, outsider]):
+                pair = f"reduce({label(ordered[0])}, {label(ordered[1])})"
+                try:
+                    reduce_fn(ordered)
+                except IntegrationError:
+                    continue
+                except Exception as exc:  # noqa: BLE001
+                    problems.append(
+                        f"{pair}: raised {type(exc).__name__} instead of "
+                        "IntegrationError"
+                    )
+                else:
+                    problems.append(
+                        f"{pair}: accepted a pair outside the wrapper algebra"
+                    )
+    try:
+        dragon = reduce_fn(["DRAGON", "DRAGON"])
+    except Exception as exc:  # noqa: BLE001
+        problems.append(
+            f"reduce(DRAGON, DRAGON): homogeneous Dragon must be legal "
+            f"(raised {type(exc).__name__}: {exc})"
+        )
+    else:
+        if dragon.system_protocol != "DRAGON" or not all(
+            p.is_identity for p in dragon.policies
+        ):
+            problems.append(
+                "reduce(DRAGON, DRAGON): expected identity wrappers and a "
+                "DRAGON system protocol"
+            )
+    return problems
+
+
+@register
+class ProtocolTablesRule(Rule):
+    """Run the table and algebra validators over the shipped protocols."""
+
+    id = "protocol-tables"
+    description = (
+        "protocol transition tables are closed, in-set, reachable; the "
+        "reduction algebra is commutative and intersection-shaped"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        # Only meaningful when the protocol package is part of the run
+        # (fixture-only projects in the lint tests skip it).
+        if project.module("cache/protocols/__init__.py") is None:
+            return
+        from ..cache.protocols import PROTOCOLS
+
+        for name in PROTOCOLS:
+            proto = PROTOCOLS[name]()
+            path = f"cache/protocols/{name.lower()}.py"
+            module = project.module(path)
+            anchor = module.path if module is not None else path
+            for problem in validate_protocol(proto):
+                yield self.finding(anchor, 1, problem)
+        reduction_module = project.module("core/reduction.py")
+        anchor = (
+            reduction_module.path
+            if reduction_module is not None
+            else "core/reduction.py"
+        )
+        for problem in validate_reduction():
+            yield self.finding(anchor, 1, problem)

@@ -328,7 +328,8 @@ class AnyOf(Event):
         return collect
 
 
-class Simulator:
+# One scheduler per platform: a __dict__ here is off the per-event path.
+class Simulator:  # repro: lint-ok[slots]
     """The discrete-event scheduler.
 
     Typical use::

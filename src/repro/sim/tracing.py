@@ -95,7 +95,9 @@ class TraceChannel:
         return f"<TraceChannel {self.name!r} {state}>"
 
 
-class Tracer:
+# One tracer per platform; the hot path goes through the slotted
+# TraceChannel guards, never through attribute lookups on this object.
+class Tracer:  # repro: lint-ok[slots]
     """Collects :class:`TraceRecord` objects on enabled channels.
 
     ``records`` is a ring buffer: with a ``capacity``, the oldest record
@@ -177,7 +179,7 @@ class Tracer:
         return "\n".join(r.format() for r in self.records)
 
 
-class NullTracer(Tracer):
+class NullTracer(Tracer):  # repro: lint-ok[slots] -- singleton, like Tracer
     """A tracer that records nothing, for zero-overhead benchmark runs."""
 
     def __init__(self):

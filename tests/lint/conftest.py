@@ -1,0 +1,20 @@
+"""Shared helpers for the lint tests: in-memory projects."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.core import ModuleSource, Project
+
+
+@pytest.fixture
+def make_project():
+    """Build a :class:`Project` from {path: source} without touching disk."""
+
+    def build(files):
+        project = Project(root=Path("."))
+        for path, text in files.items():
+            project.modules.append(ModuleSource(path, text))
+        return project
+
+    return build

@@ -1,0 +1,167 @@
+"""Framework behaviour: suppressions, reporters, baselines, selection."""
+
+import io
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.core import (
+    RULES,
+    Finding,
+    ModuleSource,
+    Severity,
+    load_project,
+    run_rules,
+)
+from repro.lint.report import (
+    filter_baseline,
+    load_baseline,
+    render_json,
+    render_text,
+)
+
+# A hot-path module with one obvious slots violation, reused throughout.
+VIOLATION = "class Hot:\n    def __init__(self):\n        self.x = 1\n"
+
+
+class TestSuppressions:
+    def test_named_suppression_silences_the_rule(self, make_project):
+        src = "class Hot:  # repro: lint-ok[slots]\n    pass\n"
+        project = make_project({"sim/kernel.py": src})
+        assert run_rules(project, ["slots"]) == []
+
+    def test_comment_only_line_covers_the_next_line(self, make_project):
+        src = "# repro: lint-ok[slots]\nclass Hot:\n    pass\n"
+        project = make_project({"sim/kernel.py": src})
+        assert run_rules(project, ["slots"]) == []
+
+    def test_suppression_for_other_rule_does_not_silence(self, make_project):
+        src = "class Hot:  # repro: lint-ok[determinism]\n    pass\n"
+        project = make_project({"sim/kernel.py": src})
+        findings = run_rules(project, ["slots"])
+        assert [f.rule for f in findings] == ["slots"]
+
+    def test_blanket_suppression_is_an_error(self, make_project):
+        src = "class Hot:  # repro: lint-ok\n    pass\n"
+        project = make_project({"sim/kernel.py": src})
+        findings = run_rules(project, ["slots"])
+        rules = {f.rule for f in findings}
+        assert "suppression" in rules  # the blanket waiver itself
+        assert "slots" in rules  # and it silenced nothing
+        blanket = [f for f in findings if f.rule == "suppression"][0]
+        assert blanket.severity is Severity.ERROR
+
+    def test_unused_suppression_warns_on_full_runs(self, make_project):
+        src = "x = 1  # repro: lint-ok[slots]\n"
+        project = make_project({"core/util.py": src})
+        findings = run_rules(project)
+        assert any(
+            f.rule == "suppression" and "unused" in f.message for f in findings
+        )
+        # Partial runs cannot tell unused from not-checked: no warning.
+        assert run_rules(project, ["determinism"]) == []
+
+    def test_docstring_mention_is_not_a_waiver(self):
+        src = '"""Docs say: use # repro: lint-ok[slots] to waive."""\nx = 1\n'
+        module = ModuleSource("core/doc.py", src)
+        assert module.suppressions == {}
+
+
+class TestReporters:
+    def _findings(self):
+        return [
+            Finding("slots", "a.py", 3, "class A has no __slots__"),
+            Finding(
+                "suppression", "b.py", 1, "unused", severity=Severity.WARNING
+            ),
+        ]
+
+    def test_text_report(self):
+        out = io.StringIO()
+        render_text(self._findings(), out)
+        text = out.getvalue()
+        assert "a.py:3: [error] slots: class A has no __slots__" in text
+        assert "1 error(s), 1 warning(s)" in text
+
+    def test_text_report_clean(self):
+        out = io.StringIO()
+        render_text([], out)
+        assert "clean" in out.getvalue()
+
+    def test_json_report_schema(self):
+        out = io.StringIO()
+        render_json(self._findings(), out)
+        doc = json.loads(out.getvalue())
+        assert doc["errors"] == 1
+        assert doc["warnings"] == 1
+        assert doc["findings"][0] == {
+            "rule": "slots",
+            "path": "a.py",
+            "line": 3,
+            "severity": "error",
+            "message": "class A has no __slots__",
+        }
+
+
+class TestBaseline:
+    def test_round_trip_filters_known_findings(self, tmp_path):
+        findings = [
+            Finding("slots", "a.py", 3, "class A has no __slots__"),
+            Finding("slots", "a.py", 9, "class B has no __slots__"),
+        ]
+        baseline_file = tmp_path / "baseline.json"
+        with open(baseline_file, "w") as handle:
+            render_json(findings[:1], handle)
+        accepted = load_baseline(str(baseline_file))
+        fresh, known = filter_baseline(findings, accepted)
+        assert known == 1
+        assert [f.message for f in fresh] == ["class B has no __slots__"]
+
+    def test_line_drift_does_not_resurrect(self, tmp_path):
+        original = Finding("slots", "a.py", 3, "class A has no __slots__")
+        moved = Finding("slots", "a.py", 40, "class A has no __slots__")
+        baseline_file = tmp_path / "baseline.json"
+        with open(baseline_file, "w") as handle:
+            render_json([original], handle)
+        fresh, known = filter_baseline([moved], load_baseline(str(baseline_file)))
+        assert fresh == [] and known == 1
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"something": "else"}')
+        with pytest.raises(ValueError):
+            load_baseline(str(bad))
+
+
+class TestSelection:
+    def test_unknown_rule_rejected(self, make_project):
+        project = make_project({"core/x.py": "x = 1\n"})
+        with pytest.raises(KeyError):
+            run_rules(project, ["no-such-rule"])
+
+    def test_registry_contains_the_documented_rules(self):
+        run_rules(load_project(["tests/lint/conftest.py"]))  # force registration
+        for expected in (
+            "determinism",
+            "slots",
+            "trace-guard",
+            "process-yield",
+            "fault-proxy",
+            "protocol-tables",
+        ):
+            assert expected in RULES
+
+    def test_findings_sorted_and_stable(self, make_project):
+        src = textwrap.dedent(
+            """
+            class B:
+                pass
+
+            class A:
+                pass
+            """
+        )
+        project = make_project({"sim/kernel.py": src})
+        findings = run_rules(project, ["slots"])
+        assert [f.line for f in findings] == sorted(f.line for f in findings)

@@ -1,0 +1,363 @@
+"""Mutation-style fixtures: every rule fires on the violation and stays
+silent on the fixed twin."""
+
+import textwrap
+
+from repro.lint.core import run_rules
+
+
+def _run(make_project, files, rules):
+    return run_rules(make_project(files), rules)
+
+
+class TestDeterminism:
+    def test_set_literal_iteration_fires(self, make_project):
+        src = "for master in {'m0', 'm1'}:\n    print(master)\n"
+        findings = _run(make_project, {"core/x.py": src}, ["determinism"])
+        assert [f.rule for f in findings] == ["determinism"]
+        assert "set" in findings[0].message
+
+    def test_set_variable_iteration_fires(self, make_project):
+        src = textwrap.dedent(
+            """
+            pending = set()
+            for item in pending:
+                print(item)
+            """
+        )
+        findings = _run(make_project, {"core/x.py": src}, ["determinism"])
+        assert len(findings) == 1
+
+    def test_annotated_self_attr_iteration_fires(self, make_project):
+        src = textwrap.dedent(
+            """
+            from typing import Set
+
+            class Logic:
+                def __init__(self):
+                    self._cam: Set[int] = set()
+
+                def report(self):
+                    return [hex(a) for a in self._cam]
+            """
+        )
+        findings = _run(make_project, {"core/x.py": src}, ["determinism"])
+        assert len(findings) == 1
+
+    def test_sorted_iteration_is_silent(self, make_project):
+        src = textwrap.dedent(
+            """
+            pending = set()
+            for item in sorted(pending):
+                print(item)
+            values = sorted(x.value for x in pending)
+            """
+        )
+        assert _run(make_project, {"core/x.py": src}, ["determinism"]) == []
+
+    def test_id_sort_key_fires_and_stable_key_is_silent(self, make_project):
+        bad = "items.sort(key=id)\nordered = sorted(items, key=lambda t: id(t))\n"
+        good = "items.sort(key=lambda t: t.name)\n"
+        assert len(_run(make_project, {"core/x.py": bad}, ["determinism"])) == 2
+        assert _run(make_project, {"core/x.py": good}, ["determinism"]) == []
+
+    def test_id_as_dict_key_is_silent(self, make_project):
+        src = "inflight = {}\ninflight[id(txn)] = txn\n"
+        assert _run(make_project, {"core/x.py": src}, ["determinism"]) == []
+
+    def test_global_random_fires_and_seeded_instance_is_silent(self, make_project):
+        bad = "import random\njitter = random.random()\n"
+        good = "import random\nrng = random.Random(42)\njitter = rng.random()\n"
+        findings = _run(make_project, {"core/x.py": bad}, ["determinism"])
+        assert len(findings) == 1 and "unseeded" in findings[0].message
+        assert _run(make_project, {"core/x.py": good}, ["determinism"]) == []
+
+    def test_wall_clock_fires_but_not_in_exp(self, make_project):
+        src = "import time\nstart = time.perf_counter()\n"
+        assert len(_run(make_project, {"core/x.py": src}, ["determinism"])) == 1
+        assert _run(make_project, {"exp/runner.py": src}, ["determinism"]) == []
+
+
+class TestSlots:
+    def test_unslotted_class_in_hot_module_fires(self, make_project):
+        src = "class Event:\n    def __init__(self):\n        self.x = 1\n"
+        findings = _run(make_project, {"sim/kernel.py": src}, ["slots"])
+        assert [f.rule for f in findings] == ["slots"]
+
+    def test_slotted_class_is_silent(self, make_project):
+        src = "class Event:\n    __slots__ = ('x',)\n"
+        assert _run(make_project, {"sim/kernel.py": src}, ["slots"]) == []
+
+    def test_slots_dataclass_is_silent(self, make_project):
+        src = textwrap.dedent(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True, slots=True)
+            class Record:
+                x: int
+            """
+        )
+        assert _run(make_project, {"sim/tracing.py": src}, ["slots"]) == []
+
+    def test_dataclass_without_slots_fires(self, make_project):
+        src = textwrap.dedent(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Record:
+                x: int
+            """
+        )
+        assert len(_run(make_project, {"sim/tracing.py": src}, ["slots"])) == 1
+
+    def test_enum_and_exception_are_exempt(self, make_project):
+        src = textwrap.dedent(
+            """
+            from enum import Enum
+
+            class State(Enum):
+                A = 1
+
+            class KernelError(Exception):
+                pass
+            """
+        )
+        assert _run(make_project, {"sim/kernel.py": src}, ["slots"]) == []
+
+    def test_cold_module_is_ignored(self, make_project):
+        src = "class Anything:\n    pass\n"
+        assert _run(make_project, {"analysis/report.py": src}, ["slots"]) == []
+
+
+class TestTraceGuard:
+    def test_unguarded_emit_on_cached_channel_fires(self, make_project):
+        src = textwrap.dedent(
+            """
+            class Controller:
+                def load(self, addr):
+                    trace = self._trace_cpu
+                    trace.emit(self.sim.now, self.name, "load", addr=addr)
+            """
+        )
+        findings = _run(make_project, {"cache/controller.py": src}, ["trace-guard"])
+        assert [f.rule for f in findings] == ["trace-guard"]
+
+    def test_guarded_emit_is_silent(self, make_project):
+        src = textwrap.dedent(
+            """
+            class Controller:
+                def load(self, addr):
+                    trace = self._trace_cpu
+                    if trace.enabled:
+                        trace.emit(self.sim.now, self.name, "load", addr=addr)
+            """
+        )
+        assert _run(make_project, {"cache/controller.py": src}, ["trace-guard"]) == []
+
+    def test_direct_channel_call_emit_fires(self, make_project):
+        src = textwrap.dedent(
+            """
+            def go(tracer):
+                tracer.channel("bus").emit(0, "m0", "grant")
+            """
+        )
+        assert len(_run(make_project, {"bus/asb.py": src}, ["trace-guard"])) == 1
+
+    def test_guard_on_the_wrong_channel_fires(self, make_project):
+        src = textwrap.dedent(
+            """
+            class Controller:
+                def load(self, addr):
+                    trace = self._trace_cpu
+                    other = self._trace_bus
+                    if other.enabled:
+                        trace.emit(self.sim.now, self.name, "load", addr=addr)
+            """
+        )
+        assert len(_run(make_project, {"cache/controller.py": src}, ["trace-guard"])) == 1
+
+    def test_non_trace_emit_is_ignored(self, make_project):
+        src = textwrap.dedent(
+            """
+            class Assembler:
+                def li(self, rd, imm):
+                    return self.emit(("LI", rd, imm))
+            """
+        )
+        assert _run(make_project, {"cpu/assembler.py": src}, ["trace-guard"]) == []
+
+
+class TestProcessYield:
+    def test_bad_yield_after_primitive_fires(self, make_project):
+        src = textwrap.dedent(
+            """
+            def worker(sim):
+                yield sim.timeout(5)
+                yield 5
+            """
+        )
+        findings = _run(make_project, {"core/x.py": src}, ["process-yield"])
+        assert [f.rule for f in findings] == ["process-yield"]
+        assert "Constant" in findings[0].message
+
+    def test_bare_yield_fires(self, make_project):
+        src = textwrap.dedent(
+            """
+            def worker(sim):
+                yield sim.timeout(5)
+                yield
+            """
+        )
+        findings = _run(make_project, {"core/x.py": src}, ["process-yield"])
+        assert len(findings) == 1 and "bare yield" in findings[0].message
+
+    def test_generator_registered_via_process_call_fires(self, make_project):
+        src = textwrap.dedent(
+            """
+            def plain():
+                yield (1, 2)
+
+            def setup(sim):
+                sim.process(plain())
+            """
+        )
+        assert len(_run(make_project, {"core/x.py": src}, ["process-yield"])) == 1
+
+    def test_yield_from_delegation_is_followed(self, make_project):
+        src = textwrap.dedent(
+            """
+            def helper(sim):
+                yield "oops"
+
+            def worker(sim):
+                yield sim.timeout(5)
+                yield from helper(sim)
+            """
+        )
+        findings = _run(make_project, {"core/x.py": src}, ["process-yield"])
+        assert len(findings) == 1
+        assert "helper" in findings[0].message
+
+    def test_event_yields_are_silent(self, make_project):
+        src = textwrap.dedent(
+            """
+            def worker(sim, bus):
+                yield sim.timeout(5)
+                grant = bus.arbiter.request("m0")
+                yield grant
+                yield sim.all_of([grant, sim.timeout(1)])
+            """
+        )
+        assert _run(make_project, {"core/x.py": src}, ["process-yield"]) == []
+
+    def test_plain_data_generator_is_ignored(self, make_project):
+        src = textwrap.dedent(
+            """
+            def words(text):
+                for w in text.split():
+                    yield w
+            """
+        )
+        assert _run(make_project, {"core/x.py": src}, ["process-yield"]) == []
+
+
+WRAPPED = textwrap.dedent(
+    """
+    class InterruptLine:
+        def assert_line(self):
+            pass
+
+        def deassert(self):
+            pass
+
+        def wait(self):
+            pass
+
+        def _internal(self):
+            pass
+    """
+)
+
+
+class TestFaultProxy:
+    def test_getattr_without_wraps_fires(self, make_project):
+        src = textwrap.dedent(
+            """
+            class _Proxy:
+                def __getattr__(self, name):
+                    return getattr(self._inner, name)
+            """
+        )
+        findings = _run(
+            make_project, {"faults/injectors.py": src}, ["fault-proxy"]
+        )
+        assert len(findings) == 1 and "_wraps" in findings[0].message
+
+    def test_missing_public_method_fires(self, make_project):
+        src = textwrap.dedent(
+            """
+            class _Proxy:
+                _wraps = "repro.cpu.interrupts.InterruptLine"
+
+                def assert_line(self):
+                    pass
+
+                def __getattr__(self, name):
+                    return getattr(self._inner, name)
+            """
+        )
+        findings = _run(
+            make_project,
+            {"faults/injectors.py": src, "cpu/interrupts.py": WRAPPED},
+            ["fault-proxy"],
+        )
+        missing = sorted(f.message.split(";")[0] for f in findings)
+        assert len(findings) == 2
+        assert "deassert" in missing[0] and "wait" in missing[1]
+
+    def test_full_coverage_is_silent(self, make_project):
+        src = textwrap.dedent(
+            """
+            class _Proxy:
+                _wraps = "repro.cpu.interrupts.InterruptLine"
+
+                def assert_line(self):
+                    pass
+
+                def deassert(self):
+                    pass
+
+                def wait(self):
+                    pass
+
+                def __getattr__(self, name):
+                    return getattr(self._inner, name)
+            """
+        )
+        assert (
+            _run(
+                make_project,
+                {"faults/injectors.py": src, "cpu/interrupts.py": WRAPPED},
+                ["fault-proxy"],
+            )
+            == []
+        )
+
+    def test_unresolvable_wraps_fires(self, make_project):
+        src = 'class _Proxy:\n    _wraps = "repro.nowhere.Nothing"\n'
+        findings = _run(
+            make_project, {"faults/injectors.py": src}, ["fault-proxy"]
+        )
+        assert len(findings) == 1 and "does not resolve" in findings[0].message
+
+    def test_other_modules_are_ignored(self, make_project):
+        src = textwrap.dedent(
+            """
+            class _Proxy:
+                def __getattr__(self, name):
+                    return getattr(self._inner, name)
+            """
+        )
+        assert _run(make_project, {"core/wrapper.py": src}, ["fault-proxy"]) == []

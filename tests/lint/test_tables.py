@@ -1,0 +1,195 @@
+"""Protocol-table and reduction-algebra validator tests.
+
+Every shipped table must validate; every mutation (dropped transition,
+alien target state, missing reset state, unreachable state, broken
+side conditions, broken commutativity) must be rejected.
+"""
+
+import pytest
+
+from repro.cache.line import State
+from repro.cache.protocols import PROTOCOLS, make_protocol
+from repro.cache.protocols.base import SnoopOp, SnoopOutcome
+from repro.cache.protocols.mesi import MESIProtocol
+from repro.cache.protocols.moesi import MOESIProtocol
+from repro.core.reduction import (
+    PROTOCOL_STATES,
+    ReductionResult,
+    reduce_protocols,
+    system_states,
+)
+from repro.lint import validate_protocol, validate_reduction
+
+
+class TestShippedTables:
+    @pytest.mark.parametrize("name", sorted(PROTOCOLS))
+    def test_every_shipped_protocol_is_sound(self, name):
+        assert validate_protocol(make_protocol(name)) == []
+
+    def test_shipped_reduction_algebra_is_consistent(self):
+        assert validate_reduction() == []
+
+
+class _AlienTarget(MESIProtocol):
+    """S + READ_EXCL sends the line to OWNED, which MESI does not have."""
+
+    def snoop(self, state, op):
+        if state is State.SHARED and op is SnoopOp.READ_EXCL:
+            return SnoopOutcome(State.OWNED)
+        return super().snoop(state, op)
+
+
+class _DroppedTransition(MESIProtocol):
+    """The (SHARED, READ) entry was deleted: falls through to None."""
+
+    def snoop(self, state, op):
+        if state is State.SHARED and op is SnoopOp.READ:
+            return None
+        return super().snoop(state, op)
+
+
+class _MissingReset(MESIProtocol):
+    states = frozenset({State.MODIFIED, State.EXCLUSIVE, State.SHARED})
+
+
+class _DeadState(MESIProtocol):
+    """Declares OWNED but no transition ever produces it."""
+
+    states = MESIProtocol.states | {State.OWNED}
+
+
+class _UnreachableExclusive(MESIProtocol):
+    """Fills ignore the shared signal, so E can never be entered."""
+
+    def fill_state(self, exclusive, shared):
+        if exclusive:
+            return State.MODIFIED
+        return State.SHARED
+
+
+class _DrainFromClean(MESIProtocol):
+    def snoop(self, state, op):
+        if state is State.SHARED and op is SnoopOp.READ:
+            return SnoopOutcome(State.SHARED, drain=True, assert_shared=True)
+        return super().snoop(state, op)
+
+
+class _SupplyWithoutSupport(MESIProtocol):
+    def snoop(self, state, op):
+        if state is State.MODIFIED and op is SnoopOp.READ:
+            return SnoopOutcome(State.SHARED, supply=True)
+        return super().snoop(state, op)
+
+
+class _UpdateOnRead(MOESIProtocol):
+    def snoop(self, state, op):
+        if state is State.SHARED and op is SnoopOp.READ:
+            return SnoopOutcome(
+                State.SHARED, assert_shared=True, apply_update=True
+            )
+        return super().snoop(state, op)
+
+
+class _CrashingTable(MESIProtocol):
+    """A KeyError escaping the table is a bug, not an 'illegal input'."""
+
+    def write_hit(self, state):
+        raise KeyError(state)
+
+
+class TestMutatedTables:
+    @pytest.mark.parametrize(
+        ("mutant", "fragment"),
+        [
+            (_AlienTarget, "outside the protocol's state set"),
+            (_DroppedTransition, "not a SnoopOutcome"),
+            (_MissingReset, "INVALID missing"),
+            (_DeadState, "unreachable"),
+            (_UnreachableExclusive, "unreachable"),
+            (_DrainFromClean, "drain from clean"),
+            (_SupplyWithoutSupport, "supports_supply=False"),
+            (_UpdateOnRead, "non-UPDATE snoop"),
+            (_CrashingTable, "raised KeyError"),
+        ],
+    )
+    def test_mutation_is_rejected(self, mutant, fragment):
+        problems = validate_protocol(mutant())
+        assert problems, f"{mutant.__name__} accepted"
+        assert any(fragment in p for p in problems), problems
+
+
+def _swap_sensitive_reduce(protocols):
+    """Deliberately order-dependent: MEI/MESI reduces differently swapped."""
+    result = reduce_protocols(protocols)
+    names = [p for p in protocols]
+    if names == ["MEI", "MESI"]:
+        return ReductionResult(
+            system_protocol="MESI", policies=result.policies
+        )
+    return result
+
+
+def _dragon_accepting_reduce(protocols):
+    names = [None if p is None else p.upper() for p in protocols]
+    if "DRAGON" in names:
+        return ReductionResult(
+            system_protocol="MEI",
+            policies=tuple(reduce_protocols(["MEI", "MEI"]).policies),
+        )
+    return reduce_protocols(protocols)
+
+
+def _bloated_system_states(protocols):
+    return PROTOCOL_STATES["MOESI"]
+
+
+class TestMutatedReduction:
+    def test_non_commutative_reduce_rejected(self):
+        problems = validate_reduction(reduce_fn=_swap_sensitive_reduce)
+        assert any("not commutative" in p for p in problems), problems
+
+    def test_dragon_mixing_must_be_refused(self):
+        problems = validate_reduction(reduce_fn=_dragon_accepting_reduce)
+        assert any("outside the wrapper algebra" in p for p in problems), problems
+
+    def test_intersection_shape_enforced(self):
+        problems = validate_reduction(system_states_fn=_bloated_system_states)
+        assert any("operand" in p for p in problems), problems
+
+    def test_policies_must_swap_with_operands(self):
+        def keep_order(protocols):
+            result = reduce_protocols(protocols)
+            if protocols == ["MSI", "MOESI"]:
+                return ReductionResult(
+                    system_protocol=result.system_protocol,
+                    policies=tuple(reversed(result.policies)),
+                )
+            return result
+
+        problems = validate_reduction(reduce_fn=keep_order)
+        assert any("policies do not swap" in p for p in problems), problems
+
+    def test_si_pairs_are_refused_symmetrically(self):
+        # The shipped reducer refuses SI everywhere; a reducer that lets
+        # SI through on one side only must be caught.
+        def asymmetric(protocols):
+            if protocols == ["SI", "MESI"]:
+                return reduce_protocols(["MEI", "MESI"])
+            return reduce_protocols(protocols)
+
+        problems = validate_reduction(reduce_fn=asymmetric)
+        assert any("SI" in p for p in problems), problems
+
+
+class TestReductionFacts:
+    """Anchor a few algebra facts the validator relies on."""
+
+    def test_intersection_matches_table(self):
+        assert system_states(["MEI", "MESI"]) == PROTOCOL_STATES["MEI"]
+        assert system_states(["MSI", "MOESI"]) == PROTOCOL_STATES["MSI"]
+        assert system_states(["MEI", "MSI"]) == frozenset(
+            {State.MODIFIED, State.INVALID}
+        )
+
+    def test_none_behaves_as_mei(self):
+        assert system_states([None, "MOESI"]) == PROTOCOL_STATES["MEI"]

@@ -15,11 +15,11 @@ class TestReduce:
         assert main(["reduce", "none", "MOESI"]) == 0
         assert "MEI" in capsys.readouterr().out
 
-    def test_unknown_protocol_raises(self):
-        from repro.errors import IntegrationError
-
-        with pytest.raises(IntegrationError):
-            main(["reduce", "XYZ", "MESI"])
+    def test_unknown_protocol_exits_2(self, capsys):
+        assert main(["reduce", "XYZ", "MESI"]) == 2
+        err = capsys.readouterr().err
+        assert "repro reduce:" in err
+        assert "XYZ" in err
 
 
 class TestTables:
@@ -149,6 +149,79 @@ class TestVerify:
         assert "UNSAFE" not in wrapped_section
         assert "UNSAFE" in out  # the unwrapped section shows failures
         assert out.count("SAFE") >= 16
+
+
+class TestLint:
+    def test_repo_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_format_parses(self, capsys):
+        import json
+
+        assert main(["lint", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "repro-lint"
+        assert doc["errors"] == 0
+
+    def test_seeded_violation_exits_1(self, capsys, tmp_path):
+        bad = tmp_path / "sim" / "kernel.py"
+        bad.parent.mkdir()
+        bad.write_text("class Hot:\n    def __init__(self):\n        self.x = 1\n")
+        assert main(["lint", str(tmp_path), "--rules", "slots"]) == 1
+        out = capsys.readouterr().out
+        assert "[error] slots" in out
+
+    def test_baseline_workflow(self, capsys, tmp_path):
+        bad = tmp_path / "sim" / "kernel.py"
+        bad.parent.mkdir()
+        bad.write_text("class Hot:\n    def __init__(self):\n        self.x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path),
+                    "--rules",
+                    "slots",
+                    "--write-baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # With the baseline applied the same findings no longer fail the run.
+        code = main(
+            ["lint", str(tmp_path), "--rules", "slots", "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_2(self, capsys):
+        assert main(["lint", "--rules", "no-such-rule"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("determinism", "slots", "protocol-tables"):
+            assert rule in out
+
+
+class TestExitCodes:
+    def test_bench_check_without_baseline_exits_2(self, capsys, tmp_path):
+        code = main(
+            [
+                "bench",
+                "hotpath",
+                "--check",
+                "--baseline",
+                str(tmp_path / "missing.json"),
+            ]
+        )
+        assert code == 2
+        assert "no baseline found" in capsys.readouterr().err
 
 
 def test_missing_command_rejected():
