@@ -31,6 +31,13 @@ Commands
 ``verify``
     Exhaustively model-check every protocol pair, wrapped and
     unwrapped, and print the verdict matrix.
+``fuzz {run,repro,shrink}``
+    Coherence fuzzing (:mod:`repro.fuzz`).  ``run`` executes a seeded
+    campaign of random platform/workload cases over crash-proof worker
+    subprocesses, classifies every outcome against its oracle, and
+    writes replayable reproducers for unexpected ones; ``repro``
+    replays a reproducer file byte-identically; ``shrink`` minimises a
+    failing case with delta debugging.  See ``docs/robustness.md``.
 ``lint``
     Run the static-analysis suite (:mod:`repro.lint`) over the package
     source: AST hazard rules plus the protocol-table validators.  See
@@ -74,6 +81,7 @@ from .core.deadlock import SOLUTIONS, run_deadlock_demo
 from .core.reduction import reduce_protocols
 from .errors import ConfigError, IntegrationError, ReproError
 from .exp import SweepRunner
+from .fuzz.cli import add_fuzz_arguments, run_fuzz
 from .lint.cli import add_lint_arguments, run_lint
 from .verify.model_check import check_matrix
 from .workloads import MicrobenchSpec, run_microbench, table2_demo, table3_demo
@@ -140,6 +148,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="protocol names (MEI/MSI/MESI/MOESI/DRAGON) or 'none'")
 
     sub.add_parser("verify", help="model-check every protocol pair")
+
+    p = sub.add_parser("fuzz", help="coherence fuzzing: run/repro/shrink")
+    add_fuzz_arguments(p)
 
     p = sub.add_parser("lint", help="run the static-analysis suite")
     add_lint_arguments(p)
@@ -365,6 +376,7 @@ _COMMANDS = {
     "reduce": _cmd_reduce,
     "bench": _cmd_bench,
     "verify": _cmd_verify,
+    "fuzz": run_fuzz,
     "lint": _cmd_lint,
 }
 

@@ -150,12 +150,23 @@ class AsbBus:  # repro: lint-ok[slots]
         txn: Transaction,
         priority: Priority = Priority.NORMAL,
         commit: Optional[Callable[[BusResult], None]] = None,
+        validate: Optional[Callable[[], bool]] = None,
     ) -> Generator:
         """Run one transaction to completion (a process generator).
 
         ``commit``, when given, runs at the end of the data phase while
         the bus is still held — masters use it to install fills and flip
         line states atomically with respect to other masters' snoops.
+
+        ``validate``, when given, is consulted at every bus grant before
+        the address phase.  If it returns false the tenure is cancelled
+        and ``transact`` returns ``None`` without any snooper having
+        seen the operation.  Masters use this for address-only upgrades
+        whose premise (we still hold the line) can be snooped away while
+        the request sits in arbitration: real buses convert the lost
+        upgrade to a full read-with-intent-to-modify before it reaches
+        the wire, and broadcasting it anyway would invalidate the
+        race winner's freshly-dirtied line without a write-back.
 
         Use as ``result = yield from bus.transact(txn)``.
         """
@@ -171,6 +182,21 @@ class AsbBus:  # repro: lint-ok[slots]
             while True:
                 yield self.arbiter.request(txn.master, priority)
                 held = True
+                if validate is not None and not validate():
+                    # The premise vanished while we waited for the grant
+                    # (e.g. an upgrade whose line a competing RWITM just
+                    # snatched): drop the tenure before the address
+                    # phase so no snooper ever sees the stale op.
+                    self.arbiter.release(txn.master)
+                    held = False
+                    self.stats.bump("bus.cancelled")
+                    trace = self._trace_bus
+                    if trace.enabled:
+                        trace.emit(
+                            sim.now, txn.master, "cancelled",
+                            op=txn.op.value, addr=txn.addr,
+                        )
+                    return None
                 tenure_start = sim.now
                 state.phase = "address"
                 state.since = tenure_start

@@ -367,7 +367,14 @@ class CacheController:
                 upgraded.append(True)
 
         yield from self._transact(
-            Transaction(BusOp.INVALIDATE, base, self.name), commit=commit
+            Transaction(BusOp.INVALIDATE, base, self.name),
+            commit=commit,
+            # A competing invalidate can snatch our line while this
+            # request sits in arbitration; broadcasting the upgrade
+            # anyway would kill the race winner's dirty line without a
+            # write-back (lost data).  Cancel at grant time instead —
+            # the hardware's lost-upgrade-to-RWITM conversion.
+            validate=lambda: line.is_valid,
         )
         self.stats.bump(f"{self.name}.upgrades")
         if not upgraded:
@@ -528,5 +535,13 @@ class CacheController:
             raise ProtocolError(f"{self.name}: cache enabled but no protocol configured")
         return self.protocol
 
-    def _transact(self, txn: Transaction, priority: Priority = Priority.NORMAL, commit=None):
-        return self.bus.transact(txn, priority=priority, commit=commit)
+    def _transact(
+        self,
+        txn: Transaction,
+        priority: Priority = Priority.NORMAL,
+        commit=None,
+        validate=None,
+    ):
+        return self.bus.transact(
+            txn, priority=priority, commit=commit, validate=validate
+        )

@@ -12,8 +12,12 @@ Changing any field of the job spec changes the payload and therefore
 the key, so distinct configurations can never collide.
 
 Writes go through a temp file + :func:`os.replace` so a crashed or
-concurrent run never leaves a torn entry; unreadable or corrupt entries
-are treated as misses and overwritten.
+concurrent run never leaves a torn entry.  Reads *validate*: an entry
+that fails to JSON-decode or does not look like a cache entry (a dict
+with ``version``/``job``/``result`` keys) is **quarantined** — moved to
+``<root>/corrupt/`` for post-mortem — and reported as a miss, so one
+torn or truncated file costs one re-simulation, never a crash and
+never a poisoned figure.
 """
 
 from __future__ import annotations
@@ -54,6 +58,8 @@ class ResultCache:
     def __init__(self, root: str, version: Optional[str] = None):
         self.root = root
         self.version = version if version is not None else _package_version()
+        #: entries moved to <root>/corrupt/ by this instance
+        self.quarantined = 0
         os.makedirs(self.root, exist_ok=True)
 
     def key_for(self, payload: Dict[str, Any]) -> str:
@@ -65,15 +71,52 @@ class ResultCache:
         return os.path.join(self.root, f"{key}.json")
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The cached result for ``key``, or None on miss/corruption."""
+        """The cached result for ``key``, or None on miss.
+
+        A present-but-unreadable entry (truncated write, disk hiccup,
+        manual tampering) is quarantined rather than crashing the sweep
+        or silently masking the damage: the file moves to
+        ``<root>/corrupt/`` and the caller re-simulates.
+        """
+        path = self.path_for(key)
         try:
-            with open(self.path_for(key), "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, ValueError):
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except OSError:
+            return None  # plain miss: nothing on disk for this key
+        try:
+            entry = json.loads(raw)
+        except ValueError:
+            self._quarantine(path)
             return None
-        if not isinstance(entry, dict) or "result" not in entry:
+        if not self._valid_entry(entry):
+            self._quarantine(path)
             return None
         return entry["result"]
+
+    @staticmethod
+    def _valid_entry(entry: Any) -> bool:
+        """Schema check: the shape :meth:`put` writes, nothing less."""
+        return (
+            isinstance(entry, dict)
+            and "result" in entry
+            and "job" in entry
+            and isinstance(entry.get("version"), str)
+        )
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry to ``<root>/corrupt/`` (best effort)."""
+        corrupt_dir = os.path.join(self.root, "corrupt")
+        try:
+            os.makedirs(corrupt_dir, exist_ok=True)
+            os.replace(path, os.path.join(corrupt_dir, os.path.basename(path)))
+        except OSError:
+            # Last resort: drop it so the next run does not trip again.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self.quarantined += 1
 
     def put(self, key: str, payload: Dict[str, Any], result: Dict[str, Any]) -> None:
         """Store ``result`` for ``key`` atomically.

@@ -1,0 +1,273 @@
+"""A crash-proof process pool: timeouts, kill-and-requeue, streaming.
+
+:mod:`multiprocessing.Pool` has two failure modes that matter to long
+campaigns: a *hung* worker stalls ``map`` forever, and a *crashed*
+worker (segfault, ``os._exit``, OOM kill) poisons the pool.  Both lose
+every in-flight result.  :class:`ResilientPool` exists so one bad job
+costs exactly one job:
+
+* each worker owns a private task queue and holds **one** job at a
+  time, so the parent always knows which job a dead or wedged worker
+  was running;
+* a job past its deadline gets its worker killed and is **requeued**
+  (bounded attempts, linear backoff) or reported as ``"timeout"``;
+* a worker that dies mid-job is replaced and the job is requeued the
+  same way, ending in ``"crash"`` when the attempts run out;
+* an exception *raised* by the job function is deterministic, so it is
+  reported once as ``"error"`` (traceback text attached), not retried;
+* results stream back **unordered** as they complete, so callers can
+  persist each one immediately — a SIGINT then loses nothing that
+  already finished.
+
+The pool is deliberately dumb about scheduling (first idle worker
+wins) and smart about accounting: every item passed to
+:meth:`map_unordered` yields exactly one :class:`PoolResult`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["PoolResult", "ResilientPool"]
+
+#: how long the parent blocks on the result queue per monitor iteration
+_POLL_S = 0.02
+
+
+@dataclass
+class PoolResult:
+    """Terminal outcome of one submitted item."""
+
+    index: int
+    #: "ok" | "error" (job fn raised) | "timeout" | "crash"
+    status: str
+    #: the job's return value when ok; a diagnostic string otherwise
+    value: Any
+    wall_s: float
+    pid: Optional[int]
+    attempts: int
+
+    @property
+    def ok(self) -> bool:
+        """True when the job function returned normally."""
+        return self.status == "ok"
+
+
+def _worker_main(fn: Callable[[Any], Any], task_queue, result_queue) -> None:
+    """Worker loop: one task at a time, sentinel ``None`` stops it."""
+    pid = os.getpid()
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        index, item = task
+        start = time.perf_counter()
+        try:
+            value = fn(item)
+        except KeyboardInterrupt:  # parent is shutting down; don't report
+            break
+        except BaseException:
+            result_queue.put(
+                (pid, index, "error", traceback.format_exc(),
+                 time.perf_counter() - start)
+            )
+        else:
+            result_queue.put(
+                (pid, index, "ok", value, time.perf_counter() - start)
+            )
+
+
+class _Worker:
+    """One worker process plus the parent-side view of its assignment."""
+
+    __slots__ = ("process", "task_queue", "current", "assigned_at")
+
+    def __init__(self, fn, result_queue):
+        self.task_queue = multiprocessing.Queue()
+        self.process = multiprocessing.Process(
+            target=_worker_main,
+            args=(fn, self.task_queue, result_queue),
+            daemon=True,
+        )
+        self.process.start()
+        self.current: Optional[Tuple[int, Any, int]] = None  # (index, item, attempt)
+        self.assigned_at = 0.0
+
+    def assign(self, job: Tuple[int, Any, int]) -> None:
+        index, item, _attempt = job
+        self.current = job
+        self.assigned_at = time.monotonic()
+        self.task_queue.put((index, item))
+
+    @property
+    def idle(self) -> bool:
+        return self.current is None and self.process.is_alive()
+
+    def stop(self) -> None:
+        """Best-effort graceful stop; escalate to terminate."""
+        if self.process.is_alive():
+            try:
+                self.task_queue.put_nowait(None)
+            except Exception:
+                pass
+        self.process.join(timeout=0.2)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+        self.task_queue.close()
+
+
+class ResilientPool:
+    """Run ``fn`` over items in worker subprocesses, surviving the workers.
+
+    ``timeout_s`` is the per-attempt deadline (None = no deadline);
+    ``max_attempts`` bounds how often a hung or crashed job is requeued
+    before it is reported as ``"timeout"`` / ``"crash"``;
+    ``backoff_s`` delays each requeue by ``backoff_s * attempt``.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        workers: int = 1,
+        timeout_s: Optional[float] = None,
+        max_attempts: int = 2,
+        backoff_s: float = 0.05,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.fn = fn
+        self.workers = int(workers)
+        self.timeout_s = timeout_s
+        self.max_attempts = int(max_attempts)
+        self.backoff_s = backoff_s
+        #: terminal non-ok outcomes observed across map_unordered calls
+        self.failures: List[PoolResult] = []
+
+    # -- execution -----------------------------------------------------------
+    def map_unordered(self, items: Sequence[Any]) -> Iterator[PoolResult]:
+        """Yield one :class:`PoolResult` per item, in completion order."""
+        items = list(items)
+        if not items:
+            return
+        result_queue: Any = multiprocessing.Queue()
+        pool: List[_Worker] = [
+            _Worker(self.fn, result_queue)
+            for _ in range(min(self.workers, len(items)))
+        ]
+        ready: List[Tuple[int, Any, int]] = [
+            (index, item, 1) for index, item in reversed(list(enumerate(items)))
+        ]
+        retries: List[Tuple[float, Tuple[int, Any, int]]] = []
+        done = set()
+        outstanding = len(items)
+        try:
+            while outstanding:
+                now = time.monotonic()
+                for due, job in list(retries):
+                    if due <= now:
+                        retries.remove((due, job))
+                        ready.append(job)
+                for worker in pool:
+                    if worker.idle and ready:
+                        worker.assign(ready.pop())
+                result = self._poll(result_queue, pool)
+                if result is not None:
+                    if result.index in done:
+                        continue  # stale duplicate from a timed-out attempt
+                    done.add(result.index)
+                    outstanding -= 1
+                    if not result.ok:
+                        self.failures.append(result)
+                    yield result
+                    continue
+                for slot, worker in enumerate(pool):
+                    if worker.current is None:
+                        if not worker.process.is_alive():
+                            # An idle worker died (e.g. an external kill):
+                            # replace it so capacity is not lost.
+                            worker.stop()
+                            pool[slot] = _Worker(self.fn, result_queue)
+                        continue
+                    recovered = self._reap(worker, now)
+                    if recovered is None:
+                        continue
+                    pool[slot] = _Worker(self.fn, result_queue)
+                    job, status = recovered
+                    index, item, attempt = job
+                    if index in done:
+                        continue
+                    if attempt < self.max_attempts:
+                        retries.append(
+                            (now + self.backoff_s * attempt,
+                             (index, item, attempt + 1))
+                        )
+                    else:
+                        done.add(index)
+                        outstanding -= 1
+                        failure = PoolResult(
+                            index=index,
+                            status=status,
+                            value=(
+                                f"job {status} after {attempt} attempt(s)"
+                                + (f" (deadline {self.timeout_s}s)"
+                                   if status == "timeout" else "")
+                            ),
+                            wall_s=now - worker.assigned_at,
+                            pid=None,
+                            attempts=attempt,
+                        )
+                        self.failures.append(failure)
+                        yield failure
+        finally:
+            for worker in pool:
+                worker.stop()
+            result_queue.close()
+
+    # -- monitoring ----------------------------------------------------------
+    def _poll(self, result_queue, pool) -> Optional[PoolResult]:
+        """One bounded wait on the result queue; releases the sender."""
+        try:
+            pid, index, status, value, wall_s = result_queue.get(timeout=_POLL_S)
+        except Exception:  # queue.Empty (raised lazily via multiprocessing)
+            return None
+        attempts = 1
+        for worker in pool:
+            if worker.process.pid == pid and worker.current is not None:
+                if worker.current[0] == index:
+                    attempts = worker.current[2]
+                    worker.current = None
+                break
+        return PoolResult(
+            index=index, status=status, value=value,
+            wall_s=wall_s, pid=pid, attempts=attempts,
+        )
+
+    def _reap(self, worker: _Worker, now: float):
+        """Detect a crashed or overdue busy worker; (job, status) or None.
+
+        The caller replaces the worker and decides requeue-vs-report.
+        """
+        if not worker.process.is_alive():
+            job = worker.current
+            worker.stop()
+            return job, "crash"
+        if (
+            self.timeout_s is not None
+            and now - worker.assigned_at > self.timeout_s
+        ):
+            job = worker.current
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():  # pragma: no cover - kill escalation
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+            return job, "timeout"
+        return None

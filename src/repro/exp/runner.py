@@ -13,38 +13,50 @@ Per sweep the runner:
 2. deduplicates byte-identical pending jobs so repeated specs simulate
    once,
 3. runs the remaining misses — serially, or over a
-   :mod:`multiprocessing` pool when ``jobs > 1`` and more than one miss
-   is pending,
-4. stores fresh results back into the cache, and
+   :class:`~repro.exp.procpool.ResilientPool` when ``jobs > 1`` and
+   more than one miss is pending (per-job timeouts, crashed/hung
+   workers killed and their jobs requeued with bounded backoff),
+4. stores each fresh result back into the cache *as it completes* —
+   an interrupted sweep keeps everything already simulated, and a
+   rerun re-executes only the unfinished jobs — and
 5. appends one :class:`JobRecord` per job (wall time, cache hit,
-   worker pid) to the run manifest.
+   worker pid, attempts) to the run manifest.
 
 A runner accumulates records across :meth:`run` calls, so one instance
 threaded through a whole regeneration (figures + headlines) yields a
-single manifest covering everything.
+single manifest covering everything.  The manifest is SIGINT-safe: a
+``KeyboardInterrupt`` mid-sweep still commits the records of every
+completed job before propagating.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 import time
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..errors import SimulationError
 from .cache import ResultCache, canonical_payload
 from .jobs import SimJob
+from .procpool import ResilientPool
 
 __all__ = ["JobRecord", "SweepRunner", "run_jobs"]
 
 
 def _execute(item: Tuple[int, SimJob]) -> Tuple[int, Dict[str, Any], float, int]:
-    """Pool worker: run one job, timing it (top-level for pickling)."""
+    """Run one job in-process, timing it (the serial path)."""
     index, job = item
     start = time.perf_counter()
     result = job.run()
     return index, result, time.perf_counter() - start, os.getpid()
+
+
+def _pool_execute(item: Tuple[int, SimJob]) -> Tuple[int, Dict[str, Any]]:
+    """Pool worker body (top-level for pickling)."""
+    index, job = item
+    return index, job.run()
 
 
 @dataclass
@@ -58,6 +70,7 @@ class JobRecord:
     deduplicated: bool
     wall_s: float
     worker: Optional[int]
+    attempts: int = 1
 
 
 class SweepRunner:
@@ -73,6 +86,8 @@ class SweepRunner:
         jobs: int = 1,
         cache_dir: Optional[str] = None,
         cache: Optional[ResultCache] = None,
+        timeout_s: Optional[float] = None,
+        max_attempts: int = 2,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -80,6 +95,10 @@ class SweepRunner:
         if cache is None and cache_dir is not None:
             cache = ResultCache(cache_dir)
         self.cache = cache
+        #: per-job deadline when running over the worker pool (None = off)
+        self.timeout_s = timeout_s
+        #: attempts per job before a hang/crash becomes an error
+        self.max_attempts = max_attempts
         self.records: List[JobRecord] = []
         self.sweeps = 0
         self.total_wall_s = 0.0
@@ -114,35 +133,64 @@ class SweepRunner:
                 primary_for[dedupe_key] = index
                 pending.append((index, job))
 
-        if pending:
-            if self.workers > 1 and len(pending) > 1:
-                processes = min(self.workers, len(pending))
-                with multiprocessing.Pool(processes=processes) as pool:
-                    outcomes = pool.map(_execute, pending)
-            else:
-                outcomes = [_execute(item) for item in pending]
-            for index, result, wall_s, worker in outcomes:
-                results[index] = result
+        try:
+            if pending:
+                self._run_pending(pending, jobs, keys, results, records)
+            for index, primary in duplicates:
+                results[index] = results[primary]
                 records[index] = JobRecord(
-                    index, jobs[index].label, keys[index], False, False,
-                    wall_s, worker,
+                    index, jobs[index].label, keys[index], False, True, 0.0, None
                 )
-                if self.cache is not None and keys[index] is not None:
-                    self.cache.put(keys[index], jobs[index].payload(), result)
-
-        for index, primary in duplicates:
-            results[index] = results[primary]
-            records[index] = JobRecord(
-                index, jobs[index].label, keys[index], False, True, 0.0, None
-            )
-
-        base = len(self.records)
-        for record in records:
-            record.index += base  # manifest indices stay globally unique
-            self.records.append(record)
-        self.sweeps += 1
-        self.total_wall_s += time.perf_counter() - start
+        finally:
+            # Commit whatever completed even when a job failed or the
+            # user hit Ctrl-C: the manifest never lies about done work.
+            base = len(self.records)
+            for record in records:
+                if record is None:
+                    continue  # interrupted before this job finished
+                record.index += base
+                self.records.append(record)
+            self.sweeps += 1
+            self.total_wall_s += time.perf_counter() - start
         return results  # type: ignore[return-value]
+
+    def _run_pending(self, pending, jobs, keys, results, records) -> None:
+        """Execute the cache misses, recording each as it completes.
+
+        Fresh results are cached *immediately* (not after the batch), so
+        killing the run — or one worker — loses only in-flight jobs.
+        """
+
+        def complete(index, result, wall_s, worker, attempts=1):
+            results[index] = result
+            records[index] = JobRecord(
+                index, jobs[index].label, keys[index], False, False,
+                wall_s, worker, attempts,
+            )
+            if self.cache is not None and keys[index] is not None:
+                self.cache.put(keys[index], jobs[index].payload(), result)
+
+        if self.workers == 1 or len(pending) == 1:
+            for item in pending:
+                index, result, wall_s, worker = _execute(item)
+                complete(index, result, wall_s, worker)
+            return
+        pool = ResilientPool(
+            _pool_execute,
+            workers=min(self.workers, len(pending)),
+            timeout_s=self.timeout_s,
+            max_attempts=self.max_attempts,
+        )
+        for outcome in pool.map_unordered(pending):
+            if not outcome.ok:
+                job_index = pending[outcome.index][0]
+                raise SimulationError(
+                    f"sweep job {jobs[job_index].label!r} "
+                    f"{outcome.status} after {outcome.attempts} attempt(s): "
+                    f"{outcome.value}"
+                )
+            index, result = outcome.value
+            complete(index, result, outcome.wall_s, outcome.pid, outcome.attempts)
 
     # -- manifest ----------------------------------------------------------
     @property

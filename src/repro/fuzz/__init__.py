@@ -1,0 +1,56 @@
+"""Coherence fuzzing: random platforms + workloads, classified outcomes.
+
+The fuzzer samples random platform configurations (protocol pairs,
+wrapper policies on or off, cache geometries, lock solutions, optional
+fault injections) and random multi-master workloads, runs each case in
+a sandboxed worker with a timeout, and classifies what happened:
+``clean``, ``violation`` (coherence checker), ``deadlock``,
+``livelock``, ``hang`` (event backstop), ``error`` or ``crash``.
+
+The point is the *oracle*: every case knows which outcomes are
+expected of it.  An unwrapped MESI+MEI pair is *supposed* to read
+stale data (Table 2); the ``solution="none"`` Fig 4 configuration is
+*supposed* to deadlock.  Anything outside a case's allowed set is an
+unexpected failure, written out as a replayable JSON reproducer and
+handed to the delta-debugging shrinker, which minimises the case to
+the fewest accesses (and simplest config) that still reproduce the
+same failure class.
+
+See ``docs/robustness.md`` ("Fuzzing & shrinking") for the workflow
+and ``python -m repro fuzz --help`` for the CLI.
+"""
+
+from .case import (
+    FUZZ_PROTOCOLS,
+    MODEL_PROTOCOLS,
+    OUTCOMES,
+    CaseResult,
+    FuzzCase,
+    allowed_outcomes,
+    build_workload,
+    run_case,
+)
+from .gen import CaseGenerator
+from .campaign import CampaignConfig, CampaignResult, run_campaign
+from .shrink import ShrinkResult, shrink_case
+from .differential import DifferentialReport, differential_check, replay_events
+
+__all__ = [
+    "FUZZ_PROTOCOLS",
+    "MODEL_PROTOCOLS",
+    "OUTCOMES",
+    "FuzzCase",
+    "CaseResult",
+    "allowed_outcomes",
+    "build_workload",
+    "run_case",
+    "CaseGenerator",
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "ShrinkResult",
+    "shrink_case",
+    "DifferentialReport",
+    "differential_check",
+    "replay_events",
+]

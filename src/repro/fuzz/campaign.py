@@ -1,0 +1,287 @@
+"""The campaign driver: many cases, worker subprocesses, nothing lost.
+
+:func:`run_campaign` executes cases ``0 .. n_cases-1`` of a seeded
+:class:`~repro.fuzz.gen.CaseGenerator`, classifies each outcome
+against its oracle, and persists everything incrementally:
+
+* with ``workers > 1`` each case runs in a subprocess from the same
+  crash-proof pool the sweep runner uses
+  (:class:`~repro.exp.procpool.ResilientPool`): a case that wedges its
+  worker past ``timeout_s`` is killed and classified ``timeout``, a
+  worker that dies mid-case yields ``crash`` — either way the campaign
+  keeps going and every other result survives;
+* every completed case is appended to ``<out_dir>/results.jsonl``
+  *as it finishes* (one JSON object per line, flushed), so killing the
+  campaign — SIGINT, OOM, power — loses at most the in-flight cases;
+* a rerun with the same ``out_dir`` resumes: cases already present in
+  the manifest are not re-executed (case identity is ``(seed, index)``,
+  and generation is index-stable, so resuming never shifts cases);
+* each *unexpected* result is written to
+  ``<out_dir>/reproducers/case-<index>.json`` — a self-contained file
+  that ``python -m repro fuzz repro`` replays byte-identically.
+
+Timing note: this module never reads the wall clock itself (the fuzz
+package stays deterministic); per-case wall times come from the pool.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+from ..exp.procpool import ResilientPool
+from .case import CaseResult, FuzzCase, allowed_outcomes, run_case
+from .gen import CaseGenerator
+
+__all__ = ["CampaignConfig", "CampaignResult", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything one campaign run needs (JSON-round-trippable)."""
+
+    seed: int = 0
+    n_cases: int = 200
+    workers: int = 1
+    #: per-case deadline when running over the pool (None = no deadline)
+    timeout_s: Optional[float] = 60.0
+    #: manifest + reproducer directory (None = in-memory only)
+    out_dir: Optional[str] = None
+    #: skip cases already recorded in the manifest
+    resume: bool = True
+    # generator mix (passed straight to CaseGenerator)
+    p_deadlock: float = 0.1
+    p_unwrapped: float = 0.3
+    p_fault: float = 0.15
+
+    def __post_init__(self):
+        if self.n_cases < 1:
+            raise ConfigError(f"n_cases must be >= 1, got {self.n_cases}")
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated campaign outcome."""
+
+    seed: int
+    n_cases: int
+    counts: Dict[str, int] = field(default_factory=dict)
+    #: entries {"index", "case", "result", "reproducer"} per unexpected case
+    unexpected: List[Dict[str, Any]] = field(default_factory=list)
+    executed: int = 0
+    resumed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every case classified as expected."""
+        return not self.unexpected
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "seed": self.seed,
+            "n_cases": self.n_cases,
+            "counts": dict(sorted(self.counts.items())),
+            "unexpected": self.unexpected,
+            "executed": self.executed,
+            "resumed": self.resumed,
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        """One-line human rendering."""
+        mix = ", ".join(
+            f"{outcome}={count}" for outcome, count in sorted(self.counts.items())
+        )
+        status = "OK" if self.ok else f"{len(self.unexpected)} UNEXPECTED"
+        resumed = f", {self.resumed} resumed" if self.resumed else ""
+        return (
+            f"campaign seed={self.seed}: {self.n_cases} cases "
+            f"({mix}{resumed}) -> {status}"
+        )
+
+
+def _case_worker(item: Tuple[int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any]]:
+    """Pool body (top-level for pickling): run one case from its dict."""
+    index, case_dict = item
+    result = run_case(FuzzCase.from_dict(case_dict))
+    return index, result.to_dict()
+
+
+def _load_manifest(path: str) -> Dict[int, Dict[str, Any]]:
+    """Completed entries from a (possibly truncated) results.jsonl."""
+    done: Dict[int, Dict[str, Any]] = {}
+    if not os.path.exists(path):
+        return done
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn write from a killed run; re-execute it
+            if "index" in entry and "result" in entry:
+                done[int(entry["index"])] = entry
+    return done
+
+
+class _Manifest:
+    """Append-one-line-per-result JSONL writer (no-op when dir is None)."""
+
+    def __init__(self, out_dir: Optional[str]):
+        self.path = None
+        self._handle = None
+        if out_dir is not None:
+            os.makedirs(out_dir, exist_ok=True)
+            self.path = os.path.join(out_dir, "results.jsonl")
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def append(self, entry: Dict[str, Any]) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def _write_reproducer(
+    out_dir: Optional[str], seed: int, index: int, case: FuzzCase,
+    result: Dict[str, Any],
+) -> Optional[str]:
+    """Persist one unexpected case as a standalone replayable file."""
+    if out_dir is None:
+        return None
+    directory = os.path.join(out_dir, "reproducers")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"case-{index}.json")
+    payload = {
+        "campaign_seed": seed,
+        "index": index,
+        "case": case.to_dict(),
+        "result": result,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
+    """Run one campaign to completion (see module docstring).
+
+    ``progress``, when given, is called as ``progress(done, total,
+    entry)`` after every case (completed or resumed).
+    """
+    generator = CaseGenerator(
+        config.seed,
+        p_deadlock=config.p_deadlock,
+        p_unwrapped=config.p_unwrapped,
+        p_fault=config.p_fault,
+    )
+    result = CampaignResult(seed=config.seed, n_cases=config.n_cases)
+    counts: Counter = Counter()
+
+    done: Dict[int, Dict[str, Any]] = {}
+    manifest_path = (
+        os.path.join(config.out_dir, "results.jsonl")
+        if config.out_dir is not None else None
+    )
+    if config.resume and manifest_path is not None:
+        done = {
+            index: entry
+            for index, entry in _load_manifest(manifest_path).items()
+            if 0 <= index < config.n_cases
+        }
+
+    cases = {index: generator.case(index) for index in range(config.n_cases)}
+    pending = [index for index in range(config.n_cases) if index not in done]
+    manifest = _Manifest(config.out_dir)
+    completed = 0
+
+    def record(index: int, result_dict: Dict[str, Any], resumed: bool) -> None:
+        nonlocal completed
+        completed += 1
+        case = cases[index]
+        entry = {
+            "index": index,
+            "case": case.to_dict(),
+            "result": result_dict,
+            "resumed": resumed,
+        }
+        counts[result_dict["outcome"]] += 1
+        if resumed:
+            result.resumed += 1
+        else:
+            result.executed += 1
+            manifest.append(
+                {"index": index, "case": case.to_dict(), "result": result_dict}
+            )
+        if not result_dict.get("expected", False):
+            reproducer = _write_reproducer(
+                config.out_dir, config.seed, index, case, result_dict
+            )
+            result.unexpected.append(
+                {
+                    "index": index,
+                    "case": case.to_dict(),
+                    "result": result_dict,
+                    "reproducer": reproducer,
+                }
+            )
+        if progress is not None:
+            progress(completed, config.n_cases, entry)
+
+    try:
+        for index in sorted(done):
+            record(index, done[index]["result"], resumed=True)
+        if config.workers == 1 or len(pending) <= 1:
+            for index in pending:
+                case_result = run_case(cases[index])
+                record(index, case_result.to_dict(), resumed=False)
+        else:
+            _run_pooled(config, cases, pending, record)
+    finally:
+        manifest.close()
+        result.counts = dict(counts)
+    return result
+
+
+def _run_pooled(config: CampaignConfig, cases, pending, record) -> None:
+    """Fan pending cases out over a ResilientPool."""
+    items = [(index, cases[index].to_dict()) for index in pending]
+    pool = ResilientPool(
+        _case_worker,
+        workers=min(config.workers, len(items)),
+        timeout_s=config.timeout_s,
+        max_attempts=1,  # cases are deterministic: a hang would hang again
+    )
+    for outcome in pool.map_unordered(items):
+        index = items[outcome.index][0]
+        if outcome.ok:
+            _, result_dict = outcome.value
+            record(index, result_dict, resumed=False)
+            continue
+        # The worker itself failed: timeout / crash / raised.  None of
+        # these is ever in an oracle's allowed set.
+        status = {"error": "crash"}.get(outcome.status, outcome.status)
+        record(
+            index,
+            CaseResult(
+                outcome=status,
+                detail=str(outcome.value),
+                allowed=allowed_outcomes(cases[index]),
+            ).to_dict(),
+            resumed=False,
+        )

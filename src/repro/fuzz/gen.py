@@ -1,0 +1,152 @@
+"""Seeded random case generation.
+
+:class:`CaseGenerator` turns ``(campaign seed, case index)`` into a
+:class:`~repro.fuzz.case.FuzzCase` through a private
+``random.Random(f"{seed}:{index}")`` — case *i* of campaign *s* is the
+same case on every machine and every resume, independent of how many
+cases ran before it.  The sampled space covers:
+
+* the five integrable protocol tables (Dragon only self-paired — the
+  wrapper methodology scopes to invalidation protocols, and a mixed
+  Dragon platform is not constructible; SI is exercised only as the
+  i486 write-through sub-protocol and cannot anchor a platform);
+* wrappers on (the proposed integration) or forced to identity
+  policies (the paper's broken baseline);
+* cache geometries from 8-line direct-mapped up to 64-line 4-way;
+* the five workload families plus, occasionally, an armed
+  :class:`~repro.faults.FaultSpec` from the injection taxonomy;
+* the Fig 4 deadlock scenario under all four lock solutions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from ..core.platform import SHARED_BASE
+from .case import FUZZ_PROTOCOLS, DEFAULT_MAX_EVENTS, FuzzCase
+
+__all__ = ["CaseGenerator"]
+
+_CACHE_SIZES = (256, 512, 1024, 2048)
+_CACHE_WAYS = (1, 2, 4)
+_SOLUTIONS = ("none", "uncached-locks", "lock-register", "bakery")
+_WORKLOAD_KINDS = (
+    "racy", "false-sharing", "lock-contention", "hotspot",
+    "producer-consumer",
+)
+#: fault sites that attach to a two-coherent-core generic platform
+#: (the fiq.*/cam.* sites need snoop logic, i.e. a cacheless core)
+_FAULT_SITES = (
+    "mem.delay", "drain.delay", "snoop.silent", "retry.storm",
+    "arbiter.starve", "drain.drop",
+)
+
+
+class CaseGenerator:
+    """Derives case *i* of a campaign from ``(seed, i)`` alone."""
+
+    def __init__(
+        self,
+        seed: int,
+        p_deadlock: float = 0.1,
+        p_unwrapped: float = 0.3,
+        p_fault: float = 0.15,
+    ):
+        self.seed = seed
+        self.p_deadlock = p_deadlock
+        self.p_unwrapped = p_unwrapped
+        self.p_fault = p_fault
+
+    def case(self, index: int) -> FuzzCase:
+        """The ``index``-th case of this campaign."""
+        rng = random.Random(f"fuzz:{self.seed}:{index}")
+        if rng.random() < self.p_deadlock:
+            return FuzzCase(
+                seed=index,
+                scenario="deadlock",
+                solution=rng.choice(_SOLUTIONS),
+                max_events=2_000_000,
+            )
+        protocols = self._protocols(rng)
+        wrapped = not (rng.random() < self.p_unwrapped)
+        fault = self._fault(rng) if rng.random() < self.p_fault else None
+        return FuzzCase(
+            seed=index,
+            scenario="trace",
+            protocols=protocols,
+            wrapped=wrapped,
+            cache_sizes=(rng.choice(_CACHE_SIZES), rng.choice(_CACHE_SIZES)),
+            cache_ways=(rng.choice(_CACHE_WAYS), rng.choice(_CACHE_WAYS)),
+            workload=self._workload(rng),
+            fault=fault,
+            max_events=DEFAULT_MAX_EVENTS,
+        )
+
+    def cases(self, n: int, start: int = 0) -> Iterator[FuzzCase]:
+        """Cases ``start .. start+n-1`` of this campaign."""
+        for index in range(start, start + n):
+            yield self.case(index)
+
+    # -- samplers ----------------------------------------------------------
+    def _protocols(self, rng: random.Random):
+        p0 = rng.choice(FUZZ_PROTOCOLS)
+        if p0 == "DRAGON":
+            return ("DRAGON", "DRAGON")
+        p1 = rng.choice([p for p in FUZZ_PROTOCOLS if p != "DRAGON"])
+        return (p0, p1)
+
+    def _workload(self, rng: random.Random):
+        kind = rng.choice(_WORKLOAD_KINDS)
+        seed = rng.randrange(1, 1_000_000)
+        if kind == "racy":
+            return {
+                "kind": kind,
+                "n": rng.randrange(10, 60),
+                "footprint_words": rng.choice((4, 8, 16, 64, 128)),
+                "write_ratio": rng.choice((0.2, 0.5, 0.8)),
+                "seed": seed,
+            }
+        if kind == "false-sharing":
+            return {
+                "kind": kind,
+                "n": rng.randrange(10, 60),
+                "lines": rng.choice((1, 2, 4)),
+                "seed": seed,
+            }
+        if kind == "lock-contention":
+            return {
+                "kind": kind,
+                "n_acquires": rng.randrange(2, 8),
+                "seed": seed,
+            }
+        if kind == "hotspot":
+            return {
+                "kind": kind,
+                "n": rng.randrange(15, 50),
+                "footprint_words": rng.choice((16, 64, 256)),
+                "seed": seed,
+            }
+        return {"kind": "producer-consumer", "n_items": rng.randrange(4, 24)}
+
+    def _fault(self, rng: random.Random) -> Optional[dict]:
+        site = rng.choice(_FAULT_SITES)
+        master = rng.choice((None, "p0", "p1"))
+        fault = {"site": site, "master": master, "seed": rng.randrange(1_000)}
+        if site == "mem.delay":
+            # mem.delay attaches to the memory controller, not a master
+            fault.update(master=None, probability=0.25, count=None,
+                         extra_cycles=rng.randrange(50, 400))
+        elif site == "drain.delay":
+            fault.update(delay_ns=rng.randrange(500, 5_000), count=None)
+        elif site == "snoop.silent":
+            fault.update(addr=rng.choice((None, SHARED_BASE)), count=None)
+        elif site == "retry.storm":
+            fault.update(count=None)
+        elif site == "arbiter.starve":
+            # starving a named master forever wedges it; target one
+            fault.update(master=rng.choice(("p0", "p1")),
+                         after_n=rng.randrange(0, 6), count=None)
+        elif site == "drain.drop":
+            fault.update(count=1)
+        return fault

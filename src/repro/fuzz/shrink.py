@@ -1,0 +1,231 @@
+"""Delta-debugging shrinker: minimise a failing case, keep the failure.
+
+Given a :class:`~repro.fuzz.case.FuzzCase` whose outcome is
+interesting (a violation, a deadlock, ...), :func:`shrink_case`
+produces the smallest case it can find that still classifies the same
+way:
+
+1. the workload is frozen into its *explicit* form (literal access
+   lists) so individual accesses become deletable without disturbing
+   any generator's RNG stream;
+2. classic ddmin over the accesses: remove chunks, halve the chunk
+   size on failure to reduce, until the access list is 1-minimal
+   (every single remaining access is load-bearing);
+3. greedy configuration passes: drop the fault spec, shrink the cache
+   geometry — each simplification is kept only when the failure class
+   survives it.
+
+Every probe is a full deterministic :func:`~repro.fuzz.case.run_case`,
+so the shrunk case replays byte-identically: running it twice yields
+the same classification, the same detail string, the same simulated
+timestamps.  ``max_tests`` bounds the probe budget; when it runs out
+the best case found so far is returned (still failing, just possibly
+not minimal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .case import FuzzCase, explicit_workload, run_case
+
+__all__ = ["ShrinkResult", "shrink_case", "count_accesses"]
+
+
+def count_accesses(workload: Dict[str, Any]) -> int:
+    """Number of accesses an (explicit) workload will issue."""
+    if workload.get("kind") == "explicit-serial":
+        return len(workload["accesses"])
+    if workload.get("kind") == "explicit":
+        return sum(len(trace) for trace in workload["traces"].values())
+    return count_accesses(explicit_workload(workload))
+
+
+@dataclass
+class ShrinkResult:
+    """What the shrinker achieved."""
+
+    original: FuzzCase
+    shrunk: FuzzCase
+    #: the failure class that was preserved throughout
+    outcome: str
+    accesses_before: int
+    accesses_after: int
+    tests_run: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "original": self.original.to_dict(),
+            "shrunk": self.shrunk.to_dict(),
+            "outcome": self.outcome,
+            "accesses_before": self.accesses_before,
+            "accesses_after": self.accesses_after,
+            "tests_run": self.tests_run,
+        }
+
+    def summary(self) -> str:
+        """One-line human rendering."""
+        return (
+            f"shrunk {self.accesses_before} -> {self.accesses_after} "
+            f"accesses in {self.tests_run} probes, outcome={self.outcome!r}"
+        )
+
+
+class _Budget:
+    """Probe counter with a hard ceiling."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def take(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def _flatten(workload: Dict[str, Any]) -> List[Tuple[Optional[str], Any]]:
+    """Explicit workload -> list of (proc_key, access) in issue order."""
+    if workload["kind"] == "explicit-serial":
+        return [(None, access) for access in workload["accesses"]]
+    flat: List[Tuple[Optional[str], Any]] = []
+    for proc in sorted(workload["traces"]):
+        for access in workload["traces"][proc]:
+            flat.append((proc, access))
+    return flat
+
+
+def _rebuild(
+    workload: Dict[str, Any], flat: List[Tuple[Optional[str], Any]]
+) -> Dict[str, Any]:
+    """Inverse of :func:`_flatten` for a (subset of a) flat list."""
+    if workload["kind"] == "explicit-serial":
+        return {"kind": "explicit-serial",
+                "accesses": [access for _proc, access in flat]}
+    traces: Dict[str, List[Any]] = {proc: [] for proc in workload["traces"]}
+    for proc, access in flat:
+        traces[proc].append(access)
+    # Drop processors whose trace shrank to nothing: a driver with no
+    # accesses contributes only noise to the replay.
+    traces = {proc: trace for proc, trace in traces.items() if trace}
+    if not traces:
+        traces = {"0": []}
+    return {"kind": "explicit", "traces": traces}
+
+
+def _ddmin(items: List[Any], test, budget: _Budget) -> List[Any]:
+    """Zeller's ddmin: the returned subset still passes ``test``.
+
+    ``test(subset)`` must return True when the failure persists.
+    ``items`` itself is assumed to pass.
+    """
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        start = 0
+        while start < len(items):
+            candidate = items[:start] + items[start + chunk:]
+            if candidate and budget.take() and test(candidate):
+                items = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                # re-test from the same offset: the list shifted left
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def shrink_case(
+    case: FuzzCase,
+    target_outcome: Optional[str] = None,
+    max_tests: int = 500,
+) -> ShrinkResult:
+    """Minimise ``case`` while preserving its failure class.
+
+    ``target_outcome`` defaults to whatever :func:`run_case` classifies
+    the input as; shrinking a ``"clean"`` case is rejected upstream by
+    the CLI (there is nothing to preserve).
+    """
+    original = case
+    budget = _Budget(max_tests)
+    if target_outcome is None:
+        budget.take()
+        target_outcome = run_case(case).outcome
+
+    if case.scenario == "deadlock":
+        # Nothing deletable: the scenario is already the paper's
+        # minimal Fig 4 interleaving.
+        return ShrinkResult(
+            original=original, shrunk=case, outcome=target_outcome,
+            accesses_before=0, accesses_after=0, tests_run=budget.used,
+        )
+
+    case = case.with_(workload=explicit_workload(case.workload))
+    before = count_accesses(case.workload)
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        return run_case(candidate).outcome == target_outcome
+
+    # -- pass 1: ddmin over the accesses --------------------------------
+    flat = _flatten(case.workload)
+
+    def test_subset(subset) -> bool:
+        return still_fails(
+            case.with_(workload=_rebuild(case.workload, subset))
+        )
+
+    flat = _ddmin(flat, test_subset, budget)
+    case = case.with_(workload=_rebuild(case.workload, flat))
+
+    # -- pass 2: greedy config simplifications --------------------------
+    for simplify in _CONFIG_PASSES:
+        candidate = simplify(case)
+        if candidate is not None and budget.take() and still_fails(candidate):
+            case = candidate
+
+    return ShrinkResult(
+        original=original,
+        shrunk=case,
+        outcome=target_outcome,
+        accesses_before=before,
+        accesses_after=count_accesses(case.workload),
+        tests_run=budget.used,
+    )
+
+
+_SMALLEST_SIZES = (256, 256)
+_DIRECT_MAPPED = (1, 1)
+
+
+def _drop_fault(case: FuzzCase) -> Optional[FuzzCase]:
+    return case.with_(fault=None) if case.fault is not None else None
+
+
+def _shrink_geometry(case: FuzzCase) -> Optional[FuzzCase]:
+    if case.cache_sizes == _SMALLEST_SIZES and case.cache_ways == _DIRECT_MAPPED:
+        return None
+    return case.with_(cache_sizes=_SMALLEST_SIZES, cache_ways=_DIRECT_MAPPED)
+
+
+def _shrink_sizes(case: FuzzCase) -> Optional[FuzzCase]:
+    if case.cache_sizes == _SMALLEST_SIZES:
+        return None
+    return case.with_(cache_sizes=_SMALLEST_SIZES)
+
+
+def _shrink_ways(case: FuzzCase) -> Optional[FuzzCase]:
+    if case.cache_ways == _DIRECT_MAPPED:
+        return None
+    return case.with_(cache_ways=_DIRECT_MAPPED)
+
+
+#: tried in order; each accepted only when the failure class survives
+_CONFIG_PASSES = (_drop_fault, _shrink_geometry, _shrink_sizes, _shrink_ways)

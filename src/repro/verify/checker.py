@@ -29,7 +29,7 @@ from typing import Dict, List, Optional
 
 from ..cache.line import State
 from ..core.platform import Platform
-from ..errors import CoherenceViolation
+from ..errors import CoherenceViolation, ConfigError
 from ..sim.tracing import TraceRecord
 
 __all__ = ["CoherenceChecker"]
@@ -46,7 +46,12 @@ class CoherenceChecker:
         check_values: bool = True,
         check_states: Optional[bool] = None,
         raise_immediately: bool = False,
+        max_violations: int = 1000,
     ):
+        if max_violations < 1:
+            raise ConfigError(
+                f"max_violations must be >= 1, got {max_violations}"
+            )
         self.platform = platform
         self.check_values = check_values
         if check_states is None:
@@ -57,6 +62,12 @@ class CoherenceChecker:
             check_states = platform.config.hardware_coherence
         self.check_states = check_states
         self.raise_immediately = raise_immediately
+        #: accumulation cap: a badly broken run (every load stale) must
+        #: not grow memory without bound.  When the cap hits, one marker
+        #: violation is appended and further ones are counted, not kept.
+        self.max_violations = max_violations
+        self.truncated = False
+        self.suppressed_violations = 0
         self.violations: List[CoherenceViolation] = []
         self._golden: Dict[int, int] = {}
         self.loads_checked = 0
@@ -202,6 +213,19 @@ class CoherenceChecker:
 
     # -- reporting ------------------------------------------------------------------
     def _flag(self, addr: int, detail: str) -> None:
+        if len(self.violations) >= self.max_violations:
+            self.suppressed_violations += 1
+            if not self.truncated:
+                self.truncated = True
+                self.violations.append(
+                    CoherenceViolation(
+                        addr,
+                        f"violation cap reached ({self.max_violations}); "
+                        "further violations are counted but not stored "
+                        "(see suppressed_violations)",
+                    )
+                )
+            return
         violation = CoherenceViolation(addr, detail)
         self.violations.append(violation)
         if self.raise_immediately:
@@ -219,8 +243,11 @@ class CoherenceChecker:
 
     def summary(self) -> str:
         """One-line status for logs and example scripts."""
-        return (
+        text = (
             f"checker: {self.loads_checked} loads checked, "
             f"{self.stores_tracked} stores tracked, "
             f"{len(self.violations)} violations"
         )
+        if self.truncated:
+            text += f" (+{self.suppressed_violations} suppressed past cap)"
+        return text

@@ -10,6 +10,11 @@ rates, sharing patterns or bus utilisation).  This module provides:
   :func:`strided_trace`, :func:`random_trace` (uniform) and
   :func:`hotspot_trace` (90/10-style skew), plus
   :func:`producer_consumer_trace` for two-processor sharing;
+* multi-master stress generators for :func:`replay_parallel`:
+  :func:`racy_traces` (unsynchronised writers on a shared footprint),
+  :func:`false_sharing_traces` (private words packed into shared
+  lines) and :func:`lock_contention_traces` (atomic swaps hammering
+  one uncached lock word);
 * :class:`TraceResult` with the hit/miss/traffic numbers extracted
   from the run.
 
@@ -22,18 +27,22 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..core.platform import SHARED_BASE, Platform
+from ..core.platform import LOCK_BASE, SHARED_BASE, Platform
 from ..errors import ConfigError
 
 __all__ = [
     "TraceAccess",
     "TraceResult",
     "replay_trace",
+    "replay_parallel",
     "sequential_trace",
     "strided_trace",
     "random_trace",
     "hotspot_trace",
     "producer_consumer_trace",
+    "racy_traces",
+    "false_sharing_traces",
+    "lock_contention_traces",
 ]
 
 
@@ -42,12 +51,12 @@ class TraceAccess:
     """One access: which processor, read or write, where, what."""
 
     proc: int
-    op: str          # "read" | "write"
+    op: str          # "read" | "write" | "swap"
     addr: int
     value: int = 0
 
     def __post_init__(self):
-        if self.op not in ("read", "write"):
+        if self.op not in ("read", "write", "swap"):
             raise ConfigError(f"bad trace op {self.op!r}")
 
 
@@ -94,6 +103,9 @@ def replay_trace(platform: Platform, trace: Sequence[TraceAccess]) -> TraceResul
             if access.op == "read":
                 value = yield from controller.read(access.addr)
                 values.append(value)
+            elif access.op == "swap":
+                old = yield from controller.swap(access.addr, access.value)
+                values.append(old)
             else:
                 yield from controller.write(access.addr, access.value)
                 values.append(None)
@@ -114,6 +126,8 @@ def replay_parallel(
             controller = controllers[access.proc]
             if access.op == "read":
                 yield from controller.read(access.addr)
+            elif access.op == "swap":
+                yield from controller.swap(access.addr, access.value)
             else:
                 yield from controller.write(access.addr, access.value)
 
@@ -232,3 +246,118 @@ def producer_consumer_trace(
         trace.append(TraceAccess(producer, "write", addr, value=i + 1))
         trace.append(TraceAccess(consumer, "read", addr))
     return trace
+
+
+# ---------------------------------------------------------------------------
+# multi-master generators (for replay_parallel)
+# ---------------------------------------------------------------------------
+def _unique_value(proc: int, i: int) -> int:
+    """A store value that identifies its writer and position."""
+    return (proc + 1) * 1_000_000 + i
+
+
+def racy_traces(
+    n: int,
+    procs: int = 2,
+    footprint_words: int = 8,
+    base: int = SHARED_BASE,
+    write_ratio: float = 0.5,
+    seed: int = 1,
+) -> Dict[int, List[TraceAccess]]:
+    """Unsynchronised processors hammering one small shared footprint.
+
+    Every processor reads and writes the *same* few words with no
+    ordering discipline — the canonical workload for exposing stale
+    reads on software-disciplined (unwrapped) protocol pairs, and for
+    proving their absence on coherent ones.  Store values encode
+    ``(proc, i)`` so any stale value names its writer.
+    """
+    if procs < 1:
+        raise ConfigError(f"procs must be >= 1, got {procs}")
+    traces: Dict[int, List[TraceAccess]] = {}
+    for proc in range(procs):
+        rng = random.Random(f"{seed}:{proc}")
+        trace = []
+        for i in range(n):
+            addr = base + 4 * rng.randrange(footprint_words)
+            if rng.random() < write_ratio:
+                trace.append(
+                    TraceAccess(proc, "write", addr, value=_unique_value(proc, i))
+                )
+            else:
+                trace.append(TraceAccess(proc, "read", addr))
+        traces[proc] = trace
+    return traces
+
+
+def false_sharing_traces(
+    n: int,
+    procs: int = 2,
+    base: int = SHARED_BASE,
+    line_bytes: int = 32,
+    lines: int = 2,
+    seed: int = 1,
+) -> Dict[int, List[TraceAccess]]:
+    """Private per-processor words packed into *shared* cache lines.
+
+    Processor ``p`` only ever touches word ``p`` of each line, so there
+    is no true data sharing — but because the words share lines, every
+    write invalidates (or updates) the other processors' copies.  The
+    workload stresses line-granular coherence actions while the value
+    check stays trivially satisfiable: each word has a single writer.
+    """
+    if 4 * procs > line_bytes:
+        raise ConfigError(
+            f"{procs} procs at one word each do not fit a "
+            f"{line_bytes}-byte line"
+        )
+    traces: Dict[int, List[TraceAccess]] = {}
+    for proc in range(procs):
+        rng = random.Random(f"{seed}:{proc}")
+        trace = []
+        for i in range(n):
+            line = rng.randrange(lines)
+            addr = base + line * line_bytes + 4 * proc
+            if rng.random() < 0.7:
+                trace.append(
+                    TraceAccess(proc, "write", addr, value=_unique_value(proc, i))
+                )
+            else:
+                trace.append(TraceAccess(proc, "read", addr))
+        traces[proc] = trace
+    return traces
+
+
+def lock_contention_traces(
+    n_acquires: int,
+    procs: int = 2,
+    lock_addr: int = LOCK_BASE,
+    scratch_base: int = SHARED_BASE,
+    seed: int = 1,
+) -> Dict[int, List[TraceAccess]]:
+    """Atomic swaps hammering one uncached lock word.
+
+    Each processor repeatedly test-and-sets ``lock_addr`` (an atomic
+    swap — which is only architecturally legal on *uncached* regions,
+    hence the default of ``LOCK_BASE``), touches a private scratch
+    word while "holding" the lock, then stores 0 to release.  Traces
+    are open-loop (no data-dependent spinning), so this measures raw
+    swap/bus contention rather than lock fairness.
+    """
+    if procs < 1:
+        raise ConfigError(f"procs must be >= 1, got {procs}")
+    traces: Dict[int, List[TraceAccess]] = {}
+    for proc in range(procs):
+        rng = random.Random(f"{seed}:{proc}")
+        trace = []
+        scratch = scratch_base + 4 * proc
+        for i in range(n_acquires):
+            trace.append(TraceAccess(proc, "swap", lock_addr, value=proc + 1))
+            for _ in range(rng.randrange(1, 4)):  # critical-section work
+                trace.append(
+                    TraceAccess(proc, "write", scratch, value=_unique_value(proc, i))
+                )
+                trace.append(TraceAccess(proc, "read", scratch))
+            trace.append(TraceAccess(proc, "write", lock_addr, value=0))
+        traces[proc] = trace
+    return traces

@@ -72,6 +72,48 @@ class TestResultCache:
             handle.write("{not json")
         assert cache.get(key) is None
 
+    def test_corrupt_entry_is_quarantined(self, tmp_path, spec):
+        cache = ResultCache(str(tmp_path))
+        payload = MicrobenchJob(spec).payload()
+        key = cache.key_for(payload)
+        with open(cache.path_for(key), "w") as handle:
+            handle.write("{not json")
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert not os.path.exists(cache.path_for(key))
+        quarantined = os.path.join(str(tmp_path), "corrupt", f"{key}.json")
+        assert os.path.exists(quarantined)
+        # Quarantined, the entry is a plain miss and can be overwritten.
+        cache.put(key, payload, {"elapsed_ns": 5})
+        assert cache.get(key) == {"elapsed_ns": 5}
+
+    def test_truncated_entry_is_quarantined(self, tmp_path, spec):
+        cache = ResultCache(str(tmp_path))
+        payload = MicrobenchJob(spec).payload()
+        key = cache.key_for(payload)
+        cache.put(key, payload, {"elapsed_ns": 7})
+        with open(cache.path_for(key)) as handle:
+            text = handle.read()
+        with open(cache.path_for(key), "w") as handle:
+            handle.write(text[: len(text) // 2])  # torn write
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+    def test_wrong_schema_entry_is_quarantined(self, tmp_path, spec):
+        cache = ResultCache(str(tmp_path))
+        payload = MicrobenchJob(spec).payload()
+        key = cache.key_for(payload)
+        with open(cache.path_for(key), "w") as handle:
+            json.dump({"something": "else"}, handle)  # valid JSON, wrong shape
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+    def test_missing_entry_is_not_quarantined(self, tmp_path, spec):
+        cache = ResultCache(str(tmp_path))
+        key = cache.key_for(MicrobenchJob(spec).payload())
+        assert cache.get(key) is None
+        assert cache.quarantined == 0
+
     def test_entries_are_inspectable_json(self, tmp_path, spec):
         cache = ResultCache(str(tmp_path))
         payload = MicrobenchJob(spec).payload()

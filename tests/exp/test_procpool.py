@@ -1,0 +1,138 @@
+"""ResilientPool: ordering, crash recovery, timeouts, error reporting."""
+
+import os
+import time
+
+import pytest
+
+from repro.exp.procpool import PoolResult, ResilientPool
+
+
+def _square(n):
+    return n * n
+
+
+def _slow_square(n):
+    time.sleep(0.05)
+    return n * n
+
+
+def _sleep_forever(_item):
+    time.sleep(60)
+
+
+def _raise_value_error(item):
+    raise ValueError(f"bad item {item}")
+
+
+def _crash_once(marker_dir):
+    """Die hard on the first attempt, succeed on the second."""
+    marker = os.path.join(marker_dir, "attempted")
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("1")
+        os._exit(13)
+    return "recovered"
+
+
+def _crash_always(_item):
+    os._exit(13)
+
+
+def _sleep_if_first(item):
+    index, marker_dir = item
+    marker = os.path.join(marker_dir, f"slow-{index}")
+    if index == 1 and not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("1")
+        time.sleep(60)
+    return index
+
+
+class TestBasics:
+    def test_every_item_yields_one_result(self):
+        pool = ResilientPool(_square, workers=2)
+        results = list(pool.map_unordered(range(7)))
+        assert len(results) == 7
+        assert {r.index for r in results} == set(range(7))
+        assert all(r.ok for r in results)
+        assert sorted(r.value for r in results) == [n * n for n in range(7)]
+
+    def test_empty_items(self):
+        pool = ResilientPool(_square, workers=2)
+        assert list(pool.map_unordered([])) == []
+
+    def test_results_carry_wall_time_and_pid(self):
+        pool = ResilientPool(_slow_square, workers=2)
+        results = list(pool.map_unordered([3, 4]))
+        assert all(r.wall_s >= 0.04 for r in results)
+        assert all(isinstance(r.pid, int) for r in results)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ResilientPool(_square, workers=0)
+        with pytest.raises(ValueError):
+            ResilientPool(_square, workers=1, max_attempts=0)
+
+
+class TestFailureModes:
+    def test_function_error_is_reported_not_retried(self):
+        pool = ResilientPool(_raise_value_error, workers=1, max_attempts=3)
+        (result,) = list(pool.map_unordered(["x"]))
+        assert result.status == "error"
+        assert result.attempts == 1
+        assert "ValueError" in result.value
+        assert pool.failures == [result]
+
+    def test_crashed_worker_job_is_requeued_and_recovers(self, tmp_path):
+        pool = ResilientPool(_crash_once, workers=1, max_attempts=2)
+        (result,) = list(pool.map_unordered([str(tmp_path)]))
+        assert result.ok
+        assert result.value == "recovered"
+        assert result.attempts == 2
+
+    def test_persistent_crash_reported_after_bounded_attempts(self):
+        pool = ResilientPool(_crash_always, workers=1, max_attempts=2)
+        (result,) = list(pool.map_unordered(["x"]))
+        assert result.status == "crash"
+        assert result.attempts == 2
+
+    def test_hung_job_times_out(self):
+        pool = ResilientPool(
+            _sleep_forever, workers=1, timeout_s=0.2, max_attempts=1
+        )
+        start = time.monotonic()
+        (result,) = list(pool.map_unordered(["x"]))
+        assert result.status == "timeout"
+        assert time.monotonic() - start < 10
+
+    def test_hung_job_does_not_block_siblings(self, tmp_path):
+        # Item 1 hangs on its first attempt; items 0 and 2 must still
+        # complete, and item 1 recovers on its retry.
+        pool = ResilientPool(
+            _sleep_if_first, workers=2, timeout_s=0.4, max_attempts=2
+        )
+        items = [(i, str(tmp_path)) for i in range(3)]
+        results = {r.index: r for r in pool.map_unordered(items)}
+        assert len(results) == 3
+        assert results[0].ok and results[2].ok
+        assert results[1].ok and results[1].attempts == 2
+
+    def test_crash_counts_as_failure_in_pool_state(self):
+        pool = ResilientPool(_crash_always, workers=1, max_attempts=1)
+        list(pool.map_unordered(["a", "b"]))
+        assert len(pool.failures) == 2
+        assert all(f.status == "crash" for f in pool.failures)
+
+
+class TestStreaming:
+    def test_results_stream_as_they_complete(self):
+        pool = ResilientPool(_slow_square, workers=2)
+        seen = []
+        for result in pool.map_unordered(range(4)):
+            seen.append(result.index)
+        assert len(seen) == 4
+
+    def test_pool_result_ok_property(self):
+        assert PoolResult(0, "ok", 1, 0.0, 123, 1).ok
+        assert not PoolResult(0, "timeout", "x", 0.0, None, 2).ok

@@ -1,0 +1,255 @@
+"""Tests for the campaign driver: classification, persistence, resume."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fuzz import campaign as campaign_mod
+from repro.fuzz.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.fuzz.case import CaseResult
+
+# A small, fast, deterministic campaign used throughout.
+FAST = dict(seed=13, n_cases=6)
+
+
+def manifest_lines(out_dir):
+    path = os.path.join(str(out_dir), "results.jsonl")
+    if not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as handle:
+        return [line for line in handle.read().splitlines() if line.strip()]
+
+
+class TestConfig:
+    def test_rejects_zero_cases(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(n_cases=0)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(workers=0)
+
+
+class TestSerialCampaign:
+    def test_counts_cover_every_case(self):
+        result = run_campaign(CampaignConfig(**FAST))
+        assert sum(result.counts.values()) == FAST["n_cases"]
+        assert result.executed == FAST["n_cases"]
+        assert result.resumed == 0
+
+    def test_seeded_campaign_is_fully_expected(self):
+        result = run_campaign(CampaignConfig(**FAST))
+        assert result.ok, result.unexpected
+        assert "OK" in result.summary()
+
+    def test_manifest_written_incrementally(self, tmp_path):
+        seen = []
+
+        def progress(done, total, entry):
+            seen.append(len(manifest_lines(tmp_path)))
+
+        run_campaign(
+            CampaignConfig(out_dir=str(tmp_path), **FAST), progress=progress
+        )
+        # After the k-th completion the manifest already holds k lines.
+        assert seen == list(range(1, FAST["n_cases"] + 1))
+        for line in manifest_lines(tmp_path):
+            entry = json.loads(line)
+            assert {"index", "case", "result"} <= set(entry)
+
+    def test_result_round_trips_to_dict(self):
+        result = run_campaign(CampaignConfig(**FAST))
+        data = result.to_dict()
+        assert data["ok"] is True
+        assert data["seed"] == FAST["seed"]
+        assert sum(data["counts"].values()) == FAST["n_cases"]
+
+
+class TestResume:
+    def test_second_run_executes_nothing(self, tmp_path):
+        config = CampaignConfig(out_dir=str(tmp_path), **FAST)
+        first = run_campaign(config)
+        second = run_campaign(config)
+        assert second.executed == 0
+        assert second.resumed == FAST["n_cases"]
+        assert second.counts == first.counts
+        assert "resumed" in second.summary()
+
+    def test_no_resume_re_executes(self, tmp_path):
+        config = CampaignConfig(out_dir=str(tmp_path), **FAST)
+        run_campaign(config)
+        again = run_campaign(
+            CampaignConfig(out_dir=str(tmp_path), resume=False, **FAST)
+        )
+        assert again.executed == FAST["n_cases"]
+        assert again.resumed == 0
+
+    def test_torn_manifest_line_is_re_executed(self, tmp_path):
+        config = CampaignConfig(out_dir=str(tmp_path), **FAST)
+        run_campaign(config)
+        path = os.path.join(str(tmp_path), "results.jsonl")
+        lines = manifest_lines(tmp_path)
+        # Tear the last line in half, as a killed writer would.
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines[:-1]) + "\n")
+            handle.write(lines[-1][: len(lines[-1]) // 2])
+        resumed = run_campaign(config)
+        assert resumed.resumed == FAST["n_cases"] - 1
+        assert resumed.executed == 1
+        assert sum(resumed.counts.values()) == FAST["n_cases"]
+
+    def test_interrupt_loses_no_completed_results(self, tmp_path):
+        """A campaign killed mid-flight resumes from what it persisted."""
+        config = CampaignConfig(out_dir=str(tmp_path), **FAST)
+
+        def bomb(done, total, entry):
+            if done == 3:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(config, progress=bomb)
+        assert len(manifest_lines(tmp_path)) == 3
+
+        resumed = run_campaign(config)
+        assert resumed.resumed == 3
+        assert resumed.executed == FAST["n_cases"] - 3
+        assert sum(resumed.counts.values()) == FAST["n_cases"]
+        assert resumed.ok
+
+
+class TestPooledCampaign:
+    def test_pooled_matches_serial(self):
+        serial = run_campaign(CampaignConfig(**FAST))
+        pooled = run_campaign(CampaignConfig(workers=2, **FAST))
+        assert pooled.counts == serial.counts
+        assert pooled.ok == serial.ok
+
+    def test_pool_failures_classify_and_persist(self, tmp_path, monkeypatch):
+        """Worker timeouts/crashes become case outcomes, not lost work."""
+
+        class FakeOutcome:
+            def __init__(self, index, status, value):
+                self.index = index
+                self.status = status
+                self.value = value
+                self.ok = status == "ok"
+
+        class FakePool:
+            def __init__(self, fn, **kwargs):
+                self.fn = fn
+
+            def map_unordered(self, items):
+                for position, item in enumerate(items):
+                    if position == 0:
+                        yield FakeOutcome(position, "timeout", "60s deadline")
+                    elif position == 1:
+                        yield FakeOutcome(position, "crash", "signal 9")
+                    else:
+                        yield FakeOutcome(position, "ok", self.fn(item))
+
+        monkeypatch.setattr(campaign_mod, "ResilientPool", FakePool)
+        result = run_campaign(
+            CampaignConfig(workers=2, out_dir=str(tmp_path), **FAST)
+        )
+        assert result.counts.get("timeout") == 1
+        assert result.counts.get("crash") == 1
+        assert sum(result.counts.values()) == FAST["n_cases"]
+        # Neither status is in any oracle: both surface as unexpected,
+        # each with a replayable reproducer on disk.
+        statuses = {e["result"]["outcome"] for e in result.unexpected}
+        assert {"timeout", "crash"} <= statuses
+        for entry in result.unexpected:
+            assert entry["reproducer"] and os.path.exists(entry["reproducer"])
+        assert len(manifest_lines(tmp_path)) == FAST["n_cases"]
+
+
+class TestUnexpected:
+    def test_unexpected_case_writes_reproducer(self, tmp_path, monkeypatch):
+        real_run_case = campaign_mod.run_case
+        hits = []
+
+        def sabotaged(case):
+            result = real_run_case(case)
+            if not hits:
+                hits.append(case)
+                return CaseResult("error", "injected bug", result.allowed)
+            return result
+
+        monkeypatch.setattr(campaign_mod, "run_case", sabotaged)
+        result = run_campaign(CampaignConfig(out_dir=str(tmp_path), **FAST))
+        assert not result.ok
+        assert len(result.unexpected) == 1
+        path = result.unexpected[0]["reproducer"]
+        assert path and os.path.exists(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["campaign_seed"] == FAST["seed"]
+        assert payload["result"]["outcome"] == "error"
+        # The reproducer's case dict replays through the real runner.
+        from repro.fuzz.case import FuzzCase
+
+        replay = real_run_case(FuzzCase.from_dict(payload["case"]))
+        assert replay.outcome in payload["result"]["allowed"]
+
+
+class TestKilledWorkerProcess:
+    def test_sigkill_mid_campaign_loses_no_results(self, tmp_path):
+        """SIGKILL the whole campaign process tree; resume from disk."""
+        n_cases = 400  # big enough that the kill lands mid-campaign
+        out_dir = str(tmp_path / "campaign")
+        argv = [
+            sys.executable, "-m", "repro", "fuzz", "run",
+            "--seed", "13", "--cases", str(n_cases), "--jobs", "2",
+            "--out", out_dir,
+        ]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(
+            os.path.dirname(__file__), "..", "..", "src"
+        )
+        proc = subprocess.Popen(
+            argv, env=env, start_new_session=True,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        killed = False
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if len(manifest_lines(out_dir)) >= 5:
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.01)
+            if proc.poll() is None:
+                os.killpg(proc.pid, signal.SIGKILL)
+                killed = True
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert killed, "campaign finished before SIGKILL landed"
+        survived = manifest_lines(out_dir)
+        assert len(survived) >= 5
+        assert len(survived) < n_cases  # it really died mid-campaign
+        # Every persisted line except possibly a torn final one is
+        # intact JSON; resume tolerates (and re-runs) the torn one.
+        for line in survived[:-1]:
+            json.loads(line)
+
+        resumed = run_campaign(
+            CampaignConfig(seed=13, n_cases=n_cases, out_dir=out_dir)
+        )
+        assert resumed.resumed >= len(survived) - 1  # last line may be torn
+        assert sum(resumed.counts.values()) == n_cases
+        assert resumed.ok, resumed.unexpected
+
+
+def test_campaign_result_defaults():
+    result = CampaignResult(seed=1, n_cases=0)
+    assert result.ok
+    assert "OK" in result.summary()

@@ -1,0 +1,109 @@
+"""Tests for the delta-debugging shrinker."""
+
+from repro.fuzz.case import FuzzCase, explicit_workload, run_case
+from repro.fuzz.shrink import count_accesses, shrink_case
+
+# The deterministic unwrapped MESI+MEI violation (see test_case.py).
+VIOLATING = FuzzCase(
+    seed=0,
+    protocols=("MESI", "MEI"),
+    wrapped=False,
+    cache_sizes=(2048, 2048),
+    cache_ways=(4, 4),
+    workload={
+        "kind": "racy", "n": 20, "seed": 1,
+        "footprint_words": 4, "write_ratio": 0.5,
+    },
+)
+
+
+class TestCountAccesses:
+    def test_explicit_serial(self):
+        workload = {
+            "kind": "explicit-serial",
+            "accesses": [[0, "read", 64, 0], [1, "write", 64, 7]],
+        }
+        assert count_accesses(workload) == 2
+
+    def test_explicit_parallel(self):
+        workload = {
+            "kind": "explicit",
+            "traces": {"0": [["read", 64, 0]], "1": [["write", 64, 1]]},
+        }
+        assert count_accesses(workload) == 2
+
+    def test_generated_kind_freezes_first(self):
+        workload = {"kind": "racy", "n": 20, "seed": 1}
+        assert count_accesses(workload) == 40  # n per processor, 2 procs
+
+
+class TestShrinkCase:
+    def test_violation_shrinks_to_at_most_ten_accesses(self):
+        """The ISSUE acceptance bar: a seeded-in violation minimises to
+        <= 10 accesses and the shrunk case replays the same class."""
+        assert run_case(VIOLATING).outcome == "violation"
+        result = shrink_case(VIOLATING, target_outcome="violation")
+        assert result.outcome == "violation"
+        assert result.accesses_after <= 10
+        assert result.accesses_after < result.accesses_before
+        assert run_case(result.shrunk).outcome == "violation"
+
+    def test_shrunk_case_replays_byte_identically(self):
+        result = shrink_case(VIOLATING, target_outcome="violation")
+        case = FuzzCase.from_dict(result.shrunk.to_dict())
+        first = run_case(case)
+        second = run_case(case)
+        assert first.to_dict() == second.to_dict()
+        assert first.outcome == "violation"
+
+    def test_config_passes_shrink_geometry(self):
+        result = shrink_case(VIOLATING, target_outcome="violation")
+        # The race does not depend on a big associative cache, so the
+        # greedy pass must have reduced the geometry.
+        assert result.shrunk.cache_sizes == (256, 256)
+        assert result.shrunk.cache_ways == (1, 1)
+
+    def test_fault_dropped_when_not_load_bearing(self):
+        # snoop.silent targeting an address the workload never touches
+        # cannot be what breaks coherence; the shrinker must drop it.
+        case = VIOLATING.with_(
+            fault={"site": "snoop.silent", "master": "p0",
+                   "addr": 0x7FFF_0000, "count": None, "seed": 1},
+        )
+        assert run_case(case).outcome == "violation"
+        result = shrink_case(case, target_outcome="violation")
+        assert result.shrunk.fault is None
+
+    def test_deadlock_scenario_is_already_minimal(self):
+        case = FuzzCase(seed=0, scenario="deadlock", solution="none")
+        result = shrink_case(case, target_outcome="deadlock")
+        assert result.shrunk == case
+        assert result.outcome == "deadlock"
+
+    def test_budget_is_respected(self):
+        result = shrink_case(
+            VIOLATING, target_outcome="violation", max_tests=5
+        )
+        assert result.tests_run <= 5
+        # Even out of budget, what is returned still fails.
+        assert run_case(result.shrunk).outcome == "violation"
+
+    def test_target_outcome_inferred_when_omitted(self):
+        result = shrink_case(VIOLATING)
+        assert result.outcome == "violation"
+
+    def test_result_round_trips_and_summarises(self):
+        result = shrink_case(VIOLATING, target_outcome="violation")
+        data = result.to_dict()
+        assert data["outcome"] == "violation"
+        assert data["accesses_after"] == result.accesses_after
+        assert "accesses" in result.summary()
+
+
+class TestExplicitRebuild:
+    def test_empty_proc_traces_are_dropped(self):
+        frozen = explicit_workload(VIOLATING.workload)
+        case = VIOLATING.with_(workload=frozen)
+        result = shrink_case(case, target_outcome="violation")
+        for trace in result.shrunk.workload["traces"].values():
+            assert trace  # no empty driver survives shrinking

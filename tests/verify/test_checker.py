@@ -162,3 +162,41 @@ class TestStateChecking:
 
         drive(platform, scenario())
         assert checker.clean  # device values never flagged
+
+
+class TestViolationCap:
+    def test_cap_truncates_with_marker(self):
+        platform, _ = make_checked_platform()
+        checker = CoherenceChecker(platform, max_violations=5)
+        for i in range(20):
+            checker._flag(SHARED_BASE + 4 * i, f"synthetic violation {i}")
+        # 5 real violations + 1 truncation marker; the rest only counted.
+        assert len(checker.violations) == 6
+        assert checker.truncated
+        assert checker.suppressed_violations == 15
+        assert "violation cap reached" in str(checker.violations[-1])
+        assert "suppressed" in checker.summary()
+
+    def test_under_cap_unchanged(self):
+        platform, _ = make_checked_platform()
+        checker = CoherenceChecker(platform, max_violations=5)
+        checker._flag(SHARED_BASE, "one")
+        assert len(checker.violations) == 1
+        assert not checker.truncated
+        assert checker.suppressed_violations == 0
+
+    def test_capped_run_still_reports_unclean(self):
+        platform, _ = make_checked_platform()
+        checker = CoherenceChecker(platform, max_violations=1)
+        checker._flag(SHARED_BASE, "first")
+        checker._flag(SHARED_BASE, "second")
+        assert not checker.clean
+        with pytest.raises(CoherenceViolation):
+            checker.raise_if_violations()
+
+    def test_invalid_cap_rejected(self):
+        from repro.errors import ConfigError
+
+        platform, _ = make_checked_platform()
+        with pytest.raises(ConfigError):
+            CoherenceChecker(platform, max_violations=0)

@@ -2,14 +2,17 @@
 
 import pytest
 
-from repro.core import SHARED_BASE, Platform, PlatformConfig
+from repro.core import LOCK_BASE, SHARED_BASE, Platform, PlatformConfig
 from repro.cpu import preset_generic
 from repro.errors import ConfigError
 from repro.verify import CoherenceChecker
 from repro.workloads.tracegen import (
     TraceAccess,
+    false_sharing_traces,
     hotspot_trace,
+    lock_contention_traces,
     producer_consumer_trace,
+    racy_traces,
     random_trace,
     replay_parallel,
     replay_trace,
@@ -122,6 +125,17 @@ class TestReplay:
         with pytest.raises(ConfigError):
             replay_parallel(platform, {0: [TraceAccess(1, "read", SHARED_BASE)]})
 
+    def test_swap_returns_old_value_on_uncached_region(self):
+        platform = make_platform()
+        trace = [
+            TraceAccess(0, "swap", LOCK_BASE, value=7),
+            TraceAccess(1, "swap", LOCK_BASE, value=9),
+            TraceAccess(0, "write", LOCK_BASE, value=0),
+            TraceAccess(1, "swap", LOCK_BASE, value=3),
+        ]
+        result = replay_trace(platform, trace)
+        assert result.values == [0, 7, None, 0]
+
     def test_hotspot_beats_uniform_hit_rate(self):
         uniform_platform = make_platform(cache_size=512)
         skewed_platform = make_platform(cache_size=512)
@@ -133,3 +147,76 @@ class TestReplay:
             skewed_platform, hotspot_trace(400, footprint, seed=5)
         )
         assert skewed.hit_rate > uniform.hit_rate
+
+
+class TestMultiMasterGenerators:
+    def test_racy_traces_seeded_and_per_proc(self):
+        a = racy_traces(20, procs=3, seed=7)
+        b = racy_traces(20, procs=3, seed=7)
+        assert a == b
+        assert set(a) == {0, 1, 2}
+        for proc, trace in a.items():
+            assert len(trace) == 20
+            assert all(t.proc == proc for t in trace)
+        assert a != racy_traces(20, procs=3, seed=8)
+
+    def test_racy_traces_share_one_footprint(self):
+        traces = racy_traces(50, procs=2, footprint_words=4)
+        for trace in traces.values():
+            for access in trace:
+                assert SHARED_BASE <= access.addr < SHARED_BASE + 16
+
+    def test_racy_values_identify_their_writer(self):
+        traces = racy_traces(30, procs=2, seed=2)
+        for proc, trace in traces.items():
+            for access in trace:
+                if access.op == "write":
+                    assert access.value // 1_000_000 == proc + 1
+
+    def test_racy_replay_is_coherent_on_mesi(self):
+        platform = make_platform()
+        checker = CoherenceChecker(platform)
+        replay_parallel(platform, racy_traces(40, procs=2, seed=3))
+        checker.check_all_lines()
+        assert checker.clean
+
+    def test_false_sharing_words_are_private_but_lines_shared(self):
+        traces = false_sharing_traces(40, procs=2, line_bytes=32, lines=2)
+        words = {
+            proc: {t.addr for t in trace} for proc, trace in traces.items()
+        }
+        assert not (words[0] & words[1])  # no true sharing
+        lines = {
+            proc: {addr // 32 for addr in addrs}
+            for proc, addrs in words.items()
+        }
+        assert lines[0] == lines[1]  # but the same cache lines
+
+    def test_false_sharing_rejects_overfull_line(self):
+        with pytest.raises(ConfigError):
+            false_sharing_traces(10, procs=9, line_bytes=32)
+
+    def test_false_sharing_replay_causes_bus_traffic_yet_stays_coherent(self):
+        platform = make_platform()
+        checker = CoherenceChecker(platform)
+        result = replay_parallel(
+            platform, false_sharing_traces(40, procs=2, seed=4)
+        )
+        assert result.bus_txns > 0
+        checker.check_all_lines()
+        assert checker.clean
+
+    def test_lock_contention_swaps_target_uncached_lock(self):
+        traces = lock_contention_traces(5, procs=2)
+        for trace in traces.values():
+            swaps = [t for t in trace if t.op == "swap"]
+            assert len(swaps) == 5
+            assert all(t.addr == LOCK_BASE for t in swaps)
+
+    def test_lock_contention_replay_runs_clean(self):
+        platform = make_platform()
+        checker = CoherenceChecker(platform)
+        result = replay_parallel(platform, lock_contention_traces(4, procs=2))
+        assert result.bus_txns > 0
+        checker.check_all_lines()
+        assert checker.clean
