@@ -28,6 +28,12 @@ Commands
     time) and print a comparison against the committed
     ``BENCH_hotpath.json`` baseline.  ``--quick`` shrinks the workload
     for smoke runs; ``--check`` exits non-zero on a regression.
+``bench scaleout``
+    Run the N-master scaling sweep (2/4/8/16 masters x FCFS / static
+    priority / round-robin arbitration over a mixed-protocol platform)
+    and print the scaling figure against the committed
+    ``BENCH_scaleout.json`` baseline.  All metrics are simulated, so
+    ``--check`` compares exactly by default.
 ``verify``
     Exhaustively model-check every protocol pair, wrapped and
     unwrapped, and print the verdict matrix.
@@ -156,25 +162,27 @@ def _build_parser() -> argparse.ArgumentParser:
     add_lint_arguments(p)
 
     p = sub.add_parser("bench", help="run one microbenchmark configuration")
-    p.add_argument("scenario", choices=("wcs", "tcs", "bcs", "hotpath"))
+    p.add_argument("scenario",
+                   choices=("wcs", "tcs", "bcs", "hotpath", "scaleout"))
     p.add_argument("solution", nargs="?", default=None,
                    choices=("disabled", "software", "proposed"))
     p.add_argument("--lines", type=int, default=8)
     p.add_argument("--exec-time", type=int, default=1)
     p.add_argument("--iterations", type=int, default=8)
     p.add_argument("--check", action="store_true",
-                   help="attach the coherence checker (hotpath: fail on "
-                        "regression vs the baseline)")
+                   help="attach the coherence checker (hotpath/scaleout: "
+                        "fail on regression vs the baseline)")
     p.add_argument("--quick", action="store_true",
-                   help="hotpath only: reduced workload for smoke runs")
+                   help="hotpath/scaleout: reduced workload for smoke runs")
     p.add_argument("--repeats", type=int, default=3,
                    help="hotpath only: best-of-N timing repeats")
     p.add_argument("--baseline", default=None, metavar="PATH",
-                   help="hotpath only: baseline JSON (default: the "
-                        "committed BENCH_hotpath.json)")
-    p.add_argument("--tolerance", type=float, default=0.25,
-                   help="hotpath only: allowed slowdown before --check "
-                        "fails (default: 0.25)")
+                   help="hotpath/scaleout: baseline JSON (default: the "
+                        "committed BENCH_*.json)")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="allowed drift before --check fails (default: "
+                        "0.25 for hotpath wall-clock, exact for the "
+                        "simulated scaleout metrics)")
     return parser
 
 
@@ -317,18 +325,58 @@ def _cmd_bench_hotpath(args) -> int:
         print("(no baseline found -- run benchmarks/bench_hotpath.py to commit one)")
         return 0
     if args.check:
-        failures = hotpath.check_regression(current, baseline, args.tolerance)
+        tolerance = 0.25 if args.tolerance is None else args.tolerance
+        failures = hotpath.check_regression(current, baseline, tolerance)
         if failures:
             for failure in failures:
                 print(f"REGRESSION {failure}", file=sys.stderr)
             return 1
-        print(f"no regression beyond {args.tolerance:.0%} tolerance")
+        print(f"no regression beyond {tolerance:.0%} tolerance")
+    return 0
+
+
+def _cmd_bench_scaleout(args) -> int:
+    from pathlib import Path
+
+    from .exp import scaleout
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        for candidate in (
+            Path.cwd() / scaleout.BENCH_FILE,
+            Path(__file__).resolve().parents[2] / scaleout.BENCH_FILE,
+        ):
+            if candidate.is_file():
+                baseline_path = str(candidate)
+                break
+    baseline = scaleout.load_results(baseline_path) if baseline_path else None
+    if args.check and baseline is None:
+        print("bench scaleout --check: no baseline found -- run "
+              "benchmarks/bench_scaleout.py to commit one", file=sys.stderr)
+        return 2
+    current = scaleout.run_suite(quick=args.quick)
+    print(scaleout.render_comparison(current, baseline))
+    if baseline is None:
+        print("(no baseline found -- run benchmarks/bench_scaleout.py "
+              "to commit one)")
+        return 0
+    if args.check:
+        # Simulated metrics: exact comparison unless loosened explicitly.
+        tolerance = 0.0 if args.tolerance is None else args.tolerance
+        failures = scaleout.check_regression(current, baseline, tolerance)
+        if failures:
+            for failure in failures:
+                print(f"SCALING DRIFT {failure}", file=sys.stderr)
+            return 1
+        print("all shared points match the baseline")
     return 0
 
 
 def _cmd_bench(args) -> int:
     if args.scenario == "hotpath":
         return _cmd_bench_hotpath(args)
+    if args.scenario == "scaleout":
+        return _cmd_bench_scaleout(args)
     if args.solution is None:
         print(f"bench {args.scenario}: a solution "
               "(disabled/software/proposed) is required", file=sys.stderr)

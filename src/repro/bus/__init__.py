@@ -1,6 +1,12 @@
 """Shared system bus: transactions, arbitration, the ASB-like bus model."""
 
-from .arbiter import Arbiter, FixedPriorityArbiter, RoundRobinArbiter
+from .arbiter import (
+    ARBITERS,
+    Arbiter,
+    FixedPriorityArbiter,
+    MasterPriorityArbiter,
+    RoundRobinArbiter,
+)
 from .asb import AsbBus, Snooper, TenureState
 from .types import BusOp, BusResult, Priority, SnoopAction, SnoopReply, Transaction
 
@@ -15,6 +21,8 @@ __all__ = [
     "SnoopReply",
     "Transaction",
     "Arbiter",
+    "ARBITERS",
     "FixedPriorityArbiter",
+    "MasterPriorityArbiter",
     "RoundRobinArbiter",
 ]

@@ -10,20 +10,43 @@ The arbiter hands out exclusive bus tenures.  Requests carry a
 * ``RETRY`` — a master re-issuing a transaction that was ARTRY'd.
 * ``NORMAL`` — fresh requests.
 
-Within a level, requests are served FIFO (``FixedPriorityArbiter``) or
-round-robin over masters (``RoundRobinArbiter``) — an ablation knob.
+The DRAIN and RETRY bands are always served FIFO: they carry
+correctness-critical orderings.  The *service discipline* for fresh
+(NORMAL) requests is the scale-out study knob (cf. arXiv:1004.3560,
+which compares service disciplines on a shared-bus multiprocessor):
+
+* :class:`FixedPriorityArbiter` — first-come-first-served (FCFS): FIFO
+  arrival order, every master eventually served.  The default.
+* :class:`MasterPriorityArbiter` — static per-master priority: the
+  master with the lowest priority rank always wins.  Low-rank masters
+  see minimal arbitration latency; high-rank masters can starve under
+  load — the discipline's defining trade-off.
+* :class:`RoundRobinArbiter` — a rotation pointer over the masters
+  (first-request order).  After each grant the pointer moves past the
+  grantee, so over any window with all masters requesting, grants are
+  evenly distributed and no master waits more than one full rotation.
+
+:data:`ARBITERS` maps the discipline names used by
+:class:`~repro.core.platform.PlatformConfig` (``"fcfs"``/``"fixed"``,
+``"priority"``, ``"round-robin"``) to these classes.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import BusError
 from ..sim import Event, Simulator
 from .types import Priority
 
-__all__ = ["Arbiter", "FixedPriorityArbiter", "RoundRobinArbiter"]
+__all__ = [
+    "Arbiter",
+    "FixedPriorityArbiter",
+    "MasterPriorityArbiter",
+    "RoundRobinArbiter",
+    "ARBITERS",
+]
 
 
 class Arbiter:
@@ -40,6 +63,8 @@ class Arbiter:
         }
         self._holder: Optional[str] = None
         self.grants = 0
+        #: per-master grant counts — the fairness study's raw data
+        self.grants_by_master: Dict[str, int] = {}
 
     @property
     def holder(self) -> Optional[str]:
@@ -89,6 +114,7 @@ class Arbiter:
         master, grant = choice
         self._holder = master
         self.grants += 1
+        self.grants_by_master[master] = self.grants_by_master.get(master, 0) + 1
         grant.succeed(master)
 
     def _select(self) -> Optional[Tuple[str, Event]]:
@@ -96,7 +122,12 @@ class Arbiter:
 
 
 class FixedPriorityArbiter(Arbiter):
-    """FIFO within each band; bands strictly ordered (default policy)."""
+    """FCFS: FIFO within each band; bands strictly ordered (default).
+
+    Historically named for its strictly ordered priority *bands*; the
+    per-master discipline inside the NORMAL band is first-come-first-
+    served arrival order.
+    """
 
     def _select(self) -> Optional[Tuple[str, Event]]:
         for level in Priority:
@@ -106,16 +137,39 @@ class FixedPriorityArbiter(Arbiter):
         return None
 
 
-class RoundRobinArbiter(Arbiter):
-    """Round-robin across masters inside the NORMAL band.
+class MasterPriorityArbiter(Arbiter):
+    """Static per-master priority inside the NORMAL band.
 
-    DRAIN and RETRY stay FIFO (they are correctness-critical orderings);
-    fairness only matters for fresh requests.
+    ``ranking`` fixes the priority order explicitly (first entry wins);
+    masters absent from it — or all masters, when no ranking is given —
+    rank below every ranked master, in first-request order.  Ties in
+    rank cannot occur: each master has exactly one position.  DRAIN and
+    RETRY stay FIFO (correctness-critical orderings).
+
+    Under sustained load from a low-rank master, higher-rank masters
+    can starve indefinitely; the retry band keeps ARTRY'd transactions
+    ahead of fresh ones, so starvation shows up as unbounded NORMAL
+    queueing delay, never as a wedged drain.
     """
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, ranking: Sequence[str] = ()):
         super().__init__(sim)
-        self._last_master: Optional[str] = None
+        self._rank: Dict[str, int] = {
+            master: index for index, master in enumerate(ranking)
+        }
+
+    def _rank_of(self, master: str) -> int:
+        rank = self._rank.get(master)
+        if rank is None:
+            # Unranked masters slot in behind every ranked one, in
+            # first-request order, and keep that rank forever.
+            rank = len(self._rank)
+            self._rank[master] = rank
+        return rank
+
+    def request(self, master: str, priority: Priority = Priority.NORMAL) -> Event:
+        self._rank_of(master)  # register before selection runs
+        return super().request(master, priority)
 
     def _select(self) -> Optional[Tuple[str, Event]]:
         for level in (Priority.DRAIN, Priority.RETRY):
@@ -125,12 +179,76 @@ class RoundRobinArbiter(Arbiter):
         queue = self._queues[Priority.NORMAL]
         if not queue:
             return None
-        # Prefer the first queued master different from the last grantee.
-        for index, (master, grant) in enumerate(queue):
-            if master != self._last_master:
+        best_index = min(
+            range(len(queue)), key=lambda i: self._rank_of(queue[i][0])
+        )
+        choice = queue[best_index]
+        del queue[best_index]
+        return choice
+
+
+class RoundRobinArbiter(Arbiter):
+    """Rotation over masters inside the NORMAL band.
+
+    Masters join the rotation in first-request order.  Selection scans
+    the rotation cyclically starting just past the last grantee and
+    grants the first master with a queued NORMAL request, so no
+    requesting master waits more than one full rotation regardless of
+    how quickly others re-request.  A grant that is cancelled at
+    validate time (the grant-time upgrade-cancel path) still counts as
+    that master's turn: the pointer moves past it, the cancelled tenure
+    consumed no bus cycles, and the master rejoins the rotation on its
+    next request — fairness over a rotation is preserved either way.
+
+    DRAIN and RETRY stay FIFO (they are correctness-critical
+    orderings); fairness only matters for fresh requests.
+    """
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim)
+        self._rotation: List[str] = []
+        self._known: set = set()
+        self._last_master: Optional[str] = None
+
+    def request(self, master: str, priority: Priority = Priority.NORMAL) -> Event:
+        if master not in self._known:
+            self._known.add(master)
+            self._rotation.append(master)
+        return super().request(master, priority)
+
+    def _select(self) -> Optional[Tuple[str, Event]]:
+        for level in (Priority.DRAIN, Priority.RETRY):
+            queue = self._queues[level]
+            if queue:
+                return queue.popleft()
+        queue = self._queues[Priority.NORMAL]
+        if not queue:
+            return None
+        # Oldest queued request per master (a master can only have one
+        # NORMAL request outstanding, but the map keeps this robust).
+        queued: Dict[str, int] = {}
+        for index, (master, _grant) in enumerate(queue):
+            queued.setdefault(master, index)
+        rotation = self._rotation
+        start = 0
+        if self._last_master in self._known:
+            start = rotation.index(self._last_master) + 1
+        for offset in range(len(rotation)):
+            master = rotation[(start + offset) % len(rotation)]
+            index = queued.get(master)
+            if index is not None:
+                choice = queue[index]
                 del queue[index]
                 self._last_master = master
-                return master, grant
-        master, grant = queue.popleft()
-        self._last_master = master
-        return master, grant
+                return choice
+        return None
+
+
+#: service-discipline registry: config name -> arbiter class.  "fixed"
+#: is the historical name for the FCFS default and stays accepted.
+ARBITERS: Dict[str, type] = {
+    "fcfs": FixedPriorityArbiter,
+    "fixed": FixedPriorityArbiter,
+    "priority": MasterPriorityArbiter,
+    "round-robin": RoundRobinArbiter,
+}

@@ -81,6 +81,7 @@ class CacheController:
         stats: Optional[Stats] = None,
         enabled: bool = True,
         coherent: bool = True,
+        drain_needs_port: bool = True,
     ):
         self.name = name
         self.sim = sim
@@ -111,6 +112,14 @@ class CacheController:
         self.install_listeners: List[Callable[[int], None]] = []
         self.remove_listeners: List[Callable[[int], None]] = []
         self.port = Mutex(sim, name=f"{name}.port")
+        #: True models the paper's controllers, where a snoop push
+        #: queues behind the processor's own (possibly backed-off)
+        #: transaction on the single tag/data port — the Fig 4
+        #: ingredient.  False models a dedicated snoop machine that
+        #: pushes in the post-ARTRY window of opportunity regardless of
+        #: the port holder (how N-master shared-bus parts avoid the
+        #: cross-drain deadlock).
+        self.drain_needs_port = drain_needs_port
 
     # ------------------------------------------------------------------
     # processor side
@@ -259,32 +268,45 @@ class CacheController:
         Runs at DRAIN bus priority (the ARTRY/BOFF handover).  Tolerates
         the line having been cleaned, replaced or invalidated since the
         snoop — the push then degenerates to the bare state change.
+
+        With ``drain_needs_port`` (the default) the push waits for the
+        tag/data port, which the processor's own in-flight transaction
+        may hold; with it off, the push proceeds immediately — the
+        dedicated-snoop-machine behaviour (safe because snoop-side state
+        commits never took the port either, and the port holder is
+        parked waiting on the bus the drain is about to use).
         """
         base = self.geom.line_base(addr)
+        if not self.drain_needs_port:
+            yield from self._drain_push(base, next_state)
+            return
         yield self.port.acquire()
         try:
-            line = self.array.lookup(base)
-            if line is None:
-                return
-            if not line.is_dirty:
-                self._apply_snoop_state(base, line, next_state)
-                return
-
-            def commit(_result):
-                if line.is_valid:
-                    self._apply_snoop_state(base, line, next_state)
-
-            yield from self._transact(
-                Transaction(
-                    BusOp.WRITE_LINE, base, self.name,
-                    data=line.data, line_words=self.geom.line_words,
-                ),
-                priority=Priority.DRAIN,
-                commit=commit,
-            )
-            self.stats.bump(f"{self.name}.drains")
+            yield from self._drain_push(base, next_state)
         finally:
             self.port.release()
+
+    def _drain_push(self, base: int, next_state: State) -> Generator:
+        line = self.array.lookup(base)
+        if line is None:
+            return
+        if not line.is_dirty:
+            self._apply_snoop_state(base, line, next_state)
+            return
+
+        def commit(_result):
+            if line.is_valid:
+                self._apply_snoop_state(base, line, next_state)
+
+        yield from self._transact(
+            Transaction(
+                BusOp.WRITE_LINE, base, self.name,
+                data=line.data, line_words=self.geom.line_words,
+            ),
+            priority=Priority.DRAIN,
+            commit=commit,
+        )
+        self.stats.bump(f"{self.name}.drains")
 
     # ------------------------------------------------------------------
     # internals

@@ -72,9 +72,39 @@ class DeadlockOutcome:
         return f"[{self.solution:14s}] completed in {self.elapsed_ns} ns"
 
 
+def _select_roles(platform: Platform) -> Tuple[int, int]:
+    """Pick the two Fig 4 roles by *capability*, not list position.
+
+    The lock-holder role needs a coherent (snooping) processor; the
+    victim role needs a processor *without* coherence hardware, because
+    the wedge hinges on its snoop logic raising an unserviceable nFIQ.
+    Selecting ``cores[0]``/``cores[1]`` positionally would silently
+    mislabel the blocked-master report on a reordered or extended core
+    list; instead the first core with each capability is chosen and any
+    further cores simply stay idle.
+    """
+    coherent = [
+        i for i, cfg in enumerate(platform.config.cores) if cfg.coherent
+    ]
+    cacheless = [
+        i for i, cfg in enumerate(platform.config.cores) if not cfg.coherent
+    ]
+    if not coherent or not cacheless:
+        shape = "/".join(
+            cfg.protocol or "none" for cfg in platform.config.cores
+        )
+        raise ConfigError(
+            "the Fig 4 scenario needs one coherent processor (lock "
+            "holder) and one processor without coherence hardware "
+            f"(nFIQ victim); got protocols {shape}"
+        )
+    return coherent[0], cacheless[0]
+
+
 def _build_programs(platform: Platform, solution: str) -> Dict[str, Program]:
-    ppc_name = platform.config.cores[0].name
-    arm_name = platform.config.cores[1].name
+    holder_index, victim_index = _select_roles(platform)
+    ppc_name = platform.config.cores[holder_index].name
+    arm_name = platform.config.cores[victim_index].name
 
     if solution == "uncached-locks":
         lock = SwapLock(_LOCK_ADDR, probe_gap_cycles=0)
@@ -131,7 +161,7 @@ def _build_programs(platform: Platform, solution: str) -> Dict[str, Program]:
         lock.emit_acquire(arm, task_id=1)
         lock.emit_release(arm, task_id=1)
     arm.halt()
-    append_isr(arm, platform.mailbox_base(1))
+    append_isr(arm, platform.mailbox_base(victim_index))
 
     return {ppc_name: ppc.assemble(), arm_name: arm.assemble()}
 
@@ -140,6 +170,7 @@ def run_deadlock_demo(
     solution: str = "none",
     max_events: int = 2_000_000,
     watchdog: Optional[WatchdogConfig] = None,
+    cores: Optional[Tuple] = None,
 ) -> DeadlockOutcome:
     """Run the Fig 4 interleaving under one of the four lock strategies.
 
@@ -148,11 +179,17 @@ def run_deadlock_demo(
     unless overridden) converts the wedge into a structured outcome:
     ``detail`` names every blocked master and what it is waiting on,
     and ``report`` carries the full diagnostic dump.
+
+    ``cores`` overrides the default PowerPC 755 + ARM920T pair; the two
+    Fig 4 roles are then picked by capability (first coherent core is
+    the lock holder, first non-coherent core the nFIQ victim), and a
+    :class:`~repro.errors.ConfigError` is raised when either role is
+    missing.  Extra cores stay idle.
     """
     if solution not in SOLUTIONS:
         raise ConfigError(f"unknown deadlock solution {solution!r}; pick from {SOLUTIONS}")
     config = PlatformConfig(
-        cores=(preset_powerpc755(), preset_arm920t()),
+        cores=cores if cores is not None else (preset_powerpc755(), preset_arm920t()),
         hardware_coherence=True,
         cacheable_locks=(solution in ("none", "lock-register")),
         lock_register=(solution == "lock-register"),

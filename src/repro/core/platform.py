@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..bus.arbiter import FixedPriorityArbiter, RoundRobinArbiter
+from ..bus.arbiter import ARBITERS
 from ..bus.asb import AsbBus
 from ..cache.array import CacheGeometry
 from ..cache.controller import CacheController
@@ -28,7 +28,7 @@ from ..cache.protocols import make_protocol
 from ..cpu.assembler import Program
 from ..cpu.core import Core
 from ..cpu.presets import CoreConfig
-from ..errors import ConfigError, IntegrationError
+from ..errors import ConfigError
 from ..faults import FaultEngine, FaultSpec, Watchdog, WatchdogConfig, apply_faults
 from ..mem.controller import MemoryController, MemoryTiming
 from ..mem.map import MemoryMap, Region, WritePolicy
@@ -95,7 +95,15 @@ class PlatformConfig:
     cacheable_locks: bool = False
     #: add the 1-bit hardware lock register device
     lock_register: bool = False
-    arbitration: str = "fixed"            # "fixed" | "round-robin"
+    #: bus service discipline: "fcfs"/"fixed" | "priority" | "round-robin"
+    arbitration: str = "fixed"
+    #: snoop-push scheduling: "retry-first" queues drains behind the
+    #: processor's own backed-off transaction on the single tag/data
+    #: port (the paper's controllers — the Fig 4 ingredient); "window"
+    #: models a dedicated snoop machine that pushes in the post-ARTRY
+    #: window of opportunity, which N-master platforms need to avoid
+    #: cross-drain deadlock on contended dirty lines
+    drain_policy: str = "retry-first"
     trace_channels: Tuple[str, ...] = ()  # e.g. ("bus", "cache", "irq")
     #: ring-buffer cap on stored trace records (None = unbounded)
     trace_capacity: Optional[int] = None
@@ -109,18 +117,50 @@ class PlatformConfig:
     def __post_init__(self):
         if not self.cores:
             raise ConfigError("a platform needs at least one core")
+        names = [cfg.name for cfg in self.cores]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigError(
+                f"core names must be unique; duplicated: {duplicates} "
+                "(name-keyed program loading and bus mastership would be "
+                "ambiguous)"
+            )
         line_sizes = {cfg.cache_line_bytes for cfg in self.cores}
         if len(line_sizes) != 1:
-            raise IntegrationError(
+            # A config-shape error, not an integration impossibility:
+            # snooping is line-granular, so one system-wide line size is
+            # a model precondition for *any* number of masters.
+            raise ConfigError(
                 "all caches must share one line size for snooping to be "
-                f"line-granular; got {sorted(line_sizes)}"
+                f"line-granular; got {sorted(line_sizes)} across "
+                f"{len(self.cores)} cores — resize the caches or split "
+                "the platform"
             )
-        if self.arbitration not in ("fixed", "round-robin"):
-            raise ConfigError(f"unknown arbitration {self.arbitration!r}")
+        max_private = (SHARED_BASE - PRIVATE_BASE) // PRIVATE_STRIDE
+        max_mailbox = (LOCKREG_BASE - MAILBOX_BASE) // MAILBOX_STRIDE
+        limit = min(max_private, max_mailbox)
+        if len(self.cores) > limit:
+            raise ConfigError(
+                f"{len(self.cores)} cores exceed the standard memory "
+                f"layout's capacity of {limit} (private regions of "
+                f"{PRIVATE_STRIDE:#x} bytes each must fit below the "
+                f"shared region at {SHARED_BASE:#x})"
+            )
+        if self.arbitration not in ARBITERS:
+            raise ConfigError(
+                f"unknown arbitration {self.arbitration!r}; pick from "
+                f"{sorted(set(ARBITERS))}"
+            )
+        if self.drain_policy not in ("retry-first", "window"):
+            raise ConfigError(
+                f"unknown drain policy {self.drain_policy!r}; pick "
+                "'retry-first' (paper-faithful single port) or 'window' "
+                "(dedicated snoop machine)"
+            )
 
     @property
     def line_bytes(self) -> int:
-        """The system-wide cache line size."""
+        """The system-wide cache line size (validated homogeneous)."""
         return self.cores[0].cache_line_bytes
 
     def with_(self, **changes) -> "PlatformConfig":
@@ -145,15 +185,20 @@ class Platform:
         timing = config.memory_timing or MemoryTiming()
         self.memory_controller = MemoryController(self.memory, self.map, timing)
         bus_clock = Clock.from_mhz(config.bus_mhz, name="bus")
-        arbiter_cls = (
-            RoundRobinArbiter if config.arbitration == "round-robin"
-            else FixedPriorityArbiter
-        )
+        arbiter_cls = ARBITERS[config.arbitration]
+        if config.arbitration == "priority":
+            # Static priority rank = core order (core 0 highest), the
+            # conventional wiring for a fixed-priority bus.
+            arbiter = arbiter_cls(
+                self.sim, ranking=[cfg.name for cfg in config.cores]
+            )
+        else:
+            arbiter = arbiter_cls(self.sim)
         self.bus = AsbBus(
             self.sim,
             bus_clock,
             self.memory_controller,
-            arbiter=arbiter_cls(self.sim),
+            arbiter=arbiter,
             tracer=self.tracer,
             stats=self.stats,
             max_retries=config.max_bus_retries,
@@ -252,6 +297,7 @@ class Platform:
             stats=self.stats,
             enabled=cfg.cache_enabled,
             coherent=cfg.coherent,
+            drain_needs_port=(self.config.drain_policy == "retry-first"),
         )
         core = Core(
             name=cfg.name,

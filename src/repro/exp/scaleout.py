@@ -1,0 +1,200 @@
+"""Scale-out study: N masters under the three bus service disciplines.
+
+The paper evaluates two-master platforms; the wrapper methodology
+itself never assumes two.  This experiment measures what actually
+limits an N-master build of it: the shared bus.  For each master count
+and each NORMAL-band service discipline (FCFS, static per-master
+priority, round-robin — cf. arXiv:1004.3560's service-discipline
+comparison on a shared-bus multiprocessor) it runs a fixed contended
+false-sharing workload over a mixed-protocol platform (MESI / MOESI /
+MSI / MEI cycling across the masters, every one behind its reduction
+wrapper) and records:
+
+* ``elapsed_ns`` — simulated completion time of the whole workload;
+* ``bus_txns`` — completed bus tenures (coherence traffic volume);
+* ``grant_spread`` — max/min per-master grant counts: 1.0 is perfect
+  fairness, large values mean some master is being starved.
+
+Everything measured is *simulated* and therefore deterministic: the
+committed ``BENCH_scaleout.json`` is a golden file, and the CI smoke
+job compares against it exactly (no wall-clock tolerance needed).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.platform import Platform, PlatformConfig
+from ..cpu.presets import preset_generic
+from ..workloads.tracegen import false_sharing_traces, replay_parallel
+
+__all__ = [
+    "BENCH_FILE",
+    "DISCIPLINES",
+    "MASTER_COUNTS",
+    "run_point",
+    "run_suite",
+    "render_comparison",
+    "check_regression",
+    "load_results",
+]
+
+#: canonical result file name (at the repository root)
+BENCH_FILE = "BENCH_scaleout.json"
+
+DISCIPLINES = ("fcfs", "priority", "round-robin")
+MASTER_COUNTS = (2, 4, 8, 16)
+QUICK_MASTER_COUNTS = (2, 4, 8)
+
+#: protocols cycled across the masters — a genuinely mixed platform
+_PROTOCOL_CYCLE = ("MESI", "MOESI", "MSI", "MEI")
+
+
+def _platform(n_masters: int, discipline: str) -> Platform:
+    cores = tuple(
+        preset_generic(f"p{i}", _PROTOCOL_CYCLE[i % len(_PROTOCOL_CYCLE)])
+        for i in range(n_masters)
+    )
+    # "window" drains: an N-master platform must push snoop data in the
+    # post-ARTRY window or contended dirty lines cross-deadlock (the
+    # paper-faithful "retry-first" port model wedges beyond two busy
+    # masters — that hazard is the deadlock demo's subject, not ours).
+    return Platform(
+        PlatformConfig(
+            cores=cores,
+            hardware_coherence=True,
+            arbitration=discipline,
+            drain_policy="window",
+        )
+    )
+
+
+def run_point(
+    n_masters: int, discipline: str, accesses_per_master: int = 40
+) -> Dict[str, Any]:
+    """One (master count, discipline) measurement."""
+    platform = _platform(n_masters, discipline)
+    traces = false_sharing_traces(
+        accesses_per_master, procs=n_masters, lines=2, seed=11
+    )
+    result = replay_parallel(platform, traces)
+    counts = platform.bus.arbiter.grants_by_master
+    spread = (
+        max(counts.values()) / min(counts.values()) if counts else 0.0
+    )
+    return {
+        "masters": n_masters,
+        "discipline": discipline,
+        "elapsed_ns": result.elapsed_ns,
+        "bus_txns": result.bus_txns,
+        "grant_spread": round(spread, 3),
+    }
+
+
+def run_suite(
+    quick: bool = False,
+    master_counts: Optional[Sequence[int]] = None,
+    accesses_per_master: int = 40,
+) -> Dict[str, Any]:
+    """The full sweep; returns the result document.
+
+    ``quick`` drops the 16-master column (CI smoke); the per-point
+    workload itself is fixed, so the surviving points stay comparable
+    to a committed full-mode baseline.
+    """
+    counts = tuple(
+        master_counts
+        if master_counts is not None
+        else (QUICK_MASTER_COUNTS if quick else MASTER_COUNTS)
+    )
+    points: List[Dict[str, Any]] = []
+    for discipline in DISCIPLINES:
+        for n in counts:
+            points.append(run_point(n, discipline, accesses_per_master))
+    return {
+        "schema": 1,
+        "suite": "scaleout",
+        "quick": bool(quick),
+        "python": sys.version.split()[0],
+        "params": {
+            "master_counts": list(counts),
+            "accesses_per_master": accesses_per_master,
+            "protocol_cycle": list(_PROTOCOL_CYCLE),
+        },
+        "points": points,
+    }
+
+
+def _index(document: Dict[str, Any]) -> Dict[tuple, Dict[str, Any]]:
+    return {
+        (p["discipline"], p["masters"]): p
+        for p in document.get("points", [])
+    }
+
+
+def render_comparison(
+    current: Dict[str, Any], baseline: Optional[Dict[str, Any]] = None
+) -> str:
+    """The scaling figure, as an aligned text table per discipline."""
+    lines = [
+        f"scaleout suite (quick={current.get('quick')}, "
+        f"py {current.get('python')})",
+        f"  {'discipline':<12} {'masters':>7} {'elapsed_ns':>12} "
+        f"{'bus_txns':>9} {'spread':>7}",
+    ]
+    base = _index(baseline) if baseline else {}
+    for point in current.get("points", []):
+        key = (point["discipline"], point["masters"])
+        suffix = ""
+        if key in base:
+            ratio = (
+                point["elapsed_ns"] / base[key]["elapsed_ns"]
+                if base[key]["elapsed_ns"]
+                else 0.0
+            )
+            suffix = f"   {ratio:.2f}x baseline time"
+        lines.append(
+            f"  {point['discipline']:<12} {point['masters']:>7} "
+            f"{point['elapsed_ns']:>12,} {point['bus_txns']:>9,} "
+            f"{point['grant_spread']:>7.2f}{suffix}"
+        )
+    return "\n".join(lines)
+
+
+def check_regression(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.0,
+) -> List[str]:
+    """Points where ``current`` differs from the baseline.
+
+    The metrics are simulated quantities, so the default tolerance is
+    exact: any drift in completion time or traffic volume on a shared
+    point is a behaviour change someone must have intended (and should
+    re-baseline deliberately).
+    """
+    failures: List[str] = []
+    base = _index(baseline)
+    for point in current.get("points", []):
+        key = (point["discipline"], point["masters"])
+        if key not in base:
+            continue
+        for metric in ("elapsed_ns", "bus_txns"):
+            got, want = point[metric], base[key][metric]
+            if want and abs(got - want) > tolerance * want:
+                failures.append(
+                    f"{key[0]}@{key[1]} masters: {metric} {got:,} != "
+                    f"baseline {want:,}"
+                )
+    return failures
+
+
+def load_results(path: str) -> Optional[Dict[str, Any]]:
+    """Parse a previously written result file (None when absent)."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None

@@ -53,7 +53,8 @@ class CampaignConfig:
     out_dir: Optional[str] = None
     #: skip cases already recorded in the manifest
     resume: bool = True
-    # generator mix (passed straight to CaseGenerator)
+    # generator shape + mix (passed straight to CaseGenerator)
+    n_masters: int = 2
     p_deadlock: float = 0.1
     p_unwrapped: float = 0.3
     p_fault: float = 0.15
@@ -186,6 +187,7 @@ def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
     """
     generator = CaseGenerator(
         config.seed,
+        n_masters=config.n_masters,
         p_deadlock=config.p_deadlock,
         p_unwrapped=config.p_unwrapped,
         p_fault=config.p_fault,

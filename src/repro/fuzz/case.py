@@ -1,7 +1,7 @@
 """One fuzz case: a sampled configuration, its oracle, and its run.
 
 A :class:`FuzzCase` is a frozen, JSON-round-trippable description of
-one experiment — either a ``"trace"`` scenario (two processors with
+one experiment — either a ``"trace"`` scenario (N processors with
 sampled protocols/geometries replaying a sampled workload) or a
 ``"deadlock"`` scenario (the Fig 4 interleaving under one of the four
 lock strategies).  :func:`run_case` executes it and classifies the
@@ -82,11 +82,11 @@ class FuzzCase:
 
     seed: int
     scenario: str = "trace"          # "trace" | "deadlock"
-    # -- trace scenario ---------------------------------------------------
-    protocols: Tuple[str, str] = ("MESI", "MESI")
+    # -- trace scenario (tuples are per-master; any length >= 2) ----------
+    protocols: Tuple[str, ...] = ("MESI", "MESI")
     wrapped: bool = True
-    cache_sizes: Tuple[int, int] = (1024, 1024)
-    cache_ways: Tuple[int, int] = (2, 2)
+    cache_sizes: Tuple[int, ...] = (1024, 1024)
+    cache_ways: Tuple[int, ...] = (2, 2)
     workload: Dict[str, Any] = field(
         default_factory=lambda: {"kind": "racy", "n": 20, "seed": 1}
     )
@@ -104,6 +104,19 @@ class FuzzCase:
             for name in self.protocols:
                 if name not in FUZZ_PROTOCOLS:
                     raise ConfigError(f"unknown fuzz protocol {name!r}")
+            if len(self.protocols) < 2:
+                raise ConfigError("a trace case needs at least two masters")
+            if not (
+                len(self.protocols)
+                == len(self.cache_sizes)
+                == len(self.cache_ways)
+            ):
+                raise ConfigError(
+                    "per-master tuples disagree on master count: "
+                    f"{len(self.protocols)} protocols, "
+                    f"{len(self.cache_sizes)} cache sizes, "
+                    f"{len(self.cache_ways)} cache ways"
+                )
 
     def with_(self, **changes) -> "FuzzCase":
         """A modified copy."""
@@ -147,7 +160,7 @@ class FuzzCase:
         mode = "wrapped" if self.wrapped else "UNWRAPPED"
         fault = f" fault={self.fault['site']}" if self.fault else ""
         return (
-            f"{self.protocols[0]}+{self.protocols[1]} {mode} "
+            f"{'+'.join(self.protocols)} {mode} "
             f"{self.workload.get('kind', '?')} seed={self.seed}{fault}"
         )
 
@@ -186,20 +199,30 @@ def _parallel_kind(workload: Dict[str, Any]) -> bool:
 
 
 @lru_cache(maxsize=None)
-def _unwrapped_unsafe(p0: str, p1: str) -> bool:
-    """May this pair legitimately violate coherence without wrappers?
-
-    For invalidation pairs the exhaustive model checker answers
-    exactly; Dragon/SI mixes are outside its soundness scope, so any
-    *heterogeneous* mix involving them is conservatively treated as
-    possibly-unsafe, while a homogeneous pair snoops natively and must
-    stay coherent.
-    """
+def _pair_unwrapped_unsafe(p0: str, p1: str) -> bool:
     if p0 in MODEL_PROTOCOLS and p1 in MODEL_PROTOCOLS:
         return not check_pair(p0, p1, wrapped=False).ok
     if p0 == p1:
         return False
     return True
+
+
+def _unwrapped_unsafe(protocols: Tuple[str, ...]) -> bool:
+    """May this mix legitimately violate coherence without wrappers?
+
+    For invalidation pairs the exhaustive model checker answers
+    exactly; Dragon/SI mixes are outside its soundness scope, so any
+    *heterogeneous* mix involving them is conservatively treated as
+    possibly-unsafe, while a homogeneous mix snoops natively and must
+    stay coherent.  An N-way mix is unsafe as soon as any pair drawn
+    from it is: the incompatible pair's interactions are a subset of
+    the system's.
+    """
+    return any(
+        _pair_unwrapped_unsafe(p0, p1)
+        for i, p0 in enumerate(protocols)
+        for p1 in protocols[i + 1:]
+    )
 
 
 def allowed_outcomes(case: FuzzCase) -> Tuple[str, ...]:
@@ -225,7 +248,7 @@ def allowed_outcomes(case: FuzzCase) -> Tuple[str, ...]:
     allowed = {"clean"}
     if case.fault is not None:
         allowed.update(("violation", "deadlock", "livelock", "hang"))
-    if not case.wrapped and _unwrapped_unsafe(*case.protocols):
+    if not case.wrapped and _unwrapped_unsafe(case.protocols):
         allowed.add("violation")
     if _parallel_kind(case.workload):
         allowed.add("deadlock")
@@ -241,12 +264,16 @@ def build_workload(workload: Dict[str, Any]):
     ``("serial", [TraceAccess, ...])`` for the serialised kinds (one
     driver issuing the interleaving in order — what the shrinker's
     byte-identical reproducers use).
+
+    The generated kinds honour ``workload["procs"]`` (default 2) so an
+    N-master case gets one trace per master.
     """
     kind = workload.get("kind")
+    procs = workload.get("procs", 2)
     if kind == "racy":
         return "parallel", racy_traces(
             workload.get("n", 20),
-            procs=2,
+            procs=procs,
             footprint_words=workload.get("footprint_words", 8),
             write_ratio=workload.get("write_ratio", 0.5),
             seed=workload.get("seed", 1),
@@ -254,14 +281,14 @@ def build_workload(workload: Dict[str, Any]):
     if kind == "false-sharing":
         return "parallel", false_sharing_traces(
             workload.get("n", 20),
-            procs=2,
+            procs=procs,
             lines=workload.get("lines", 2),
             seed=workload.get("seed", 1),
         )
     if kind == "lock-contention":
         return "parallel", lock_contention_traces(
             workload.get("n_acquires", 4),
-            procs=2,
+            procs=procs,
             seed=workload.get("seed", 1),
         )
     if kind == "hotspot":
@@ -272,7 +299,7 @@ def build_workload(workload: Dict[str, Any]):
                 proc=proc,
                 seed=workload.get("seed", 1) + proc,
             )
-            for proc in (0, 1)
+            for proc in range(procs)
         }
     if kind == "producer-consumer":
         return "serial", producer_consumer_trace(workload.get("n_items", 10))
@@ -322,7 +349,7 @@ def _trace_platform(case: FuzzCase) -> Platform:
         preset_generic(f"p{i}", case.protocols[i]).with_(
             cache_size=case.cache_sizes[i], cache_ways=case.cache_ways[i]
         )
-        for i in range(2)
+        for i in range(len(case.protocols))
     )
     faults: Tuple[FaultSpec, ...] = ()
     if case.fault is not None:

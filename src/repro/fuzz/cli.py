@@ -40,6 +40,8 @@ def add_fuzz_arguments(parser) -> None:
                    help="re-run cases already present in the manifest")
     p.add_argument("--shrink", action="store_true",
                    help="shrink each unexpected case before reporting it")
+    p.add_argument("--masters", type=int, default=2, metavar="N",
+                   help="masters per trace case (default: 2)")
     p.add_argument("--p-deadlock", type=float, default=0.1,
                    help="fraction of Fig 4 deadlock-scenario cases")
     p.add_argument("--p-unwrapped", type=float, default=0.3,
@@ -82,6 +84,7 @@ def _cmd_run(args) -> int:
         timeout_s=args.timeout,
         out_dir=args.out,
         resume=not args.no_resume,
+        n_masters=args.masters,
         p_deadlock=args.p_deadlock,
         p_unwrapped=args.p_unwrapped,
         p_fault=args.p_fault,

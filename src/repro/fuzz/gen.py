@@ -44,22 +44,38 @@ _FAULT_SITES = (
 
 
 class CaseGenerator:
-    """Derives case *i* of a campaign from ``(seed, i)`` alone."""
+    """Derives case *i* of a campaign from ``(seed, i)`` alone.
+
+    ``n_masters`` scales trace cases to N processors (protocols,
+    geometries, workload traces and fault targets all sampled
+    per-master); the default of 2 keeps every historical ``(seed,
+    index)`` pair mapping to the byte-identical case it always did —
+    the n=2 sampling path consumes the rng stream in exactly the
+    original order.  Deadlock-scenario cases always run the canonical
+    two-core Fig 4 platform regardless of ``n_masters``.
+    """
 
     def __init__(
         self,
         seed: int,
+        n_masters: int = 2,
         p_deadlock: float = 0.1,
         p_unwrapped: float = 0.3,
         p_fault: float = 0.15,
     ):
+        if n_masters < 2:
+            from ..errors import ConfigError
+
+            raise ConfigError(f"need at least 2 masters, got {n_masters}")
         self.seed = seed
+        self.n_masters = n_masters
         self.p_deadlock = p_deadlock
         self.p_unwrapped = p_unwrapped
         self.p_fault = p_fault
 
     def case(self, index: int) -> FuzzCase:
         """The ``index``-th case of this campaign."""
+        n = self.n_masters
         rng = random.Random(f"fuzz:{self.seed}:{index}")
         if rng.random() < self.p_deadlock:
             return FuzzCase(
@@ -76,8 +92,8 @@ class CaseGenerator:
             scenario="trace",
             protocols=protocols,
             wrapped=wrapped,
-            cache_sizes=(rng.choice(_CACHE_SIZES), rng.choice(_CACHE_SIZES)),
-            cache_ways=(rng.choice(_CACHE_WAYS), rng.choice(_CACHE_WAYS)),
+            cache_sizes=tuple(rng.choice(_CACHE_SIZES) for _ in range(n)),
+            cache_ways=tuple(rng.choice(_CACHE_WAYS) for _ in range(n)),
             workload=self._workload(rng),
             fault=fault,
             max_events=DEFAULT_MAX_EVENTS,
@@ -90,13 +106,26 @@ class CaseGenerator:
 
     # -- samplers ----------------------------------------------------------
     def _protocols(self, rng: random.Random):
+        n = self.n_masters
         p0 = rng.choice(FUZZ_PROTOCOLS)
         if p0 == "DRAGON":
-            return ("DRAGON", "DRAGON")
-        p1 = rng.choice([p for p in FUZZ_PROTOCOLS if p != "DRAGON"])
-        return (p0, p1)
+            # Dragon only integrates with itself: all-Dragon platform.
+            return ("DRAGON",) * n
+        rest = tuple(
+            rng.choice([p for p in FUZZ_PROTOCOLS if p != "DRAGON"])
+            for _ in range(n - 1)
+        )
+        return (p0,) + rest
 
     def _workload(self, rng: random.Random):
+        workload = self._workload_params(rng)
+        if self.n_masters != 2 and workload["kind"] != "producer-consumer":
+            # Per-master traces; omitted at n=2 so historical case
+            # dicts (and their JSON reproducers) stay byte-identical.
+            workload["procs"] = self.n_masters
+        return workload
+
+    def _workload_params(self, rng: random.Random):
         kind = rng.choice(_WORKLOAD_KINDS)
         seed = rng.randrange(1, 1_000_000)
         if kind == "racy":
@@ -130,8 +159,9 @@ class CaseGenerator:
         return {"kind": "producer-consumer", "n_items": rng.randrange(4, 24)}
 
     def _fault(self, rng: random.Random) -> Optional[dict]:
+        masters = tuple(f"p{i}" for i in range(self.n_masters))
         site = rng.choice(_FAULT_SITES)
-        master = rng.choice((None, "p0", "p1"))
+        master = rng.choice((None,) + masters)
         fault = {"site": site, "master": master, "seed": rng.randrange(1_000)}
         if site == "mem.delay":
             # mem.delay attaches to the memory controller, not a master
@@ -145,7 +175,7 @@ class CaseGenerator:
             fault.update(count=None)
         elif site == "arbiter.starve":
             # starving a named master forever wedges it; target one
-            fault.update(master=rng.choice(("p0", "p1")),
+            fault.update(master=rng.choice(masters),
                          after_n=rng.randrange(0, 6), count=None)
         elif site == "drain.drop":
             fault.update(count=1)

@@ -201,30 +201,42 @@ def shrink_case(
     )
 
 
-_SMALLEST_SIZES = (256, 256)
-_DIRECT_MAPPED = (1, 1)
+_SMALLEST_SIZE = 256
+_DIRECT_WAY = 1
 
 
 def _drop_fault(case: FuzzCase) -> Optional[FuzzCase]:
     return case.with_(fault=None) if case.fault is not None else None
 
 
+def _smallest_sizes(case: FuzzCase) -> tuple:
+    # Sized to the case's master count, not a hardcoded pair.
+    return (_SMALLEST_SIZE,) * len(case.cache_sizes)
+
+
+def _direct_mapped(case: FuzzCase) -> tuple:
+    return (_DIRECT_WAY,) * len(case.cache_ways)
+
+
 def _shrink_geometry(case: FuzzCase) -> Optional[FuzzCase]:
-    if case.cache_sizes == _SMALLEST_SIZES and case.cache_ways == _DIRECT_MAPPED:
+    sizes, ways = _smallest_sizes(case), _direct_mapped(case)
+    if case.cache_sizes == sizes and case.cache_ways == ways:
         return None
-    return case.with_(cache_sizes=_SMALLEST_SIZES, cache_ways=_DIRECT_MAPPED)
+    return case.with_(cache_sizes=sizes, cache_ways=ways)
 
 
 def _shrink_sizes(case: FuzzCase) -> Optional[FuzzCase]:
-    if case.cache_sizes == _SMALLEST_SIZES:
+    sizes = _smallest_sizes(case)
+    if case.cache_sizes == sizes:
         return None
-    return case.with_(cache_sizes=_SMALLEST_SIZES)
+    return case.with_(cache_sizes=sizes)
 
 
 def _shrink_ways(case: FuzzCase) -> Optional[FuzzCase]:
-    if case.cache_ways == _DIRECT_MAPPED:
+    ways = _direct_mapped(case)
+    if case.cache_ways == ways:
         return None
-    return case.with_(cache_ways=_DIRECT_MAPPED)
+    return case.with_(cache_ways=ways)
 
 
 #: tried in order; each accepted only when the failure class survives

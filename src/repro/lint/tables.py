@@ -24,7 +24,12 @@ transition *tables* directly:
   protocol, per-processor policies swapped with the operands), the
   integrated state set equals the intersection of the operand state
   sets and is contained in each operand's; homogeneous pairs reduce to
-  themselves with identity wrappers.  Dragon integrates only with
+  themselves with identity wrappers.  The same properties are checked
+  N-way over every triple: the system protocol is invariant under
+  operand permutation (policies permuting with the operands), the
+  integrated state set is the three-way intersection, and pairwise
+  folding agrees with the direct 3-way reduction (associativity, via
+  the canonical system-protocol names).  Dragon integrates only with
   itself and refuses mixed pairs symmetrically; SI (write-through
   lines) is outside the wrapper algebra and is refused symmetrically
   too.
@@ -254,6 +259,72 @@ def validate_reduction(
                     problems.append(
                         f"{pair}: homogeneous pair needs non-identity wrappers"
                     )
+
+    # -- N-way folds: the algebra must not be secretly pairwise -----------
+    # Every triple over the algebra members, under every operand order:
+    # the system protocol is permutation-invariant, the per-processor
+    # policies permute with the operands, the integrated state set is
+    # the three-way intersection, and folding pairwise (reduce the
+    # first two, then reduce their system protocol with the third)
+    # lands on the same system protocol as the direct 3-way reduction.
+    from itertools import permutations, product
+
+    for triple in product(_ALGEBRA_MEMBERS, repeat=3):
+        name3 = f"reduce({', '.join(label(m) for m in triple)})"
+        try:
+            direct = reduce_fn(list(triple))
+        except IntegrationError as exc:
+            problems.append(f"{name3}: refused a legal triple: {exc}")
+            continue
+        expected = effective(triple[0]) & effective(triple[1]) & effective(triple[2])
+        actual = system_states_fn(list(triple))
+        if actual != expected:
+            problems.append(
+                f"{name3}: integrated state set "
+                f"{sorted(s.name for s in actual)} != three-way "
+                f"intersection {sorted(s.name for s in expected)}"
+            )
+        for perm in permutations(range(3)):
+            reordered = [triple[i] for i in perm]
+            try:
+                permuted = reduce_fn(reordered)
+            except IntegrationError as exc:
+                problems.append(
+                    f"{name3}: permutation {reordered} refused: {exc}"
+                )
+                continue
+            if permuted.system_protocol != direct.system_protocol:
+                problems.append(
+                    f"{name3}: system protocol depends on operand order — "
+                    f"{direct.system_protocol} vs {permuted.system_protocol}"
+                )
+            if permuted.policies != tuple(direct.policies[i] for i in perm):
+                problems.append(
+                    f"{name3}: per-processor policies do not permute with "
+                    "the operands"
+                )
+        try:
+            folded = reduce_fn(
+                [reduce_fn(list(triple[:2])).system_protocol, triple[2]]
+            )
+        except IntegrationError as exc:
+            problems.append(f"{name3}: pairwise fold refused: {exc}")
+        else:
+            if folded.system_protocol != direct.system_protocol:
+                problems.append(
+                    f"{name3}: pairwise fold gives "
+                    f"{folded.system_protocol}, direct 3-way gives "
+                    f"{direct.system_protocol} — the algebra is not "
+                    "associative"
+                )
+        if len(set(triple)) == 1 and triple[0] is not None:
+            if direct.system_protocol != triple[0] or not all(
+                p.is_identity for p in direct.policies
+            ):
+                problems.append(
+                    f"{name3}: homogeneous triple must reduce to itself "
+                    "with identity wrappers"
+                )
 
     # -- protocols outside the algebra must be refused symmetrically ------
     for outsider in _REFUSED_MEMBERS:

@@ -1,10 +1,10 @@
 """Exhaustive model checking of the wrapper integration (Section 2).
 
 The simulator tests sample behaviours; this module *enumerates* them.
-For one shared line and two caches it explores every reachable abstract
-state under every interleaving of the six events
+For one shared line and N caches it explores every reachable abstract
+state under every interleaving of the ``3 * N`` events
 
-    read(0) read(1) write(0) write(1) evict(0) evict(1)
+    read(i) write(i) evict(i)        for i in range(N)
 
 and checks three safety properties in every state:
 
@@ -19,17 +19,21 @@ The transition semantics are built from the *same* protocol FSMs the
 simulator uses, composed with a :class:`WrapperPolicy` exactly the way
 the bus composes them (read-to-write conversion on the snoop path,
 shared-signal forcing on the fill path, drain-before-data for dirty
-snoop hits).  Checking a pair therefore validates the reduction policy
-itself, exhaustively:
+snoop hits).  Checking a configuration therefore validates the
+reduction policy itself, exhaustively:
 
 >>> check_pair("MESI", "MEI").ok                   # wrapped: safe
 True
 >>> check_pair("MESI", "MEI", wrapped=False).ok    # Table 2: unsafe
 False
+>>> check_system(["MESI", "MEI", "MOESI"]).ok      # N-way reduction
+True
 
-The abstract state is ``(state0, state1, fresh0, fresh1, mem_fresh)``
-— a few dozen reachable states per pair — so the full matrix checks in
-milliseconds.
+The abstract state is ``(states, fresh-bits, mem_fresh)`` — a few
+dozen reachable states for a pair, a few hundred for a triple — so the
+pair matrix checks in milliseconds and triples stay well under a
+second.  State count grows exponentially with N; three or four caches
+is the practical ceiling (beyond that the fuzzer samples instead).
 """
 
 from __future__ import annotations
@@ -43,27 +47,39 @@ from ..cache.protocols import make_protocol
 from ..cache.protocols.base import SnoopOp, WriteAction
 from ..core.reduction import SharedMode, WrapperPolicy, reduce_protocols
 
-__all__ = ["ModelState", "Violation", "CheckResult", "check_pair", "check_matrix"]
+__all__ = [
+    "ModelState",
+    "Violation",
+    "CheckResult",
+    "check_pair",
+    "check_system",
+    "check_matrix",
+]
 
-_EVENTS = ("read0", "read1", "write0", "write1", "evict0", "evict1")
+_EVENT_KINDS = ("read", "write", "evict")
+
+
+def _events_for(n: int) -> Tuple[str, ...]:
+    return tuple(f"{kind}{i}" for i in range(n) for kind in _EVENT_KINDS)
 
 
 @dataclass(frozen=True)
 class ModelState:
-    """Abstract system state for one line and two caches.
+    """Abstract system state for one line and N caches.
 
-    ``fresh*`` record whether each copy (and memory) holds the value of
-    the most recent write; they are the symbolic stand-in for data.
+    ``fresh``/``mem_fresh`` record whether each copy (and memory) holds
+    the value of the most recent write; they are the symbolic stand-in
+    for data.
     """
 
-    states: Tuple[State, State]
-    fresh: Tuple[bool, bool]
+    states: Tuple[State, ...]
+    fresh: Tuple[bool, ...]
     mem_fresh: bool
 
     def describe(self) -> str:
         """Compact human-readable rendering."""
         cells = []
-        for index in range(2):
+        for index in range(len(self.states)):
             stale = (
                 "(stale)"
                 if self.states[index] is not State.INVALID and not self.fresh[index]
@@ -90,9 +106,9 @@ class Violation:
 
 @dataclass
 class CheckResult:
-    """Outcome of exploring one protocol pair."""
+    """Outcome of exploring one protocol configuration."""
 
-    protocols: Tuple[str, str]
+    protocols: Tuple[str, ...]
     wrapped: bool
     reachable_states: int
     violations: List[Violation]
@@ -106,7 +122,7 @@ class CheckResult:
         """Summary plus the first few witnesses."""
         status = "SAFE" if self.ok else "UNSAFE"
         lines = [
-            f"{self.protocols[0]}+{self.protocols[1]} "
+            f"{'+'.join(self.protocols)} "
             f"({'wrapped' if self.wrapped else 'unwrapped'}): {status}, "
             f"{self.reachable_states} reachable states"
         ]
@@ -114,12 +130,13 @@ class CheckResult:
         return "\n".join(lines)
 
 
-class _PairModel:
-    """Transition function for two protocol FSMs under wrapper policies."""
+class _SystemModel:
+    """Transition function for N protocol FSMs under wrapper policies."""
 
-    def __init__(self, names: Tuple[str, str], policies: Sequence[WrapperPolicy]):
+    def __init__(self, names: Sequence[str], policies: Sequence[WrapperPolicy]):
         self.protocols = tuple(make_protocol(name) for name in names)
         self.policies = tuple(policies)
+        self.n = len(self.protocols)
 
     # -- policy application (mirrors Wrapper.snoop / shared_filter) --------
     def _snoop_op(self, snooper: int, op: SnoopOp) -> SnoopOp:
@@ -136,8 +153,8 @@ class _PairModel:
             return False
         return actual
 
-    def _snoop(self, states, fresh, mem_fresh, snooper, op):
-        """Apply one snooped operation to the non-acting cache.
+    def _snoop_one(self, states, fresh, mem_fresh, snooper, op):
+        """Apply one snooped operation to one non-acting cache.
 
         Returns ``(mem_fresh, supplied_fresh, assert_shared)`` where
         ``supplied_fresh`` is the freshness of cache-to-cache data (None
@@ -165,11 +182,34 @@ class _PairModel:
             fresh[snooper] = False
         return mem_fresh, supplied_fresh, outcome.assert_shared
 
+    def _snoop(self, states, fresh, mem_fresh, actor, op):
+        """Broadcast one operation to every non-acting cache.
+
+        Snoopers react in ascending index order (the combinational
+        address phase resolves them all within one tenure).  Data comes
+        from the first supplier — on a safe configuration at most one
+        cache owns the line, so order cannot matter; on an unsafe one
+        any choice yields a witness.  SHARED is the wired-OR of every
+        snooper's assertion.
+        """
+        supplied_fresh = None
+        shared = False
+        for snooper in range(self.n):
+            if snooper == actor:
+                continue
+            mem_fresh, supply, asserted = self._snoop_one(
+                states, fresh, mem_fresh, snooper, op
+            )
+            if supplied_fresh is None and supply is not None:
+                supplied_fresh = supply
+            shared = shared or asserted
+        return mem_fresh, supplied_fresh, shared
+
     # -- events --------------------------------------------------------------
     def step(self, model: ModelState, event: str) -> Tuple[ModelState, Optional[str]]:
         """Apply one event; returns (next_state, violation_kind|None)."""
-        actor = int(event[-1])
-        kind = event[:-1]
+        kind = event.rstrip("0123456789")
+        actor = int(event[len(kind):])
         if kind == "read":
             return self._read(model, actor)
         if kind == "write":
@@ -177,7 +217,6 @@ class _PairModel:
         return self._evict(model, actor)
 
     def _read(self, model: ModelState, actor: int):
-        other = 1 - actor
         states = list(model.states)
         fresh = list(model.fresh)
         mem_fresh = model.mem_fresh
@@ -186,7 +225,7 @@ class _PairModel:
             violation = None if fresh[actor] else "stale-read"
             return model, violation
         mem_fresh, supplied_fresh, shared_actual = self._snoop(
-            states, fresh, mem_fresh, other, SnoopOp.READ
+            states, fresh, mem_fresh, actor, SnoopOp.READ
         )
         shared = self._filtered_shared(actor, shared_actual)
         states[actor] = self.protocols[actor].fill_state(False, shared)
@@ -196,7 +235,6 @@ class _PairModel:
         return next_model, None if source_fresh else "stale-read"
 
     def _write(self, model: ModelState, actor: int):
-        other = 1 - actor
         states = list(model.states)
         fresh = list(model.fresh)
         mem_fresh = model.mem_fresh
@@ -205,24 +243,24 @@ class _PairModel:
             if State.MODIFIED not in self.protocols[actor].states:
                 # Write-through no-allocate (SI): the word goes to memory.
                 mem_fresh, _s, _sh = self._snoop(
-                    states, fresh, mem_fresh, other, SnoopOp.WRITE
+                    states, fresh, mem_fresh, actor, SnoopOp.WRITE
                 )
                 write_through = True
             else:
                 # RWITM fill.
                 mem_fresh, _s, _sh = self._snoop(
-                    states, fresh, mem_fresh, other, SnoopOp.READ_EXCL
+                    states, fresh, mem_fresh, actor, SnoopOp.READ_EXCL
                 )
                 states[actor] = self.protocols[actor].fill_state(True, False)
         else:
             new_state, action = self.protocols[actor].write_hit(states[actor])
             if action is WriteAction.UPGRADE:
                 mem_fresh, _s, _sh = self._snoop(
-                    states, fresh, mem_fresh, other, SnoopOp.INVALIDATE
+                    states, fresh, mem_fresh, actor, SnoopOp.INVALIDATE
                 )
             elif action is WriteAction.WRITE_THROUGH:
                 mem_fresh, _s, _sh = self._snoop(
-                    states, fresh, mem_fresh, other, SnoopOp.WRITE
+                    states, fresh, mem_fresh, actor, SnoopOp.WRITE
                 )
                 write_through = True
             states[actor] = new_state
@@ -230,8 +268,9 @@ class _PairModel:
         # valid copy is stale (no update protocols in this model);
         # memory is fresh only for a write-through retirement.
         fresh[actor] = states[actor] is not State.INVALID
-        if states[other] is not State.INVALID:
-            fresh[other] = False
+        for other in range(self.n):
+            if other != actor and states[other] is not State.INVALID:
+                fresh[other] = False
         mem_fresh = write_through
         return ModelState(tuple(states), tuple(fresh), mem_fresh), None
 
@@ -243,7 +282,11 @@ class _PairModel:
             return model, None
         if states[actor].is_dirty:
             mem_fresh = fresh[actor]
-        elif fresh[actor] and not mem_fresh and not fresh[1 - actor]:
+        elif (
+            fresh[actor]
+            and not mem_fresh
+            and not any(fresh[j] for j in range(self.n) if j != actor)
+        ):
             # Dropping the only fresh copy without a write-back: a clean
             # copy should always be backed by fresh memory.
             return model, "lost-data"
@@ -252,7 +295,11 @@ class _PairModel:
         return ModelState(tuple(states), tuple(fresh), mem_fresh), None
 
 
-def _swmr_violated(states: Tuple[State, State]) -> bool:
+#: the N=2 name, kept for the model-vs-simulator differential tests
+_PairModel = _SystemModel
+
+
+def _swmr_violated(states: Tuple[State, ...]) -> bool:
     exclusive = sum(1 for s in states if s in (State.MODIFIED, State.EXCLUSIVE))
     valid = sum(1 for s in states if s is not State.INVALID)
     if exclusive and valid > 1:
@@ -261,26 +308,30 @@ def _swmr_violated(states: Tuple[State, State]) -> bool:
     return owners > 1
 
 
-def check_pair(
-    p0: str,
-    p1: str,
+def check_system(
+    protocols: Sequence[str],
     wrapped: bool = True,
     max_violations: int = 8,
 ) -> CheckResult:
-    """Exhaustively explore one ordered protocol pair.
+    """Exhaustively explore one ordered N-protocol configuration.
 
     ``wrapped=True`` uses the policies from :func:`reduce_protocols`;
     ``wrapped=False`` uses identity policies (native snooping), which is
-    expected to fail for the paper's incompatible pairs.
+    expected to fail for the paper's incompatible combinations.
     """
+    names = tuple(protocols)
+    n = len(names)
     if wrapped:
-        policies = reduce_protocols([p0, p1]).policies
+        policies = reduce_protocols(names).policies
     else:
-        policies = (WrapperPolicy(), WrapperPolicy())
-    model = _PairModel((p0, p1), policies)
+        policies = tuple(WrapperPolicy() for _ in names)
+    model = _SystemModel(names, policies)
     initial = ModelState(
-        (State.INVALID, State.INVALID), (False, False), mem_fresh=True
+        tuple(State.INVALID for _ in range(n)),
+        tuple(False for _ in range(n)),
+        mem_fresh=True,
     )
+    events = _events_for(n)
     seen: Dict[ModelState, Tuple[str, ...]] = {initial: ()}
     queue = deque([initial])
     violations: List[Violation] = []
@@ -288,7 +339,7 @@ def check_pair(
     while queue:
         current = queue.popleft()
         path = seen[current]
-        for event in _EVENTS:
+        for event in events:
             next_state, bad = model.step(current, event)
             if bad is None and _swmr_violated(next_state.states):
                 bad = "swmr"
@@ -304,11 +355,21 @@ def check_pair(
                 seen[next_state] = path + (event,)
                 queue.append(next_state)
     return CheckResult(
-        protocols=(p0, p1),
+        protocols=names,
         wrapped=wrapped,
         reachable_states=len(seen),
         violations=violations,
     )
+
+
+def check_pair(
+    p0: str,
+    p1: str,
+    wrapped: bool = True,
+    max_violations: int = 8,
+) -> CheckResult:
+    """Exhaustively explore one ordered protocol pair (N=2 system)."""
+    return check_system((p0, p1), wrapped=wrapped, max_violations=max_violations)
 
 
 def check_matrix(

@@ -300,24 +300,35 @@ def false_sharing_traces(
 ) -> Dict[int, List[TraceAccess]]:
     """Private per-processor words packed into *shared* cache lines.
 
-    Processor ``p`` only ever touches word ``p`` of each line, so there
-    is no true data sharing — but because the words share lines, every
-    write invalidates (or updates) the other processors' copies.  The
-    workload stresses line-granular coherence actions while the value
-    check stays trivially satisfiable: each word has a single writer.
+    Processor ``p`` only ever touches word ``p mod words-per-line`` of
+    its line group, so there is no true data sharing — but because the
+    words share lines, every write invalidates (or updates) the other
+    processors' copies.  The workload stresses line-granular coherence
+    actions while the value check stays trivially satisfiable: each
+    word has a single writer.
+
+    When the processors fit one line (``4 * procs <= line_bytes``) the
+    layout is the classic one word per processor per line.  Beyond
+    that, each logical line becomes a *group* of adjacent lines — word
+    slots fill the first line, overflow processors continue in the
+    next — so arbitrarily many masters contend without any word ever
+    having two writers.
     """
-    if 4 * procs > line_bytes:
-        raise ConfigError(
-            f"{procs} procs at one word each do not fit a "
-            f"{line_bytes}-byte line"
-        )
+    words_per_line = line_bytes // 4
+    if words_per_line < 1:
+        raise ConfigError(f"a {line_bytes}-byte line holds no whole word")
+    group_lines = -(-procs // words_per_line)  # ceil
     traces: Dict[int, List[TraceAccess]] = {}
     for proc in range(procs):
         rng = random.Random(f"{seed}:{proc}")
         trace = []
         for i in range(n):
             line = rng.randrange(lines)
-            addr = base + line * line_bytes + 4 * proc
+            addr = (
+                base
+                + (line * group_lines + proc // words_per_line) * line_bytes
+                + 4 * (proc % words_per_line)
+            )
             if rng.random() < 0.7:
                 trace.append(
                     TraceAccess(proc, "write", addr, value=_unique_value(proc, i))

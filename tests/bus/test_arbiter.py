@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.bus import FixedPriorityArbiter, Priority, RoundRobinArbiter
+from repro.bus import (
+    ARBITERS,
+    FixedPriorityArbiter,
+    MasterPriorityArbiter,
+    Priority,
+    RoundRobinArbiter,
+)
 from repro.errors import BusError
 from repro.sim import Simulator
 
@@ -142,3 +148,120 @@ class TestRoundRobin:
             [("a", Priority.NORMAL), ("a", Priority.NORMAL), ("d", Priority.DRAIN)],
         )
         assert order == ["a", "d", "a"]
+
+    def test_four_masters_served_one_per_rotation(self, sim):
+        arbiter = RoundRobinArbiter(sim)
+        requests = [(m, Priority.NORMAL) for _ in range(3) for m in "abcd"]
+        order = grants_in_order(sim, arbiter, requests)
+        assert order == list("abcd") * 3
+        assert arbiter.grants_by_master == {m: 3 for m in "abcd"}
+
+    def test_greedy_master_cannot_lap_the_rotation(self, sim):
+        # "g" floods the queue; each of the four others still gets one
+        # grant per rotation — no master waits more than one rotation.
+        arbiter = RoundRobinArbiter(sim)
+        requests = [("g", Priority.NORMAL)] * 8
+        requests[1:1] = [(m, Priority.NORMAL) for m in "wxyz"]
+        order = grants_in_order(sim, arbiter, requests)
+        for master in "wxyz":
+            assert order.index(master) <= order.index("g") + 1 + "wxyz".index(master)
+        assert order.count("g") == 8
+        spread = max(arbiter.grants_by_master.values()) / min(
+            arbiter.grants_by_master.values()
+        )
+        assert spread == 8.0  # g got 8, everyone else exactly 1
+
+    def test_cancelled_grant_still_consumes_the_turn(self, sim):
+        # The grant-time validate-cancel path: the grantee releases
+        # without driving the bus and immediately re-requests.  The
+        # rotation pointer has already moved past it, so the waiting
+        # masters go first and the canceller rejoins at the back.
+        arbiter = RoundRobinArbiter(sim)
+        order = []
+
+        def track(name):
+            return lambda _event: order.append(name)
+
+        arbiter.request("a").add_callback(track("a"))
+        arbiter.request("b").add_callback(track("b"))
+        arbiter.request("c").add_callback(track("c"))
+        sim.run(detect_deadlock=False)
+        assert arbiter.holder == "a"
+        arbiter.release("a")  # validate failed: zero-cycle tenure
+        arbiter.request("a").add_callback(track("a"))
+        sim.run(detect_deadlock=False)
+        while arbiter.busy:
+            arbiter.release(arbiter.holder)
+            sim.run(detect_deadlock=False)
+        assert order == ["a", "b", "c", "a"]
+
+    def test_late_joiner_is_served_within_one_rotation(self, sim):
+        arbiter = RoundRobinArbiter(sim)
+        grants_in_order(
+            sim, arbiter, [("a", Priority.NORMAL), ("b", Priority.NORMAL)]
+        )
+        # Rotation is [a, b] with the pointer on b; a newcomer joins at
+        # the back, which is exactly where the scan resumes.
+        order = grants_in_order(
+            sim, arbiter,
+            [("c", Priority.NORMAL), ("a", Priority.NORMAL), ("b", Priority.NORMAL)],
+        )
+        assert order == ["c", "a", "b"]
+
+
+class TestMasterPriority:
+    def test_ranked_order_wins_inside_normal_band(self, sim):
+        arbiter = MasterPriorityArbiter(sim, ranking=("c", "b", "a"))
+        order = grants_in_order(
+            sim, arbiter, [(m, Priority.NORMAL) for m in "abcd"]
+        )
+        # "a" is granted immediately (bus idle); then ranked order wins
+        # and the unranked "d" slots in last.
+        assert order == ["a", "c", "b", "d"]
+
+    def test_top_rank_load_starves_the_rest(self, sim):
+        # The discipline's defining trade-off: sustained traffic from
+        # the top-ranked master delays everyone else indefinitely.
+        arbiter = MasterPriorityArbiter(sim, ranking=("hog",))
+        requests = [("seed", Priority.NORMAL), ("victim", Priority.NORMAL)]
+        requests += [("hog", Priority.NORMAL)] * 4
+        order = grants_in_order(sim, arbiter, requests)
+        assert order == ["seed"] + ["hog"] * 4 + ["victim"]
+
+    def test_drain_and_retry_bands_ignore_the_ranking(self, sim):
+        arbiter = MasterPriorityArbiter(sim, ranking=("z",))
+        order = grants_in_order(
+            sim, arbiter,
+            [
+                ("a", Priority.NORMAL),
+                ("z", Priority.NORMAL),
+                ("d", Priority.DRAIN),
+                ("r", Priority.RETRY),
+            ],
+        )
+        assert order == ["a", "d", "r", "z"]
+
+    def test_unranked_masters_rank_by_first_request(self, sim):
+        # With no explicit ranking, each master's rank is fixed by its
+        # first request -- so both of b's requests beat c's.
+        arbiter = MasterPriorityArbiter(sim)
+        order = grants_in_order(
+            sim, arbiter, [(m, Priority.NORMAL) for m in "abcb"]
+        )
+        assert order == ["a", "b", "b", "c"]
+
+
+class TestRegistry:
+    def test_discipline_names_resolve(self):
+        assert ARBITERS["fcfs"] is FixedPriorityArbiter
+        assert ARBITERS["fixed"] is FixedPriorityArbiter
+        assert ARBITERS["priority"] is MasterPriorityArbiter
+        assert ARBITERS["round-robin"] is RoundRobinArbiter
+
+    def test_grant_counts_accumulate_per_master(self, sim):
+        arbiter = FixedPriorityArbiter(sim)
+        grants_in_order(
+            sim, arbiter,
+            [("a", Priority.NORMAL), ("b", Priority.NORMAL), ("a", Priority.NORMAL)],
+        )
+        assert arbiter.grants_by_master == {"a": 2, "b": 1}

@@ -73,3 +73,50 @@ def test_render_mentions_outcome():
 
 def test_solutions_constant_is_exhaustive():
     assert set(SOLUTIONS) == {"none", "uncached-locks", "lock-register", "bakery"}
+
+
+class TestRoleSelection:
+    """Roles are picked by capability, not by list position."""
+
+    def test_reordered_cores_still_labelled_correctly(self):
+        from repro.cpu import preset_arm920t, preset_powerpc755
+
+        outcome = run_deadlock_demo(
+            "none", cores=(preset_arm920t(), preset_powerpc755())
+        )
+        assert outcome.deadlocked
+        # The coherent PowerPC is still the backed-off lock holder, the
+        # cacheless ARM still the nFIQ victim, despite the swap.
+        ppc = next(m for m in outcome.report.masters if m.name == "ppc755")
+        assert "backed-off" in ppc.waiting
+        assert outcome.report.snoop_pending["arm920t"]["inflight"]
+
+    def test_extra_cores_stay_idle(self):
+        from repro.cpu import preset_arm920t, preset_generic, preset_powerpc755
+
+        outcome = run_deadlock_demo(
+            "lock-register",
+            cores=(
+                preset_generic("bystander", "MESI"),
+                preset_powerpc755(),
+                preset_arm920t(),
+            ),
+        )
+        assert not outcome.deadlocked
+
+    def test_all_coherent_shape_rejected(self):
+        from repro.cpu import preset_intel486, preset_powerpc755
+
+        with pytest.raises(ConfigError) as exc_info:
+            run_deadlock_demo(
+                "none", cores=(preset_powerpc755(), preset_intel486())
+            )
+        assert "coherence hardware" in str(exc_info.value)
+
+    def test_all_cacheless_shape_rejected(self):
+        from repro.cpu import preset_arm920t
+
+        with pytest.raises(ConfigError):
+            run_deadlock_demo(
+                "none", cores=(preset_arm920t("a0"), preset_arm920t("a1"))
+            )

@@ -49,8 +49,24 @@ class TestConfigValidation:
             preset_powerpc755(),
             preset_arm920t().with_(cache_line_bytes=16),
         )
-        with pytest.raises(IntegrationError):
+        with pytest.raises(ConfigError) as exc_info:
             PlatformConfig(cores=cores)
+        # The message names both offending sizes, not just cores[0]'s.
+        assert "16" in str(exc_info.value)
+        assert "32" in str(exc_info.value)
+
+    def test_duplicate_core_names_rejected(self):
+        cores = (preset_generic("p0", "MESI"), preset_generic("p0", "MSI"))
+        with pytest.raises(ConfigError) as exc_info:
+            PlatformConfig(cores=cores)
+        assert "p0" in str(exc_info.value)
+
+    def test_core_count_beyond_memory_layout_rejected(self):
+        too_many = tuple(
+            preset_generic(f"p{i}", "MESI") for i in range(513)
+        )
+        with pytest.raises(ConfigError):
+            PlatformConfig(cores=too_many)
 
     def test_unknown_arbitration_rejected(self):
         with pytest.raises(ConfigError):

@@ -196,3 +196,55 @@ def test_exhaustive_pairs_match_state_intersection():
             assert result.system_protocol == "MEI"
         else:
             assert PROTOCOL_STATES[result.system_protocol] == expected
+
+
+class TestNWayAlgebra:
+    """The reduction must compose N-way, not just pairwise (Section 2's
+    intersection is associative and commutative; the per-member policies
+    must follow the permutation of the inputs)."""
+
+    def test_exhaustive_triples_fold_associatively(self):
+        # reduce(a, b, c) == reduce(reduce(a, b), c) at the system level
+        # for every triple, including the non-coherent member.
+        for triple in itertools.product(NAMES + (None,), repeat=3):
+            direct = reduce_protocols(list(triple)).system_protocol
+            paired = reduce_protocols([triple[0], triple[1]]).system_protocol
+            folded = reduce_protocols([paired, triple[2]]).system_protocol
+            assert folded == direct, triple
+
+    def test_exhaustive_triples_policy_permutation(self):
+        # Permuting the inputs permutes the policies and nothing else.
+        for triple in itertools.product(NAMES, repeat=3):
+            direct = reduce_protocols(list(triple))
+            for perm in itertools.permutations(range(3)):
+                permuted = reduce_protocols([triple[i] for i in perm])
+                assert permuted.system_protocol == direct.system_protocol
+                assert permuted.policies == tuple(
+                    direct.policies[i] for i in perm
+                ), (triple, perm)
+
+    def test_four_way_mixed_fold(self):
+        result = reduce_protocols(["MESI", "MOESI", "MSI", "MEI"])
+        assert result.system_protocol == "MEI"
+        assert len(result.policies) == 4
+        # Every member whose native protocol has more states than the
+        # system protocol needs the read-to-write conversion.
+        for name, policy in zip(("MESI", "MOESI", "MSI"), result.policies):
+            assert policy.convert_read_to_write, name
+        assert result.policies[3].is_identity  # the MEI member
+
+    def test_four_way_homogeneous_is_identity(self):
+        for name in NAMES:
+            result = reduce_protocols([name] * 4)
+            assert result.system_protocol == name
+            for policy in result.policies:
+                if name == "MOESI":
+                    assert policy.allow_supply
+                else:
+                    assert policy.is_identity
+
+    def test_widest_mix_with_noncoherent_member(self):
+        result = reduce_protocols(["MOESI", "MESI", "MSI", "MEI", None])
+        assert result.system_protocol == "MEI"
+        assert len(result.policies) == 5
+        assert not result.policies[0].allow_supply  # O state reduced away

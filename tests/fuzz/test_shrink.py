@@ -63,6 +63,28 @@ class TestShrinkCase:
         assert result.shrunk.cache_sizes == (256, 256)
         assert result.shrunk.cache_ways == (1, 1)
 
+    def test_four_master_case_shrinks_with_matching_tuples(self):
+        # Regression: the geometry passes used to emit hardcoded pair
+        # tuples, so shrinking any N>2 case tripped the per-master
+        # tuple-length validation instead of minimising.
+        case = FuzzCase(
+            seed=8,
+            protocols=("MOESI", "MEI", "MSI", "MESI"),
+            wrapped=False,
+            cache_sizes=(2048, 512, 1024, 256),
+            cache_ways=(4, 2, 4, 1),
+            workload={
+                "kind": "racy", "n": 20, "seed": 1, "procs": 4,
+                "footprint_words": 4, "write_ratio": 0.5,
+            },
+        )
+        assert run_case(case).outcome == "violation"
+        result = shrink_case(case, target_outcome="violation")
+        assert result.outcome == "violation"
+        assert result.shrunk.cache_sizes == (256,) * 4
+        assert result.shrunk.cache_ways == (1,) * 4
+        assert run_case(result.shrunk).outcome == "violation"
+
     def test_fault_dropped_when_not_load_bearing(self):
         # snoop.silent targeting an address the workload never touches
         # cannot be what breaks coherence; the shrinker must drop it.

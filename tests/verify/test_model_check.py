@@ -10,6 +10,7 @@ from repro.verify.model_check import (
     ModelState,
     check_matrix,
     check_pair,
+    check_system,
 )
 
 NAMES = ("MEI", "MSI", "MESI", "MOESI")
@@ -108,3 +109,45 @@ class TestAgreementWithSimulator:
         assert table2_demo(True).stale_reads == 0
         assert check_pair("MSI", "MESI", wrapped=True).ok
         assert table3_demo(True).stale_reads == 0
+
+
+class TestNWaySystems:
+    """The checker generalizes beyond pairs: N caches, one shared bus."""
+
+    def test_every_wrapped_triple_is_safe(self):
+        for triple in itertools.product(NAMES, repeat=3):
+            result = check_system(triple, wrapped=True)
+            assert result.ok, (triple, result.violations[:1])
+
+    def test_incompatible_triple_unsafe_without_wrappers(self):
+        # MESI's silent E-state fill breaks an MEI neighbour at any N.
+        result = check_system(("MESI", "MEI", "MEI"), wrapped=False)
+        assert not result.ok
+        kinds = {v.kind for v in result.violations}
+        assert kinds & {"stale-read", "swmr", "lost-data"}
+
+    def test_homogeneous_triple_safe_unwrapped(self):
+        for name in NAMES:
+            assert check_system((name,) * 3, wrapped=False).ok
+
+    def test_state_space_grows_but_stays_finite(self):
+        pair = check_pair("MESI", "MESI")
+        triple = check_system(("MESI",) * 3)
+        assert triple.reachable_states > pair.reachable_states
+        assert triple.reachable_states < 200
+
+    def test_violation_witness_names_the_actor(self):
+        # Witness paths use per-actor event names (read0/write2/...),
+        # so a three-cache counterexample pinpoints which cache acted.
+        result = check_system(("MESI", "MEI", "MEI"), wrapped=False)
+        path = result.violations[0].path
+        assert all(event[-1].isdigit() for event in path)
+        assert any(event.endswith("2") or event.endswith("1") for event in path)
+
+    def test_check_pair_is_the_two_member_system(self):
+        direct = check_pair("MESI", "MEI", wrapped=False)
+        system = check_system(("MESI", "MEI"), wrapped=False)
+        assert direct.reachable_states == system.reachable_states
+        assert [v.kind for v in direct.violations] == [
+            v.kind for v in system.violations
+        ]

@@ -192,9 +192,29 @@ class TestMultiMasterGenerators:
         }
         assert lines[0] == lines[1]  # but the same cache lines
 
-    def test_false_sharing_rejects_overfull_line(self):
-        with pytest.raises(ConfigError):
-            false_sharing_traces(10, procs=9, line_bytes=32)
+    def test_false_sharing_overfull_line_groups_lines(self):
+        # 9 procs at one word each overflow a 32-byte (8-word) line:
+        # proc 8 spills into the group's second line, still with a
+        # single writer per word.
+        traces = false_sharing_traces(10, procs=9, line_bytes=32, lines=1)
+        words = {
+            proc: {a.addr for a in trace} for proc, trace in traces.items()
+        }
+        all_addrs = [addr for addrs in words.values() for addr in addrs]
+        assert len(all_addrs) == len(set(all_addrs))  # single writer per word
+        assert words[8] == {words[0].pop() + 32}  # spilled to the next line
+
+    def test_false_sharing_layout_unchanged_when_procs_fit(self):
+        # The historical one-word-per-proc layout is load-bearing for
+        # fuzz reproducers: it must not shift when procs fit the line.
+        traces = false_sharing_traces(5, procs=2, lines=2, seed=7)
+        from repro.core import SHARED_BASE
+
+        for proc, trace in traces.items():
+            for access in trace:
+                offset = access.addr - SHARED_BASE
+                assert offset % 32 == 4 * proc
+                assert offset // 32 in (0, 1)
 
     def test_false_sharing_replay_causes_bus_traffic_yet_stays_coherent(self):
         platform = make_platform()
