@@ -18,8 +18,10 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.core.platform import KERNEL_ENGINES  # noqa: E402
 from repro.exp.hotpath import (  # noqa: E402
     BENCH_FILE,
+    baseline_mismatch,
     check_regression,
     load_results,
     render_comparison,
@@ -45,10 +47,14 @@ def main(argv=None) -> int:
                         help="exit non-zero on >tolerance regression vs baseline")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional slowdown for --check (default: 0.25)")
+    parser.add_argument("--engine", default="exact", choices=KERNEL_ENGINES,
+                        help="kernel engine to tag the run with "
+                             "(default: exact)")
     args = parser.parse_args(argv)
 
     baseline = load_results(args.baseline)
-    current = run_suite(quick=args.quick, repeats=args.repeats)
+    current = run_suite(quick=args.quick, repeats=args.repeats,
+                        engine=args.engine)
     baseline_metrics = (baseline or {}).get("metrics")
     print(render_comparison(current, baseline))
 
@@ -60,6 +66,8 @@ def main(argv=None) -> int:
             document["previous"] = {
                 "metrics": baseline_metrics,
                 "python": baseline.get("python"),
+                "impl": baseline.get("impl"),
+                "engine": baseline.get("engine"),
                 "quick": baseline.get("quick"),
             }
         with open(output, "w") as handle:
@@ -68,6 +76,12 @@ def main(argv=None) -> int:
         print(f"results written to {output}")
 
     if args.check and baseline is not None:
+        mismatches = baseline_mismatch(current, baseline)
+        if mismatches:
+            print("BASELINE MISMATCH (not comparable):")
+            for mismatch in mismatches:
+                print(f"  {mismatch}")
+            return 2
         failures = check_regression(current, baseline, tolerance=args.tolerance)
         if failures:
             print("PERF REGRESSION:")

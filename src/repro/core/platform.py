@@ -40,8 +40,11 @@ from .snoop_logic import SnoopLogic
 from .wrapper import Wrapper
 
 __all__ = [
+    "ENGINE_NAMES",
+    "KERNEL_ENGINES",
     "PlatformConfig",
     "Platform",
+    "build_memory_map",
     "classify_platform",
     "PRIVATE_BASE",
     "PRIVATE_STRIDE",
@@ -67,6 +70,15 @@ LOCKREG_BASE = 0x5000_0000
 LOCKREG_SIZE = 0x0000_1000
 SCRATCH_BASE = 0x6000_0000
 SCRATCH_SIZE = 0x0000_1000
+
+#: the execution-engine vocabulary.  The *model* (this module) owns the
+#: names so configs stay valid without importing :mod:`repro.engines`;
+#: the engines package asserts its registry matches this tuple exactly.
+ENGINE_NAMES = ("exact", "batch", "compiled")
+#: engines that execute through the event kernel (a :class:`Platform`
+#: can be instantiated for these; "batch" replays traces through a
+#: functional model and never builds a platform)
+KERNEL_ENGINES = ("exact", "compiled")
 
 
 def classify_platform(configs: Sequence[CoreConfig]) -> str:
@@ -113,6 +125,13 @@ class PlatformConfig:
     watchdog: Optional[WatchdogConfig] = None
     #: fault injectors to arm (empty = pristine platform)
     faults: Tuple[FaultSpec, ...] = ()
+    #: execution engine: "exact" (event kernel, golden-trace identical),
+    #: "batch" (trace-driven functional model, statistics only) or
+    #: "compiled" (the exact kernel, native build when available)
+    engine: str = "exact"
+    #: allocate shared-region lines write-through (the Intel486's WB/WT
+    #: line split: cores with a ``protocol_wt`` use it for these lines)
+    shared_write_through: bool = False
 
     def __post_init__(self):
         if not self.cores:
@@ -157,6 +176,11 @@ class PlatformConfig:
                 "'retry-first' (paper-faithful single port) or 'window' "
                 "(dedicated snoop machine)"
             )
+        if self.engine not in ENGINE_NAMES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; pick from "
+                f"{list(ENGINE_NAMES)}"
+            )
 
     @property
     def line_bytes(self) -> int:
@@ -168,10 +192,78 @@ class PlatformConfig:
         return replace(self, **changes)
 
 
+def build_memory_map(config: PlatformConfig) -> MemoryMap:
+    """The standard memory layout for ``config`` (devices unbound).
+
+    Shared between :class:`Platform` (which binds the mailbox / lock
+    register devices afterwards) and engines that model the address
+    space without instantiating a platform at all.
+    """
+    memory_map = MemoryMap()
+    for index, cfg in enumerate(config.cores):
+        memory_map.add(
+            Region(
+                name=f"private:{cfg.name}",
+                base=PRIVATE_BASE + index * PRIVATE_STRIDE,
+                size=PRIVATE_STRIDE,
+            )
+        )
+    memory_map.add(
+        Region(
+            name="shared",
+            base=SHARED_BASE,
+            size=SHARED_SIZE,
+            cacheable=config.shared_cacheable,
+            shared=True,
+            write_policy=(
+                WritePolicy.WRITE_THROUGH
+                if config.shared_write_through
+                else WritePolicy.WRITE_BACK
+            ),
+        )
+    )
+    memory_map.add(
+        Region(
+            name="locks",
+            base=LOCK_BASE,
+            size=LOCK_SIZE,
+            cacheable=config.cacheable_locks,
+            shared=True,
+        )
+    )
+    for index, cfg in enumerate(config.cores):
+        if not cfg.coherent:
+            memory_map.add(
+                Region(
+                    name=f"mailbox:{cfg.name}",
+                    base=MAILBOX_BASE + index * MAILBOX_STRIDE,
+                    size=MAILBOX_STRIDE,
+                    cacheable=False,
+                )
+            )
+    # The lock-register region always exists (device bound on demand)
+    # so programs can be laid out independently of the config.
+    memory_map.add(
+        Region(name="lockreg", base=LOCKREG_BASE, size=LOCKREG_SIZE, cacheable=False)
+    )
+    # Always-uncacheable scratch words for handshakes and flags.
+    memory_map.add(
+        Region(name="scratch", base=SCRATCH_BASE, size=SCRATCH_SIZE,
+               cacheable=False, shared=True)
+    )
+    return memory_map
+
+
 class Platform:
     """A fully wired heterogeneous multiprocessor platform."""
 
     def __init__(self, config: PlatformConfig):
+        if config.engine not in KERNEL_ENGINES:
+            raise ConfigError(
+                f"engine {config.engine!r} does not execute through the "
+                "event kernel; run it via repro.engines.get_engine "
+                f"(Platform supports {list(KERNEL_ENGINES)})"
+            )
         self.config = config
         self.sim = Simulator()
         self.tracer = Tracer(
@@ -229,55 +321,7 @@ class Platform:
 
     # -- construction -------------------------------------------------------
     def _build_map(self) -> MemoryMap:
-        config = self.config
-        memory_map = MemoryMap()
-        for index, cfg in enumerate(config.cores):
-            memory_map.add(
-                Region(
-                    name=f"private:{cfg.name}",
-                    base=PRIVATE_BASE + index * PRIVATE_STRIDE,
-                    size=PRIVATE_STRIDE,
-                )
-            )
-        memory_map.add(
-            Region(
-                name="shared",
-                base=SHARED_BASE,
-                size=SHARED_SIZE,
-                cacheable=config.shared_cacheable,
-                shared=True,
-            )
-        )
-        memory_map.add(
-            Region(
-                name="locks",
-                base=LOCK_BASE,
-                size=LOCK_SIZE,
-                cacheable=config.cacheable_locks,
-                shared=True,
-            )
-        )
-        for index, cfg in enumerate(config.cores):
-            if not cfg.coherent:
-                memory_map.add(
-                    Region(
-                        name=f"mailbox:{cfg.name}",
-                        base=MAILBOX_BASE + index * MAILBOX_STRIDE,
-                        size=MAILBOX_STRIDE,
-                        cacheable=False,
-                    )
-                )
-        # The lock-register region always exists (device bound on demand)
-        # so programs can be laid out independently of the config.
-        memory_map.add(
-            Region(name="lockreg", base=LOCKREG_BASE, size=LOCKREG_SIZE, cacheable=False)
-        )
-        # Always-uncacheable scratch words for handshakes and flags.
-        memory_map.add(
-            Region(name="scratch", base=SCRATCH_BASE, size=SCRATCH_SIZE,
-                   cacheable=False, shared=True)
-        )
-        return memory_map
+        return build_memory_map(self.config)
 
     def _add_core(self, index: int, cfg: CoreConfig) -> None:
         clock = Clock.from_mhz(cfg.freq_mhz, name=f"{cfg.name}.clk")

@@ -1,0 +1,63 @@
+"""Swappable simulation engines (model/engine split).
+
+The coherence *model* — protocol tables, controllers, bus semantics —
+lives in ``repro.cache`` / ``repro.bus`` / ``repro.core``.  This
+package holds the *engines* that execute it: ``exact`` (the event
+kernel, golden-trace identical), ``batch`` (trace-driven functional
+replay, statistics only) and ``compiled`` (the exact kernel on native
+builds of the hot modules when available).  See ``docs/engines.md``.
+
+Select an engine with ``PlatformConfig(engine=...)`` / ``--engine`` on
+the CLI and run a workload through it::
+
+    from repro.engines import get_engine
+    result = get_engine(config.engine).run(config, accesses)
+
+The import direction is one-way: engines import the model, model code
+never imports this package (the ``engine-contract`` lint rule).
+"""
+
+from __future__ import annotations
+
+from ..core.platform import ENGINE_NAMES
+from .interfaces import EngineCapabilities, EngineRunResult, ISimEngine
+from .registry import (
+    available_engines,
+    engine_fingerprint,
+    engine_names,
+    get_engine,
+)
+from .exact import ExactEngine
+from .batch import BatchEngine
+from .compiled import CompiledEngine, kernel_is_native, native_modules
+from .workloads import (
+    reference_config,
+    reference_workload,
+    serialize_traces,
+    serialize_workload,
+)
+
+__all__ = [
+    "ISimEngine",
+    "EngineCapabilities",
+    "EngineRunResult",
+    "ExactEngine",
+    "BatchEngine",
+    "CompiledEngine",
+    "get_engine",
+    "engine_names",
+    "available_engines",
+    "engine_fingerprint",
+    "kernel_is_native",
+    "native_modules",
+    "serialize_traces",
+    "serialize_workload",
+    "reference_config",
+    "reference_workload",
+]
+
+# The model owns the vocabulary; the registry must cover it exactly.
+assert tuple(engine_names()) == ENGINE_NAMES, (
+    f"engine registry {engine_names()} disagrees with "
+    f"platform.ENGINE_NAMES {ENGINE_NAMES}"
+)

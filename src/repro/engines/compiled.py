@@ -1,0 +1,72 @@
+"""The compiled engine: the exact kernel on native builds when present.
+
+``tools/build_native.py`` compiles the hot modules (``sim/kernel.py``
+and ``cache/array.py``) with mypyc or Cython when either is installed.
+A compiled build drops a ``.so``/``.pyd`` next to the source, which the
+import system then prefers automatically — so detection is simply
+"which file did the interpreter actually import?".  With no native
+build present this engine still runs (pure-Python fallback) and says
+so through ``capabilities().native``; semantics are identical either
+way, which ``tests/integration/test_golden_trace.py`` proves by
+running the golden trace through it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .interfaces import EngineCapabilities
+from .exact import ExactEngine
+from .registry import register_engine
+
+__all__ = ["CompiledEngine", "native_modules", "kernel_is_native"]
+
+#: the modules a native build accelerates
+HOT_MODULES = ("repro.sim.kernel", "repro.cache.array")
+
+_NATIVE_SUFFIXES = (".so", ".pyd")
+
+
+def _module_is_native(module_name: str) -> bool:
+    import importlib
+
+    module = importlib.import_module(module_name)
+    path = getattr(module, "__file__", "") or ""
+    return path.endswith(_NATIVE_SUFFIXES)
+
+
+def native_modules() -> Dict[str, bool]:
+    """Which hot modules are currently backed by compiled extensions."""
+    return {name: _module_is_native(name) for name in HOT_MODULES}
+
+
+def kernel_is_native() -> bool:
+    """True when every hot module imported as a compiled extension."""
+    return all(native_modules().values())
+
+
+@register_engine
+class CompiledEngine(ExactEngine):
+    """The exact engine, preferring natively compiled hot modules.
+
+    Behaviourally identical to ``exact`` (it *is* the exact kernel —
+    the interpreter picks the compiled build at import time when one
+    exists), registered separately so benchmarks, cache keys and CI
+    can distinguish native-backed runs from pure-Python ones.
+    """
+
+    name = "compiled"
+    version = 1
+
+    def capabilities(self) -> EngineCapabilities:
+        return EngineCapabilities(
+            trace_exact=True,
+            timing=True,
+            concurrent=True,
+            native=kernel_is_native(),
+        )
+
+    def available(self) -> bool:
+        # Always runnable; `capabilities().native` reports whether a
+        # native build is actually in effect.
+        return True

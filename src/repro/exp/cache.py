@@ -1,15 +1,22 @@
-"""On-disk result cache, content-addressed by job payload + version.
+"""On-disk result cache, content-addressed by payload + version + engine.
 
 Every cache entry is one JSON file ``<root>/<sha256>.json`` whose key
 is the SHA-256 of the canonical JSON encoding of::
 
-    {"version": <repro.__version__>, "job": <job payload>}
+    {"version": <repro.__version__>,
+     "engine": {"name": <engine>, "version": <engine version>},
+     "job": <job payload>}
 
 Including the package version means any release invalidates every
 cached result wholesale — the simulator's timing model may have
 changed, and a stale hit would silently corrupt regenerated figures.
-Changing any field of the job spec changes the payload and therefore
-the key, so distinct configurations can never collide.
+The engine fingerprint keeps results from different execution engines
+apart: the batch engine reproduces the exact engine's counters but
+carries no timing, so a batch result served to a latency figure would
+poison it silently — with the engine in the key such a hit is
+structurally impossible (``tests/exp/test_cache.py`` keeps it that
+way).  Changing any field of the job spec changes the payload and
+therefore the key, so distinct configurations can never collide.
 
 Writes go through a temp file + :func:`os.replace` so a crashed or
 concurrent run never leaves a torn entry.  Reads *validate*: an entry
@@ -28,7 +35,13 @@ import os
 import tempfile
 from typing import Any, Dict, Optional
 
-__all__ = ["ResultCache", "canonical_payload", "content_key"]
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ResultCache",
+    "canonical_payload",
+    "content_key",
+    "engine_tag",
+]
 
 
 def _package_version() -> str:
@@ -39,32 +52,67 @@ def _package_version() -> str:
     return __version__
 
 
+#: the engine sweep jobs run under when none is named (the event kernel)
+DEFAULT_ENGINE = "exact"
+
+
+def engine_tag(engine: Optional[str] = None) -> Dict[str, Any]:
+    """The ``{"name", "version"}`` key fragment for ``engine``.
+
+    Resolved through the engine registry so a bumped engine version
+    invalidates that engine's cached results and nobody else's.  The
+    ``native`` flag is deliberately excluded: a compiled build of the
+    same engine version is semantically identical, so its results are
+    interchangeable with the pure-Python ones.
+    """
+    from ..engines import engine_fingerprint  # lazy: avoids an import cycle
+
+    fp = engine_fingerprint(engine or DEFAULT_ENGINE)
+    return {"name": fp["name"], "version": fp["version"]}
+
+
 def canonical_payload(payload: Dict[str, Any]) -> str:
     """Deterministic JSON encoding (sorted keys, no whitespace)."""
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-def content_key(payload: Dict[str, Any], version: Optional[str] = None) -> str:
-    """SHA-256 cache key of a job payload under ``version``."""
+def content_key(
+    payload: Dict[str, Any],
+    version: Optional[str] = None,
+    engine: Optional[str] = None,
+) -> str:
+    """SHA-256 cache key of a job payload under ``version`` + ``engine``."""
     if version is None:
         version = _package_version()
-    blob = canonical_payload({"version": version, "job": payload})
+    blob = canonical_payload(
+        {"version": version, "engine": engine_tag(engine), "job": payload}
+    )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 class ResultCache:
     """A directory of content-addressed JSON result files."""
 
-    def __init__(self, root: str, version: Optional[str] = None):
+    def __init__(
+        self,
+        root: str,
+        version: Optional[str] = None,
+        engine: Optional[str] = None,
+    ):
         self.root = root
         self.version = version if version is not None else _package_version()
+        #: the engine this cache's keys are scoped to
+        self.engine = engine_tag(engine)
         #: entries moved to <root>/corrupt/ by this instance
         self.quarantined = 0
         os.makedirs(self.root, exist_ok=True)
 
     def key_for(self, payload: Dict[str, Any]) -> str:
-        """The cache key of ``payload`` under this cache's version."""
-        return content_key(payload, self.version)
+        """The cache key of ``payload`` under this cache's version+engine."""
+        blob = canonical_payload(
+            {"version": self.version, "engine": self.engine, "job": payload}
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def path_for(self, key: str) -> str:
         """Filesystem path of the entry for ``key``."""
@@ -102,6 +150,7 @@ class ResultCache:
             and "result" in entry
             and "job" in entry
             and isinstance(entry.get("version"), str)
+            and isinstance(entry.get("engine"), dict)
         )
 
     def _quarantine(self, path: str) -> None:
@@ -124,7 +173,12 @@ class ResultCache:
         The payload is stored alongside the result so entries stay
         inspectable/debuggable with plain ``cat``.
         """
-        entry = {"version": self.version, "job": payload, "result": result}
+        entry = {
+            "version": self.version,
+            "engine": self.engine,
+            "job": payload,
+            "result": result,
+        }
         fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:

@@ -4,9 +4,19 @@ Measures the three layers every paper-evaluation number flows through —
 the event kernel, the cache tag array, and the tracing fabric — plus
 the end-to-end wall time of a fixed Table-2 workload (the MESI + MEI
 protocol pair of the paper's Table 2 running the WCS critical-section
-kernel).  Results are written to ``BENCH_hotpath.json`` at the repo
-root so successive PRs accumulate a performance trajectory, and the CI
-``perf-smoke`` job fails on regressions against the committed baseline.
+kernel) and the cross-engine throughput of the reference workload
+(exact vs batch, see ``docs/engines.md``).  Results are written to
+``BENCH_hotpath.json`` at the repo root so successive PRs accumulate a
+performance trajectory, and the CI ``perf-smoke`` job fails on
+regressions against the committed baseline.
+
+Result documents are **schema 2**: tagged with the execution engine
+(name, version, native build or not) and the Python implementation.
+Perf numbers are only comparable like-for-like — a pure-Python
+baseline checked against a native-build run, or an exact baseline
+against a batch run, would "regress" or "improve" meaninglessly — so
+:func:`baseline_mismatch` refuses cross-engine and cross-implementation
+comparisons, and the check paths exit with status 2 on them.
 
 The functions here are import-safe for both the ``benchmarks/`` script
 and the ``repro bench hotpath`` CLI subcommand; they depend only on the
@@ -16,13 +26,15 @@ standard library and the package itself.
 from __future__ import annotations
 
 import json
+import platform as _platform
 import sys
 import time
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..cache.array import CacheArray, CacheGeometry
 from ..cache.line import State
 from ..cache.protocols import make_protocol
+from ..errors import ConfigError
 from ..sim import Simulator, Tracer
 
 __all__ = [
@@ -30,6 +42,7 @@ __all__ = [
     "run_suite",
     "render_comparison",
     "check_regression",
+    "baseline_mismatch",
 ]
 
 #: canonical result file name (at the repository root)
@@ -41,6 +54,9 @@ RATE_METRICS = (
     "kernel_timeout_events_per_sec",
     "array_lookups_per_sec",
     "tracer_disabled_emits_per_sec",
+    "engine_exact_accesses_per_sec",
+    "engine_batch_accesses_per_sec",
+    "engine_batch_replay_events_per_sec",
 )
 TIME_METRICS = ("table2_e2e_seconds",)
 
@@ -163,14 +179,67 @@ def _table2_e2e(iterations: int) -> float:
 
 
 # ---------------------------------------------------------------------------
+# cross-engine throughput: the reference workload on exact vs batch
+# ---------------------------------------------------------------------------
+def _engine_metrics(n_accesses: int, repeats: int) -> Dict[str, float]:
+    """Reference-workload throughput of the exact and batch engines.
+
+    ``engine_batch_replay_events_per_sec`` expresses the batch engine's
+    rate in kernel-event-equivalent terms: the number of events the
+    exact engine fires replaying this trace, divided by the batch
+    engine's wall time.  That is the like-for-like counterpart of
+    ``kernel_events_per_sec`` for an engine that fires no events.
+    """
+    from ..engines import get_engine, reference_config, reference_workload
+
+    config = reference_config()
+    accesses = reference_workload(n=n_accesses)
+    exact, batch = get_engine("exact"), get_engine("batch")
+    events = 0
+
+    def exact_wall() -> float:
+        nonlocal events
+        result = exact.run(config, accesses)
+        events = result.events
+        return result.wall_s
+
+    exact_s = _best_of(repeats, exact_wall)
+    batch_s = _best_of(repeats, lambda: batch.run(config, accesses).wall_s)
+    return {
+        "engine_exact_accesses_per_sec": len(accesses) / exact_s,
+        "engine_batch_accesses_per_sec": len(accesses) / batch_s,
+        "engine_batch_replay_events_per_sec": events / batch_s,
+        "engine_batch_speedup_vs_exact": exact_s / batch_s,
+    }
+
+
+# ---------------------------------------------------------------------------
 # the suite
 # ---------------------------------------------------------------------------
-def run_suite(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
-    """Run every hot-path benchmark; returns the result document."""
+def run_suite(
+    quick: bool = False, repeats: int = 3, engine: str = "exact"
+) -> Dict[str, Any]:
+    """Run every hot-path benchmark; returns the result document.
+
+    ``engine`` tags the document with the kernel engine the suite ran
+    under (``exact``, or ``compiled`` when exercising a native build);
+    the kernel/array/tracer/e2e metrics execute the event kernel, so
+    the statistics-only ``batch`` engine cannot be the tag — its
+    throughput is reported by the ``engine_batch_*`` metrics instead.
+    """
+    from ..core.platform import KERNEL_ENGINES
+    from ..engines import engine_fingerprint
+
+    if engine not in KERNEL_ENGINES:
+        raise ConfigError(
+            f"hotpath suite runs the event kernel; engine {engine!r} "
+            f"cannot tag it (choose from {list(KERNEL_ENGINES)})"
+        )
     scale = 1 if quick else 5
     n_kernel = 40_000 * scale
     n_array = 80_000 * scale
     n_tracer = 120_000 * scale
+    n_engine = 1_000 * scale
     # The e2e workload is FIXED across quick/full: it is a wall time, so
     # a quick run must stay comparable to a committed full-mode baseline
     # (the rate metrics are size-independent; a shrunk wall time is not).
@@ -183,20 +252,26 @@ def run_suite(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
         "tracer_disabled_emits_per_sec": n_tracer / _best_of(repeats, lambda: _tracer_disabled_emits(n_tracer)),
         "table2_e2e_seconds": _best_of(repeats, lambda: _table2_e2e(e2e_iters)),
     }
+    metrics.update(_engine_metrics(n_engine, repeats))
     return {
-        "schema": 1,
+        "schema": 2,
         "suite": "hotpath",
         "quick": bool(quick),
         "python": sys.version.split()[0],
+        "impl": _platform.python_implementation(),
+        "engine": engine_fingerprint(engine),
         "params": {
             "kernel_events": n_kernel,
             "array_lookups": n_array,
             "tracer_emits": n_tracer,
+            "engine_accesses": n_engine,
             "table2_iterations": e2e_iters,
             "repeats": repeats,
         },
-        "metrics": {k: round(v, 6) if k in TIME_METRICS else round(v, 1)
-                    for k, v in metrics.items()},
+        "metrics": {
+            k: round(v, 6) if k in TIME_METRICS else round(v, 1)
+            for k, v in metrics.items()
+        },
     }
 
 
@@ -215,16 +290,63 @@ def speedups(current: Dict[str, Any], baseline: Dict[str, Any]) -> Dict[str, flo
 
 def render_comparison(current: Dict[str, Any], baseline: Optional[Dict[str, Any]]) -> str:
     """Human-readable table of the run, against a baseline when given."""
-    lines = [f"hotpath suite (quick={current.get('quick')}, py {current.get('python')})"]
+    engine = current.get("engine") or {}
+    tag = engine.get("name", "exact") + (
+        " native" if engine.get("native") else ""
+    )
+    lines = [
+        f"hotpath suite (quick={current.get('quick')}, "
+        f"py {current.get('python')}, engine {tag})"
+    ]
     ratios = speedups(current, baseline) if baseline else {}
     for key, value in current.get("metrics", {}).items():
         if key in TIME_METRICS:
             rendered = f"{value:.4f} s"
+        elif key.endswith("speedup_vs_exact"):
+            rendered = f"{value:>14,.1f} x"
         else:
             rendered = f"{value:>14,.0f} /s"
         suffix = f"   {ratios[key]:.2f}x vs baseline" if key in ratios else ""
-        lines.append(f"  {key:<32} {rendered}{suffix}")
+        lines.append(f"  {key:<36} {rendered}{suffix}")
     return "\n".join(lines)
+
+
+def baseline_mismatch(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> List[str]:
+    """Why ``current`` must not be perf-compared against ``baseline``.
+
+    Engine and Python-implementation tags must agree: a pure-Python run
+    against a native-build baseline (or CPython vs PyPy) would report a
+    "regression" that is really a platform difference.  Legacy schema-1
+    baselines carry no tags; absent fields are not treated as
+    mismatches so old baselines keep working until regenerated.
+    """
+    problems: List[str] = []
+    base_engine = (baseline.get("engine") or {}).get("name")
+    cur_engine = (current.get("engine") or {}).get("name")
+    if base_engine is not None and cur_engine is not None \
+            and base_engine != cur_engine:
+        problems.append(
+            f"baseline was recorded under engine {base_engine!r}, "
+            f"this run used {cur_engine!r}"
+        )
+    base_native = (baseline.get("engine") or {}).get("native")
+    cur_native = (current.get("engine") or {}).get("native")
+    if base_native is not None and cur_native is not None \
+            and base_native != cur_native:
+        problems.append(
+            f"baseline was recorded with native={base_native}, "
+            f"this run has native={cur_native}"
+        )
+    base_impl, cur_impl = baseline.get("impl"), current.get("impl")
+    if base_impl is not None and cur_impl is not None \
+            and base_impl != cur_impl:
+        problems.append(
+            f"baseline was recorded on {base_impl}, this run is on "
+            f"{cur_impl}"
+        )
+    return problems
 
 
 def check_regression(

@@ -211,6 +211,7 @@ class SweepRunner:
             "workers": self.workers,
             "cache_dir": self.cache.root if self.cache is not None else None,
             "cache_version": self.cache.version if self.cache is not None else None,
+            "cache_engine": self.cache.engine if self.cache is not None else None,
             "sweeps": self.sweeps,
             "n_jobs": len(self.records),
             "cache_hits": self.cache_hits,

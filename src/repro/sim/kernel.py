@@ -353,6 +353,10 @@ class Simulator:  # repro: lint-ok[slots]
         self._fifo: deque[Event] = deque()
         self._sequence = 0
         self._processes: list[Process] = []
+        #: cumulative events fired over the simulator's lifetime — the
+        #: denominator engine benchmarks use to express work done per
+        #: wall-clock second in kernel terms
+        self.events_fired: int = 0
 
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
@@ -419,6 +423,7 @@ class Simulator:  # repro: lint-ok[slots]
             self._fifo.popleft()._fire()
         else:
             raise SimulationError("step() on an empty event queue")
+        self.events_fired += 1
 
     def run(
         self,
@@ -439,28 +444,33 @@ class Simulator:  # repro: lint-ok[slots]
         queue = self._queue
         fifo = self._fifo
         fifo_pop = fifo.popleft
-        while queue or fifo:
-            if stop_event is not None and stop_event._triggered:
-                return self.now
-            if until is not None:
-                next_time = self.now if fifo else queue[0][0]
-                if next_time > until:
-                    self.now = until
+        try:
+            while queue or fifo:
+                if stop_event is not None and stop_event._triggered:
                     return self.now
-            if queue and (not fifo or queue[0][0] == self.now):
-                # Due heap entries predate every FIFO entry at this tick
-                # (their delay was >0, so they were scheduled on an
-                # earlier tick): they fire before the same-tick FIFO.
-                when, _seq, event = heappop(queue)
-                self.now = when
-                event._fire()
-            else:
-                # Batch-drain the same-tick run queue before the clock
-                # may advance.
-                fifo_pop()._fire()
-            fired += 1
-            if max_events is not None and fired >= max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
+                if until is not None:
+                    next_time = self.now if fifo else queue[0][0]
+                    if next_time > until:
+                        self.now = until
+                        return self.now
+                if queue and (not fifo or queue[0][0] == self.now):
+                    # Due heap entries predate every FIFO entry at this
+                    # tick (their delay was >0, so they were scheduled on
+                    # an earlier tick): they fire before the same-tick
+                    # FIFO.
+                    when, _seq, event = heappop(queue)
+                    self.now = when
+                    event._fire()
+                else:
+                    # Batch-drain the same-tick run queue before the
+                    # clock may advance.
+                    fifo_pop()._fire()
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+        finally:
+            # One add per run() call, off the per-event path.
+            self.events_fired += fired
         stuck = [p for p in self._processes if p.is_alive and not p.daemon]
         if detect_deadlock and stuck:
             waiting = [p.name for p in stuck]

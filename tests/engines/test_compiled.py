@@ -1,0 +1,46 @@
+"""Compiled-engine fallback: with or without a native build, the
+compiled engine is behaviourally the exact kernel.
+
+Without native extensions (the default in this environment) the
+compiled engine runs the same pure-Python hot modules as ``exact`` and
+must be byte-identical to it — same counters, same simulated time,
+same event count.  With a native build (``tools/build_native.py``) the
+golden-trace test parametrization proves the stronger claim.
+"""
+
+from repro.engines import (
+    get_engine,
+    kernel_is_native,
+    native_modules,
+    serialize_workload,
+)
+from repro.engines.compiled import HOT_MODULES
+from repro.engines.workloads import reference_config
+
+
+def test_native_detection_shape():
+    modules = native_modules()
+    assert set(modules) == set(HOT_MODULES)
+    assert all(isinstance(v, bool) for v in modules.values())
+    assert kernel_is_native() == modules["repro.sim.kernel"]
+
+
+def test_capabilities_reflect_the_build():
+    caps = get_engine("compiled").capabilities()
+    assert caps.trace_exact and caps.timing and caps.concurrent
+    assert caps.native == kernel_is_native()
+
+
+def test_compiled_is_byte_identical_to_exact():
+    config = reference_config()
+    accesses = serialize_workload(
+        {"kind": "false-sharing", "n": 150, "lines": 3, "seed": 21}
+    )
+    exact = get_engine("exact").run(config, accesses)
+    compiled = get_engine("compiled").run(config, accesses)
+    assert compiled.stats == exact.stats
+    assert compiled.elapsed_ns == exact.elapsed_ns
+    assert compiled.events == exact.events
+    assert compiled.line_states == exact.line_states
+    assert compiled.values == exact.values
+    assert compiled.engine == "compiled"

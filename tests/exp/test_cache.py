@@ -40,6 +40,81 @@ class TestContentKey:
         assert content_key(a, "v") == content_key(b, "v")
 
 
+class TestEngineScoping:
+    """Engine-tagged keys: the cache-poisoning regression suite.
+
+    A result simulated under one engine must never be served to a
+    sweep running under another — the batch engine matches the exact
+    engine's counters but carries no timing, so a cross-engine hit
+    would silently corrupt latency figures.
+    """
+
+    def test_engine_changes_key(self, spec):
+        payload = MicrobenchJob(spec).payload()
+        assert content_key(payload, "v", engine="exact") != content_key(
+            payload, "v", engine="batch"
+        )
+
+    def test_default_engine_is_exact(self, spec):
+        payload = MicrobenchJob(spec).payload()
+        assert content_key(payload, "v") == content_key(
+            payload, "v", engine="exact"
+        )
+
+    def test_engine_version_is_in_the_key(self, spec):
+        # The key must move when an engine's version is bumped, not
+        # just when its name changes.
+        from repro.exp.cache import engine_tag
+        from repro.engines import BatchEngine
+
+        payload = MicrobenchJob(spec).payload()
+        before = content_key(payload, "v", engine="batch")
+        original = BatchEngine.version
+        try:
+            BatchEngine.version = original + 1
+            assert engine_tag("batch")["version"] == original + 1
+            assert content_key(payload, "v", engine="batch") != before
+        finally:
+            BatchEngine.version = original
+
+    def test_cross_engine_hit_is_impossible(self, tmp_path, spec):
+        # Poisoning attempt: store a (stats-only) batch result, then
+        # look the same job up from an exact-engine cache on the same
+        # directory.  The engine-scoped key must miss.
+        payload = MicrobenchJob(spec).payload()
+        batch_cache = ResultCache(str(tmp_path), version="v", engine="batch")
+        batch_cache.put(
+            batch_cache.key_for(payload), payload, {"hits": 10}
+        )
+        exact_cache = ResultCache(str(tmp_path), version="v", engine="exact")
+        assert exact_cache.get(exact_cache.key_for(payload)) is None
+        # ...and the batch cache still sees its own entry.
+        assert batch_cache.get(batch_cache.key_for(payload)) == {"hits": 10}
+
+    def test_entry_records_its_engine(self, tmp_path, spec):
+        payload = MicrobenchJob(spec).payload()
+        cache = ResultCache(str(tmp_path), version="v", engine="batch")
+        key = cache.key_for(payload)
+        cache.put(key, payload, {"hits": 1})
+        with open(cache.path_for(key)) as handle:
+            entry = json.load(handle)
+        assert entry["engine"]["name"] == "batch"
+        assert isinstance(entry["engine"]["version"], int)
+
+    def test_legacy_unscoped_entry_is_quarantined(self, tmp_path, spec):
+        # A pre-engine-tag entry (no "engine" field) planted at the
+        # current key is treated as corrupt, not served.
+        payload = MicrobenchJob(spec).payload()
+        cache = ResultCache(str(tmp_path), version="v")
+        key = cache.key_for(payload)
+        with open(cache.path_for(key), "w") as handle:
+            json.dump(
+                {"version": "v", "job": payload, "result": {"x": 1}}, handle
+            )
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+
 class TestResultCache:
     def test_miss_then_hit(self, tmp_path, spec):
         cache = ResultCache(str(tmp_path))

@@ -19,7 +19,10 @@ from __future__ import annotations
 import json
 import os
 
+import pytest
+
 from repro.cpu.presets import preset_arm920t, preset_generic
+from repro.engines import kernel_is_native
 from repro.workloads.microbench import MicrobenchSpec, run_microbench
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
@@ -29,8 +32,24 @@ STATS_FILE = os.path.join(GOLDEN_DIR, "table2_wcs_stats.json")
 #: every channel the platform components emit on
 ALL_CHANNELS = ("bus", "cache", "irq", "mem", "core")
 
+#: both kernel engines must reproduce the golden trace byte-identically;
+#: the compiled leg only proves something extra on a native build, so it
+#: skips (not passes) when tools/build_native.py has not run
+KERNEL_ENGINE_PARAMS = (
+    "exact",
+    pytest.param(
+        "compiled",
+        marks=pytest.mark.skipif(
+            not kernel_is_native(),
+            reason="no native build present (run tools/build_native.py); "
+            "the compiled engine would exercise the same pure-Python "
+            "modules as the exact leg",
+        ),
+    ),
+)
 
-def run_golden_workload():
+
+def run_golden_workload(engine: str = "exact"):
     """The fixed workload: Table-2 protocol pair + a snooped ARM920T.
 
     Small caches force evictions and write-backs; the non-coherent
@@ -53,6 +72,7 @@ def run_golden_workload():
         cores=cores,
         keep_platform=True,
         trace_channels=ALL_CHANNELS,
+        engine=engine,
     )
     trace_text = result.platform.tracer.format()
     stats = dict(sorted(result.stats.items()))
@@ -62,8 +82,9 @@ def run_golden_workload():
     return trace_text, stats
 
 
-def test_trace_stream_matches_golden():
-    trace_text, _stats = run_golden_workload()
+@pytest.mark.parametrize("engine", KERNEL_ENGINE_PARAMS)
+def test_trace_stream_matches_golden(engine):
+    trace_text, _stats = run_golden_workload(engine)
     with open(TRACE_FILE) as handle:
         golden = handle.read().rstrip("\n")
     assert trace_text == golden, (
@@ -72,8 +93,9 @@ def test_trace_stream_matches_golden():
     )
 
 
-def test_headline_stats_match_golden():
-    _trace, stats = run_golden_workload()
+@pytest.mark.parametrize("engine", KERNEL_ENGINE_PARAMS)
+def test_headline_stats_match_golden(engine):
+    _trace, stats = run_golden_workload(engine)
     with open(STATS_FILE) as handle:
         golden = json.load(handle)
     assert stats == golden, (

@@ -22,16 +22,19 @@ from repro.core import SHARED_BASE, Platform, PlatformConfig
 from repro.cpu import preset_generic
 from repro.verify import CoherenceChecker
 
+from .test_golden_trace import KERNEL_ENGINE_PARAMS
+
 WORD0 = SHARED_BASE          # p0's word
 WORD1 = SHARED_BASE + 4      # p1's word, same cache line
 RACE_AT = 10_000             # both upgrades issued at this instant
 
 
-def run_race(pair):
+def run_race(pair, engine="exact"):
     platform = Platform(
         PlatformConfig(
             cores=(preset_generic("p0", pair[0]), preset_generic("p1", pair[1])),
             hardware_coherence=True,
+            engine=engine,
         )
     )
     checker = CoherenceChecker(platform)
@@ -55,18 +58,20 @@ def run_race(pair):
     return platform, checker
 
 
+@pytest.mark.parametrize("engine", KERNEL_ENGINE_PARAMS)
 @pytest.mark.parametrize(
     "pair",
     [("MESI", "MESI"), ("MOESI", "MOESI"), ("MSI", "MSI"), ("MSI", "MOESI")],
 )
-def test_concurrent_upgrades_do_not_lose_data(pair):
-    platform, checker = run_race(pair)
+def test_concurrent_upgrades_do_not_lose_data(pair, engine):
+    platform, checker = run_race(pair, engine)
     checker.check_all_lines()
     assert checker.clean, [str(v) for v in checker.violations]
 
 
-def test_lost_upgrade_is_cancelled_before_snooping():
-    platform, checker = run_race(("MOESI", "MOESI"))
+@pytest.mark.parametrize("engine", KERNEL_ENGINE_PARAMS)
+def test_lost_upgrade_is_cancelled_before_snooping(engine):
+    platform, checker = run_race(("MOESI", "MOESI"), engine)
     # The loser must be cancelled at grant time and redone as a full
     # miss — never broadcast as a stale invalidate.
     assert platform.stats.get("bus.cancelled") >= 1

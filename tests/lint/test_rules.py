@@ -361,3 +361,36 @@ class TestFaultProxy:
             """
         )
         assert _run(make_project, {"core/wrapper.py": src}, ["fault-proxy"]) == []
+
+
+class TestEngineContract:
+    def test_absolute_import_in_model_code_fires(self, make_project):
+        src = "import repro.engines\n"
+        findings = _run(make_project, {"core/x.py": src}, ["engine-contract"])
+        assert [f.rule for f in findings] == ["engine-contract"]
+        assert "one-way" in findings[0].message
+
+    def test_from_import_fires(self, make_project):
+        src = "from repro.engines.batch import BatchEngine\n"
+        findings = _run(make_project, {"cache/x.py": src}, ["engine-contract"])
+        assert len(findings) == 1
+        assert "repro.engines.batch" in findings[0].message
+
+    def test_relative_import_fires(self, make_project):
+        src = "from ..engines import get_engine\n"
+        findings = _run(make_project, {"bus/x.py": src}, ["engine-contract"])
+        assert len(findings) == 1
+        assert "..engines" in findings[0].message
+
+    def test_sanctioned_consumers_are_silent(self, make_project):
+        src = "from repro.engines import get_engine\n"
+        files = {
+            "engines/x.py": src,
+            "exp/x.py": src,
+            "__main__.py": src,
+        }
+        assert _run(make_project, files, ["engine-contract"]) == []
+
+    def test_model_import_of_the_model_is_silent(self, make_project):
+        src = "from repro.core.platform import ENGINE_NAMES\n"
+        assert _run(make_project, {"core/x.py": src}, ["engine-contract"]) == []
