@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Fabric gate: the three coherence fabrics at N masters.
+
+Run from the repository root (the package must be importable, e.g.
+``PYTHONPATH=src python benchmarks/bench_fabrics.py``).  Without flags
+it runs the full sweep (2/4/8/16 masters x atomic/split/directory),
+prints the fabric figure against the committed ``BENCH_fabrics.json``
+baseline, and rewrites that file.  Every metric is a simulated
+quantity, so CI uses ``--quick --check --output /tmp/...`` to fail on
+*any* drift of the shared points without touching the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.exp.fabrics import (  # noqa: E402
+    BENCH_FILE,
+    check_regression,
+    load_results,
+    render_comparison,
+    run_suite,
+)
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="drop the 16-master column (CI smoke)")
+    parser.add_argument("--baseline", default=os.path.join(REPO_ROOT, BENCH_FILE),
+                        help="baseline JSON to compare against")
+    parser.add_argument("--output", default=None,
+                        help="where to write results (default: the baseline path)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="do not write a result file")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when shared points drift vs baseline")
+    parser.add_argument("--tolerance", type=float, default=0.0,
+                        help="allowed fractional drift for --check (default: exact)")
+    args = parser.parse_args(argv)
+
+    baseline = load_results(args.baseline)
+    current = run_suite(quick=args.quick)
+    print(render_comparison(current, baseline))
+
+    if not args.no_write:
+        output = args.output or args.baseline
+        with open(output, "w") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"results written to {output}")
+
+    if args.check and baseline is not None:
+        failures = check_regression(current, baseline, tolerance=args.tolerance)
+        if failures:
+            print("FABRIC DRIFT:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print("all shared points match the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,13 @@ Commands
     and print the scaling figure against the committed
     ``BENCH_scaleout.json`` baseline.  All metrics are simulated, so
     ``--check`` compares exactly by default.
+``bench fabrics``
+    Run the coherence-fabric sweep (2/4/8/16 masters x atomic snoopy /
+    split-transaction / directory fabrics over the same mixed-protocol
+    platform) and print the fabric figure — including the
+    snoopy-vs-directory headline — against the committed
+    ``BENCH_fabrics.json`` baseline.  All metrics are simulated, so
+    ``--check`` compares exactly by default.
 ``verify``
     Exhaustively model-check every protocol pair, wrapped and
     unwrapped, and print the verdict matrix.
@@ -164,26 +171,27 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench", help="run one microbenchmark configuration")
     p.add_argument("scenario",
-                   choices=("wcs", "tcs", "bcs", "hotpath", "scaleout"))
+                   choices=("wcs", "tcs", "bcs", "hotpath", "scaleout",
+                            "fabrics"))
     p.add_argument("solution", nargs="?", default=None,
                    choices=("disabled", "software", "proposed"))
     p.add_argument("--lines", type=int, default=8)
     p.add_argument("--exec-time", type=int, default=1)
     p.add_argument("--iterations", type=int, default=8)
     p.add_argument("--check", action="store_true",
-                   help="attach the coherence checker (hotpath/scaleout: "
+                   help="attach the coherence checker (hotpath/scaleout/fabrics: "
                         "fail on regression vs the baseline)")
     p.add_argument("--quick", action="store_true",
-                   help="hotpath/scaleout: reduced workload for smoke runs")
+                   help="hotpath/scaleout/fabrics: reduced workload for smoke runs")
     p.add_argument("--repeats", type=int, default=3,
                    help="hotpath only: best-of-N timing repeats")
     p.add_argument("--baseline", default=None, metavar="PATH",
-                   help="hotpath/scaleout: baseline JSON (default: the "
+                   help="hotpath/scaleout/fabrics: baseline JSON (default: the "
                         "committed BENCH_*.json)")
     p.add_argument("--tolerance", type=float, default=None,
                    help="allowed drift before --check fails (default: "
                         "0.25 for hotpath wall-clock, exact for the "
-                        "simulated scaleout metrics)")
+                        "simulated scaleout/fabrics metrics)")
     p.add_argument("--engine", default="exact", choices=ENGINE_NAMES,
                    help="simulation engine (default: exact; hotpath "
                         "tags its results with it, the microbench "
@@ -388,11 +396,50 @@ def _cmd_bench_scaleout(args) -> int:
     return 0
 
 
+def _cmd_bench_fabrics(args) -> int:
+    from pathlib import Path
+
+    from .exp import fabrics
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        for candidate in (
+            Path.cwd() / fabrics.BENCH_FILE,
+            Path(__file__).resolve().parents[2] / fabrics.BENCH_FILE,
+        ):
+            if candidate.is_file():
+                baseline_path = str(candidate)
+                break
+    baseline = fabrics.load_results(baseline_path) if baseline_path else None
+    if args.check and baseline is None:
+        print("bench fabrics --check: no baseline found -- run "
+              "benchmarks/bench_fabrics.py to commit one", file=sys.stderr)
+        return 2
+    current = fabrics.run_suite(quick=args.quick)
+    print(fabrics.render_comparison(current, baseline))
+    if baseline is None:
+        print("(no baseline found -- run benchmarks/bench_fabrics.py "
+              "to commit one)")
+        return 0
+    if args.check:
+        # Simulated metrics: exact comparison unless loosened explicitly.
+        tolerance = 0.0 if args.tolerance is None else args.tolerance
+        failures = fabrics.check_regression(current, baseline, tolerance)
+        if failures:
+            for failure in failures:
+                print(f"FABRIC DRIFT {failure}", file=sys.stderr)
+            return 1
+        print("all shared points match the baseline")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     if args.scenario == "hotpath":
         return _cmd_bench_hotpath(args)
     if args.scenario == "scaleout":
         return _cmd_bench_scaleout(args)
+    if args.scenario == "fabrics":
+        return _cmd_bench_fabrics(args)
     if args.solution is None:
         print(f"bench {args.scenario}: a solution "
               "(disabled/software/proposed) is required", file=sys.stderr)

@@ -200,6 +200,18 @@ class RoundRobinArbiter(Arbiter):
     consumed no bus cycles, and the master rejoins the rotation on its
     next request — fairness over a rotation is preserved either way.
 
+    A master that stops requesting (workload complete, core detached,
+    rerouted after a validate-cancel) is pruned from the rotation once
+    it has been scanned over without a queued request for a full
+    rotation's worth of selections: retired masters must not keep a
+    permanent rotation slot, or the "no more than one full rotation"
+    wait bound quietly degrades to "one full rotation of everyone who
+    *ever* requested" on long runs.  Pruning never changes a selection
+    outcome for masters that keep requesting — relative rotation order
+    is preserved and a master with a queued request is never pruned —
+    and a pruned master that returns simply rejoins at the tail, as a
+    fresh master would.
+
     DRAIN and RETRY stay FIFO (they are correctness-critical
     orderings); fairness only matters for fresh requests.
     """
@@ -209,11 +221,15 @@ class RoundRobinArbiter(Arbiter):
         self._rotation: List[str] = []
         self._known: set = set()
         self._last_master: Optional[str] = None
+        #: consecutive selections each member sat idle (no queued
+        #: NORMAL request); reset on every request or queued sighting
+        self._idle_selections: Dict[str, int] = {}
 
     def request(self, master: str, priority: Priority = Priority.NORMAL) -> Event:
         if master not in self._known:
             self._known.add(master)
             self._rotation.append(master)
+        self._idle_selections[master] = 0
         return super().request(master, priority)
 
     def _select(self) -> Optional[Tuple[str, Event]]:
@@ -240,8 +256,32 @@ class RoundRobinArbiter(Arbiter):
                 choice = queue[index]
                 del queue[index]
                 self._last_master = master
+                self._idle_selections[master] = 0
+                self._prune_idle(queued)
                 return choice
         return None
+
+    def _prune_idle(self, queued: Dict[str, int]) -> None:
+        # Runs after each grant: members with a queued request (or the
+        # grantee itself) reset their idle count; everyone else accrues
+        # one, and past a full rotation's worth of idle selections the
+        # member is dropped.  The grantee can never be stale here, so
+        # the pointer (_last_master) always survives a prune and the
+        # scan origin stays continuous.
+        horizon = len(self._rotation)
+        stale: List[str] = []
+        for master in self._rotation:
+            if master in queued or master == self._last_master:
+                self._idle_selections[master] = 0
+                continue
+            count = self._idle_selections.get(master, 0) + 1
+            self._idle_selections[master] = count
+            if count > horizon:
+                stale.append(master)
+        for master in stale:
+            self._rotation.remove(master)
+            self._known.discard(master)
+            del self._idle_selections[master]
 
 
 #: service-discipline registry: config name -> arbiter class.  "fixed"

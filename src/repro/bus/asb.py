@@ -24,7 +24,7 @@ checker relies on.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Generator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..errors import BusError, LivelockError
 from ..sim import Clock, Simulator, Stats, Tracer
@@ -130,6 +130,12 @@ class AsbBus:  # repro: lint-ok[slots]
         #: completed tenures (plain attribute: golden stats stay intact)
         self.completions = 0
         self._inflight: dict = {}
+        #: consecutive grant-time validate-cancellations per master.
+        #: Tracked separately from per-transaction ARTRY counts: a
+        #: cancellation storm (the premise keeps vanishing before the
+        #: address phase) and an ARTRY livelock are different failures
+        #: and must never be conflated in a LivelockError.
+        self._cancel_streaks: Dict[str, int] = {}
 
     def inflight_tenures(self) -> List[TenureState]:
         """Live :class:`TenureState` for every in-flight transaction."""
@@ -141,8 +147,22 @@ class AsbBus:  # repro: lint-ok[slots]
         self.snoopers.append(snooper)
 
     def detach_snooper(self, snooper: Snooper) -> None:
-        """Remove a previously attached snooper."""
+        """Remove a previously attached snooper.
+
+        Safe during an in-flight tenure: the snoop window iterates a
+        snapshot taken at window start, so a detach triggered from
+        inside a snoop callback (fault-proxy teardown does this) never
+        mutates the sequence being walked.
+        """
         self.snoopers.remove(snooper)
+
+    def register_master(self, master: str, controller) -> None:
+        """Topology hook called once per coherent master at build time.
+
+        Fabrics that track per-master line occupancy (the directory)
+        override this to install presence listeners on the cache
+        controller; the broadcast bus needs nothing.
+        """
 
     # -- the tenure ----------------------------------------------------------
     def transact(
@@ -189,13 +209,7 @@ class AsbBus:  # repro: lint-ok[slots]
                     # phase so no snooper ever sees the stale op.
                     self.arbiter.release(txn.master)
                     held = False
-                    self.stats.bump("bus.cancelled")
-                    trace = self._trace_bus
-                    if trace.enabled:
-                        trace.emit(
-                            sim.now, txn.master, "cancelled",
-                            op=txn.op.value, addr=txn.addr,
-                        )
+                    self._record_cancellation(txn)
                     return None
                 tenure_start = sim.now
                 state.phase = "address"
@@ -234,15 +248,7 @@ class AsbBus:  # repro: lint-ok[slots]
                     held = False
                     txn.retries += 1
                     state.retries = txn.retries
-                    if self.max_retries is not None and txn.retries > self.max_retries:
-                        raise LivelockError(
-                            f"{txn.master} {txn.op.value} @0x{txn.addr:08x} "
-                            f"ARTRY'd {txn.retries} times "
-                            f"(ceiling {self.max_retries}): livelocked retry loop",
-                            master=txn.master,
-                            address=txn.addr,
-                            retries=txn.retries,
-                        )
+                    self._check_retry_ceiling(txn)
                     state.phase = "backed-off"
                     state.since = sim.now
                     state.waiting_on = tuple(name for name, _ in retriers)
@@ -284,7 +290,7 @@ class AsbBus:  # repro: lint-ok[slots]
                 self.stats.bump(f"bus.busy.{txn.master}", tenure)
                 self.arbiter.release(txn.master)
                 held = False
-                self.completions += 1
+                self._note_completion(txn)
                 return result
         finally:
             del self._inflight[id(txn)]
@@ -294,10 +300,66 @@ class AsbBus:  # repro: lint-ok[slots]
                 self.arbiter.release(txn.master)
 
     # -- internals -------------------------------------------------------------
+    def _record_cancellation(self, txn: Transaction) -> None:
+        """Stats/trace bookkeeping for one grant-time validate-cancel.
+
+        Cancellations are counted per master as a *consecutive streak*
+        (cleared by any completed tenure) and checked against the same
+        ``max_retries`` ceiling as ARTRYs — but through a separate
+        counter, so a cancellation storm raises a
+        :class:`~repro.errors.LivelockError` naming the cancel path,
+        never a spurious "ARTRY'd N times" report (``bus.cancelled``
+        and ``bus.retries`` would contradict such a message).
+        """
+        self.stats.bump("bus.cancelled")
+        streak = self._cancel_streaks.get(txn.master, 0) + 1
+        self._cancel_streaks[txn.master] = streak
+        trace = self._trace_bus
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, txn.master, "cancelled",
+                op=txn.op.value, addr=txn.addr,
+            )
+        if self.max_retries is not None and streak > self.max_retries:
+            raise LivelockError(
+                f"{txn.master} {txn.op.value} @0x{txn.addr:08x} "
+                f"validate-cancelled at grant {streak} consecutive times "
+                f"without completing a tenure (ceiling {self.max_retries}; "
+                f"this transaction's ARTRY count: {txn.retries}): "
+                "cancellation storm — the tenure premise keeps vanishing "
+                "before the address phase; this is not an ARTRY retry loop",
+                master=txn.master,
+                address=txn.addr,
+                retries=txn.retries,
+            )
+
+    def _check_retry_ceiling(self, txn: Transaction) -> None:
+        """Raise once a transaction's ARTRY count tops the ceiling."""
+        if self.max_retries is not None and txn.retries > self.max_retries:
+            cancels = self._cancel_streaks.get(txn.master, 0)
+            raise LivelockError(
+                f"{txn.master} {txn.op.value} @0x{txn.addr:08x} "
+                f"ARTRY'd {txn.retries} times "
+                f"(ceiling {self.max_retries}; consecutive grant-time "
+                f"validate-cancellations for {txn.master}: {cancels}): "
+                "livelocked retry loop",
+                master=txn.master,
+                address=txn.addr,
+                retries=txn.retries,
+            )
+
+    def _note_completion(self, txn: Transaction) -> None:
+        """A tenure completed: count it and clear the cancel streak."""
+        self.completions += 1
+        if self._cancel_streaks:
+            self._cancel_streaks.pop(txn.master, None)
+
     def _snoop_window(self, txn: Transaction) -> List[Tuple[str, SnoopReply]]:
         replies = []
         trace = self._trace_bus
-        for snooper in self.snoopers:
+        # Snapshot: a snoop callback may detach a snooper (fault-proxy
+        # teardown) and must not mutate the sequence being iterated.
+        for snooper in tuple(self.snoopers):
             snooper.observe(txn)
             if snooper.master_name == txn.master:
                 continue

@@ -294,9 +294,23 @@ class CacheController:
             self._apply_snoop_state(base, line, next_state)
             return
 
+        # With the port-free ("window") policy the processor can store
+        # into this line while the push is on the bus — the write-back
+        # then carries stale content.  Snapshot what we intend to drain;
+        # the commit refuses to clean a line that changed under it, so
+        # the requester's next snoop sees a dirty hit and forces another
+        # push with the fresh content.  (With drain_needs_port the port
+        # serialises processor stores against the push and the snapshot
+        # always matches.)
+        snapshot = tuple(line.data)
+
         def commit(_result):
-            if line.is_valid:
-                self._apply_snoop_state(base, line, next_state)
+            if not line.is_valid:
+                return
+            if tuple(line.data) != snapshot:
+                self.stats.bump(f"{self.name}.drain_redirties")
+                return
+            self._apply_snoop_state(base, line, next_state)
 
         yield from self._transact(
             Transaction(

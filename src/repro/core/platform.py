@@ -21,7 +21,6 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..bus.arbiter import ARBITERS
-from ..bus.asb import AsbBus
 from ..cache.array import CacheGeometry
 from ..cache.controller import CacheController
 from ..cache.protocols import make_protocol
@@ -29,6 +28,7 @@ from ..cpu.assembler import Program
 from ..cpu.core import Core
 from ..cpu.presets import CoreConfig
 from ..errors import ConfigError
+from ..fabric import make_fabric
 from ..faults import FaultEngine, FaultSpec, Watchdog, WatchdogConfig, apply_faults
 from ..mem.controller import MemoryController, MemoryTiming
 from ..mem.map import MemoryMap, Region, WritePolicy
@@ -42,6 +42,7 @@ from .wrapper import Wrapper
 __all__ = [
     "ENGINE_NAMES",
     "KERNEL_ENGINES",
+    "FABRIC_NAMES",
     "PlatformConfig",
     "Platform",
     "build_memory_map",
@@ -79,6 +80,10 @@ ENGINE_NAMES = ("exact", "batch", "compiled")
 #: can be instantiated for these; "batch" replays traces through a
 #: functional model and never builds a platform)
 KERNEL_ENGINES = ("exact", "compiled")
+#: the coherence-fabric vocabulary; the model owns the names (as with
+#: ``ENGINE_NAMES``) and the :mod:`repro.fabric` registry must cover
+#: exactly this tuple — the ``fabric-contract`` lint rule checks it
+FABRIC_NAMES = ("atomic", "split", "directory")
 
 
 def classify_platform(configs: Sequence[CoreConfig]) -> str:
@@ -129,6 +134,11 @@ class PlatformConfig:
     #: "batch" (trace-driven functional model, statistics only) or
     #: "compiled" (the exact kernel, native build when available)
     engine: str = "exact"
+    #: coherence fabric: "atomic" (the paper-faithful snoopy ASB, the
+    #: default), "split" (split-transaction pipelined bus) or
+    #: "directory" (per-line-home directory interconnect) — see
+    #: docs/fabrics.md
+    fabric: str = "atomic"
     #: allocate shared-region lines write-through (the Intel486's WB/WT
     #: line split: cores with a ``protocol_wt`` use it for these lines)
     shared_write_through: bool = False
@@ -180,6 +190,11 @@ class PlatformConfig:
             raise ConfigError(
                 f"unknown engine {self.engine!r}; pick from "
                 f"{list(ENGINE_NAMES)}"
+            )
+        if self.fabric not in FABRIC_NAMES:
+            raise ConfigError(
+                f"unknown fabric {self.fabric!r}; pick from "
+                f"{list(FABRIC_NAMES)}"
             )
 
     @property
@@ -281,19 +296,23 @@ class Platform:
         if config.arbitration == "priority":
             # Static priority rank = core order (core 0 highest), the
             # conventional wiring for a fixed-priority bus.
-            arbiter = arbiter_cls(
-                self.sim, ranking=[cfg.name for cfg in config.cores]
-            )
+            ranking = [cfg.name for cfg in config.cores]
+
+            def arbiter_factory():
+                return arbiter_cls(self.sim, ranking=ranking)
         else:
-            arbiter = arbiter_cls(self.sim)
-        self.bus = AsbBus(
+            def arbiter_factory():
+                return arbiter_cls(self.sim)
+        self.bus = make_fabric(
+            config.fabric,
             self.sim,
             bus_clock,
             self.memory_controller,
-            arbiter=arbiter,
+            arbiter_factory=arbiter_factory,
             tracer=self.tracer,
             stats=self.stats,
             max_retries=config.max_bus_retries,
+            line_bytes=config.line_bytes,
         )
 
         self.cores: List[Core] = []
@@ -361,6 +380,9 @@ class Platform:
         self.cores.append(core)
         self.controllers.append(controller)
         self._by_name[cfg.name] = index
+        # Fabrics that track per-master line occupancy (the directory)
+        # hook the controller's install/remove listeners here.
+        self.bus.register_master(cfg.name, controller)
 
     def _attach_coherence(self) -> None:
         protocols = [

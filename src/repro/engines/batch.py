@@ -144,6 +144,11 @@ class _BatchModel:
     def __init__(self, config: PlatformConfig):
         if config.faults:
             raise ConfigError("the batch engine does not model fault injection")
+        if config.fabric != "atomic":
+            raise ConfigError(
+                "the batch engine replays the atomic snoopy bus only; "
+                f"fabric {config.fabric!r} needs the exact event kernel"
+            )
         if not all(cfg.coherent for cfg in config.cores):
             raise ConfigError(
                 "the batch engine supports coherent masters only; "

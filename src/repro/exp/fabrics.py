@@ -1,0 +1,231 @@
+"""Fabric study: the three coherence fabrics at N masters.
+
+The scale-out study varies the *service discipline* on one snoopy bus;
+this one varies the *interconnect itself*.  For each fabric (atomic
+snoopy ASB, split-transaction bus, directory) and each master count it
+runs the same fixed contended false-sharing workload over a
+mixed-protocol platform (MESI / MOESI / MSI / MEI cycling across the
+masters, every one behind its reduction wrapper, round-robin
+arbitration) and records:
+
+* ``elapsed_ns`` — simulated completion time of the whole workload;
+* ``bus_txns`` — completed tenures (coherence traffic volume; atomic
+  and split match exactly — the split bus pipelines occupancy, not
+  semantics — while the directory's differs because point-to-point
+  forwarding changes the ARTRY/drain interleaving);
+* ``busy_ticks`` — total channel occupancy;
+* ``grant_spread`` — max/min per-master grant counts.
+
+The headline is the snoopy-vs-directory scaling gap: one broadcast bus
+serialises every address phase, so contended completion time grows
+steeply with masters, while the directory's per-home banks let
+disjoint lines proceed concurrently.  Everything measured is
+*simulated* and therefore deterministic: the committed
+``BENCH_fabrics.json`` is a golden file, and the CI smoke job compares
+against it exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.platform import Platform, PlatformConfig
+from ..cpu.presets import preset_generic
+from ..workloads.tracegen import false_sharing_traces, replay_parallel
+
+__all__ = [
+    "BENCH_FILE",
+    "FABRICS",
+    "MASTER_COUNTS",
+    "run_point",
+    "run_suite",
+    "render_comparison",
+    "check_regression",
+    "load_results",
+]
+
+#: canonical result file name (at the repository root)
+BENCH_FILE = "BENCH_fabrics.json"
+
+FABRICS = ("atomic", "split", "directory")
+MASTER_COUNTS = (2, 4, 8, 16)
+QUICK_MASTER_COUNTS = (2, 4, 8)
+
+#: protocols cycled across the masters — a genuinely mixed platform
+_PROTOCOL_CYCLE = ("MESI", "MOESI", "MSI", "MEI")
+
+
+def _platform(n_masters: int, fabric: str) -> Platform:
+    cores = tuple(
+        preset_generic(f"p{i}", _PROTOCOL_CYCLE[i % len(_PROTOCOL_CYCLE)])
+        for i in range(n_masters)
+    )
+    # Round-robin + "window" drains, as in the scale-out study: an
+    # N-master platform must push snoop data in the post-ARTRY window
+    # or contended dirty lines cross-deadlock.
+    return Platform(
+        PlatformConfig(
+            cores=cores,
+            hardware_coherence=True,
+            arbitration="round-robin",
+            drain_policy="window",
+            fabric=fabric,
+        )
+    )
+
+
+def run_point(
+    n_masters: int, fabric: str, accesses_per_master: int = 40
+) -> Dict[str, Any]:
+    """One (master count, fabric) measurement."""
+    platform = _platform(n_masters, fabric)
+    traces = false_sharing_traces(
+        accesses_per_master, procs=n_masters, lines=2, seed=11
+    )
+    result = replay_parallel(platform, traces)
+    counts = platform.bus.arbiter.grants_by_master
+    spread = (
+        max(counts.values()) / min(counts.values()) if counts else 0.0
+    )
+    return {
+        "masters": n_masters,
+        "fabric": fabric,
+        "elapsed_ns": result.elapsed_ns,
+        "bus_txns": result.bus_txns,
+        "busy_ticks": platform.stats.get("bus.busy_ticks"),
+        "grant_spread": round(spread, 3),
+    }
+
+
+def run_suite(
+    quick: bool = False,
+    master_counts: Optional[Sequence[int]] = None,
+    accesses_per_master: int = 40,
+) -> Dict[str, Any]:
+    """The full sweep; returns the result document.
+
+    ``quick`` drops the 16-master column (CI smoke); the per-point
+    workload itself is fixed, so the surviving points stay comparable
+    to a committed full-mode baseline.
+    """
+    counts = tuple(
+        master_counts
+        if master_counts is not None
+        else (QUICK_MASTER_COUNTS if quick else MASTER_COUNTS)
+    )
+    points: List[Dict[str, Any]] = []
+    for fabric in FABRICS:
+        for n in counts:
+            points.append(run_point(n, fabric, accesses_per_master))
+    return {
+        "schema": 1,
+        "suite": "fabrics",
+        "quick": bool(quick),
+        "python": sys.version.split()[0],
+        "params": {
+            "master_counts": list(counts),
+            "accesses_per_master": accesses_per_master,
+            "protocol_cycle": list(_PROTOCOL_CYCLE),
+            "arbitration": "round-robin",
+        },
+        "points": points,
+    }
+
+
+def _index(document: Dict[str, Any]) -> Dict[tuple, Dict[str, Any]]:
+    return {
+        (p["fabric"], p["masters"]): p
+        for p in document.get("points", [])
+    }
+
+
+def _headline(document: Dict[str, Any]) -> Optional[str]:
+    """The snoopy-vs-directory gap at the largest shared master count."""
+    index = _index(document)
+    masters = sorted(
+        {p["masters"] for p in document.get("points", [])}, reverse=True
+    )
+    for n in masters:
+        snoopy = index.get(("atomic", n))
+        directory = index.get(("directory", n))
+        if snoopy and directory and directory["elapsed_ns"]:
+            ratio = snoopy["elapsed_ns"] / directory["elapsed_ns"]
+            return (
+                f"headline: at {n} masters the directory completes the "
+                f"contended workload {ratio:.2f}x faster than the "
+                f"snoopy bus ({directory['elapsed_ns']:,} ns vs "
+                f"{snoopy['elapsed_ns']:,} ns)"
+            )
+    return None
+
+
+def render_comparison(
+    current: Dict[str, Any], baseline: Optional[Dict[str, Any]] = None
+) -> str:
+    """The fabric figure, as an aligned text table per fabric."""
+    lines = [
+        f"fabrics suite (quick={current.get('quick')}, "
+        f"py {current.get('python')})",
+        f"  {'fabric':<10} {'masters':>7} {'elapsed_ns':>12} "
+        f"{'bus_txns':>9} {'busy_ticks':>11} {'spread':>7}",
+    ]
+    base = _index(baseline) if baseline else {}
+    for point in current.get("points", []):
+        key = (point["fabric"], point["masters"])
+        suffix = ""
+        if key in base:
+            ratio = (
+                point["elapsed_ns"] / base[key]["elapsed_ns"]
+                if base[key]["elapsed_ns"]
+                else 0.0
+            )
+            suffix = f"   {ratio:.2f}x baseline time"
+        lines.append(
+            f"  {point['fabric']:<10} {point['masters']:>7} "
+            f"{point['elapsed_ns']:>12,} {point['bus_txns']:>9,} "
+            f"{point['busy_ticks']:>11,} "
+            f"{point['grant_spread']:>7.2f}{suffix}"
+        )
+    headline = _headline(current)
+    if headline:
+        lines.append(f"  {headline}")
+    return "\n".join(lines)
+
+
+def check_regression(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.0,
+) -> List[str]:
+    """Points where ``current`` differs from the baseline.
+
+    The metrics are simulated quantities, so the default tolerance is
+    exact: any drift in completion time or traffic volume on a shared
+    point is a behaviour change someone must have intended (and should
+    re-baseline deliberately).
+    """
+    failures: List[str] = []
+    base = _index(baseline)
+    for point in current.get("points", []):
+        key = (point["fabric"], point["masters"])
+        if key not in base:
+            continue
+        for metric in ("elapsed_ns", "bus_txns"):
+            got, want = point[metric], base[key][metric]
+            if want and abs(got - want) > tolerance * want:
+                failures.append(
+                    f"{key[0]}@{key[1]} masters: {metric} {got:,} != "
+                    f"baseline {want:,}"
+                )
+    return failures
+
+
+def load_results(path: str) -> Optional[Dict[str, Any]]:
+    """Parse a previously written result file (None when absent)."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None

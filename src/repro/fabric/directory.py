@@ -1,0 +1,347 @@
+"""A directory-based coherence interconnect.
+
+Instead of broadcasting every address phase to every cache, a
+**directory** records, per line, exactly which caches hold a copy, and
+forwards snoops point-to-point to those caches only (cf. the
+phase-priority directory-coherence line of work, arXiv:1305.3038).
+Two structural differences from the snoopy fabrics:
+
+* **Presence tracking.** :meth:`register_master` installs listeners on
+  each cache controller's install/remove hooks (the same hooks the
+  snoop logic's TAG CAM mirrors), so the directory's sharer/owner set
+  per line is an exact mirror of which caches hold the line valid.
+  Consulting only those caches is equivalent to broadcast: a cache
+  without the line answers every snoop MISS/OK, contributing nothing.
+  ``observe`` taps remain broadcast — the snoop-logic TAG CAM needs to
+  see its own master's transactions regardless of presence.
+* **Home banks.** The line address hashes to one of ``banks``
+  per-home arbiters (each an instance of the configured service
+  discipline), so transactions to different homes proceed
+  concurrently — the scaling win over a single snoopy bus.  Same-line
+  transactions always hash to the same bank, preserving the
+  per-address serialisation the coherence checker relies on.  Each
+  bank tenure is atomic (address + directory lookup + data), and the
+  lookup adds ``DIRECTORY_LOOKUP_CYCLES`` to every address phase.
+
+The protocol tables, wrapper conversions, ARTRY/drain handover and
+validate-cancel semantics are all reused unchanged from the ASB model;
+only *who is consulted* and *how tenures are arbitrated* differ.
+Fabric-specific counters use the ``fabric.dir.`` prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from ..bus.types import BusResult, Priority, SnoopAction, SnoopReply, Transaction
+from ..bus.asb import TenureState
+from .atomic import AtomicFabric
+from .interfaces import FabricCapabilities
+from .registry import register_fabric
+
+__all__ = ["BankedArbiter", "DirectoryFabric"]
+
+
+class BankedArbiter:
+    """Aggregate diagnostic view over the per-home-bank arbiters.
+
+    Presents the same read surface a single arbiter does (``grants``,
+    ``grants_by_master``, ``pending``, ``snapshot``) so the watchdog
+    and the experiment runners work unchanged; fault injectors that
+    patch selection (``arbiter.starve``) iterate ``banks`` directly.
+    """
+
+    def __init__(self, banks: Tuple):
+        self.banks = banks
+
+    @property
+    def grants(self) -> int:
+        return sum(bank.grants for bank in self.banks)
+
+    @property
+    def grants_by_master(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for bank in self.banks:
+            for master, count in bank.grants_by_master.items():
+                merged[master] = merged.get(master, 0) + count
+        return merged
+
+    def pending(self) -> int:
+        return sum(bank.pending() for bank in self.banks)
+
+    def snapshot(self) -> dict:
+        return {
+            "grants": self.grants,
+            "banks": [bank.snapshot() for bank in self.banks],
+        }
+
+
+@register_fabric
+class DirectoryFabric(AtomicFabric):
+    """Per-line-home directory with point-to-point snoop forwarding."""
+
+    name = "directory"
+    version = 1
+
+    #: default number of home banks (concurrent arbitration domains)
+    DEFAULT_BANKS = 8
+    #: directory lookup latency added to every address phase
+    DIRECTORY_LOOKUP_CYCLES = 1
+
+    def __init__(
+        self,
+        sim,
+        clock,
+        controller,
+        *,
+        arbiter_factory,
+        banks: int = DEFAULT_BANKS,
+        line_bytes: int = 32,
+        tracer=None,
+        stats=None,
+        max_retries=1000,
+    ):
+        super().__init__(
+            sim,
+            clock,
+            controller,
+            arbiter=None,
+            tracer=tracer,
+            stats=stats,
+            max_retries=max_retries,
+        )
+        self.line_bytes = line_bytes
+        self._banks: Tuple = tuple(arbiter_factory() for _ in range(max(1, banks)))
+        #: the watchdog-facing aggregate over the home banks
+        self.arbiter = BankedArbiter(self._banks)
+        #: line base -> set of master names holding the line valid
+        self._presence: Dict[int, Set[str]] = {}
+
+    @classmethod
+    def capabilities(cls) -> FabricCapabilities:
+        return FabricCapabilities(
+            broadcast=False,
+            atomic_tenure=True,
+            pipelined=False,
+            point_to_point=True,
+        )
+
+    @classmethod
+    def build(
+        cls,
+        sim,
+        clock,
+        controller,
+        *,
+        arbiter_factory,
+        tracer=None,
+        stats=None,
+        max_retries=1000,
+        line_bytes=32,
+    ) -> "DirectoryFabric":
+        return cls(
+            sim,
+            clock,
+            controller,
+            arbiter_factory=arbiter_factory,
+            line_bytes=line_bytes,
+            tracer=tracer,
+            stats=stats,
+            max_retries=max_retries,
+        )
+
+    @classmethod
+    def fingerprint(cls) -> Dict[str, object]:
+        return {
+            "name": cls.name,
+            "version": cls.version,
+            "banks": cls.DEFAULT_BANKS,
+            "lookup_cycles": cls.DIRECTORY_LOOKUP_CYCLES,
+        }
+
+    def snapshot(self) -> dict:
+        return {
+            "fabric": self.name,
+            "completions": self.completions,
+            "tracked_lines": len(self._presence),
+            "arbiter": self.arbiter.snapshot(),
+            "inflight": [t.describe() for t in self.inflight_tenures()],
+        }
+
+    # -- presence directory -------------------------------------------------
+    def register_master(self, master: str, controller) -> None:
+        """Mirror ``controller``'s line occupancy into the directory.
+
+        Installs fire inside the bus-held commit; removals fire inside
+        snoop windows, evictions and flushes — all serialised per line
+        by the home bank, so the directory is never stale when
+        consulted.
+        """
+        controller.install_listeners.append(
+            lambda base, m=master: self._presence.setdefault(base, set()).add(m)
+        )
+        controller.remove_listeners.append(
+            lambda base, m=master: self._discard(base, m)
+        )
+
+    def _discard(self, base: int, master: str) -> None:
+        holders = self._presence.get(base)
+        if holders is not None:
+            holders.discard(master)
+            if not holders:
+                del self._presence[base]
+
+    def _line_base(self, addr: int) -> int:
+        return addr - (addr % self.line_bytes)
+
+    def _bank_for(self, addr: int):
+        return self._banks[(addr // self.line_bytes) % len(self._banks)]
+
+    # -- the tenure ---------------------------------------------------------
+    def transact(
+        self,
+        txn: Transaction,
+        priority: Priority = Priority.NORMAL,
+        commit=None,
+        validate=None,
+    ) -> Generator:
+        """One tenure on the line's home bank.
+
+        Identical phase structure to the atomic bus, except the
+        arbitration domain is the per-home bank, the address phase pays
+        the directory lookup, and only recorded sharers are snooped.
+        """
+        sim = self.sim
+        start = sim.now
+        self.stats.bump("bus.txns")
+        self.stats.bump(f"bus.op.{txn.op.value}")
+        self.stats.bump(f"bus.master.{txn.master}")
+        state = TenureState(txn.master, txn.op.value, txn.addr, start)
+        self._inflight[id(txn)] = state
+        bank = self._bank_for(txn.addr)
+        held = False
+        try:
+            while True:
+                yield bank.request(txn.master, priority)
+                held = True
+                if validate is not None and not validate():
+                    bank.release(txn.master)
+                    held = False
+                    self._record_cancellation(txn)
+                    return None
+                tenure_start = sim.now
+                state.phase = "address"
+                state.since = tenure_start
+                arb_cycles = 0 if priority is Priority.DRAIN else self.arbitration_cycles
+                yield sim.timeout(
+                    self.clock.edge_then_cycles(
+                        sim.now,
+                        arb_cycles + self.address_cycles + self.DIRECTORY_LOOKUP_CYCLES,
+                    )
+                )
+                trace = self._trace_bus
+                if trace.enabled:
+                    trace.emit(
+                        sim.now, txn.master, "address-phase",
+                        op=txn.op.value, addr=txn.addr, retry_no=txn.retries,
+                    )
+                replies = self._directory_window(txn)
+                retriers = [
+                    (name, r) for name, r in replies if r.action is SnoopAction.RETRY
+                ]
+                if retriers:
+                    self.stats.bump("bus.retries")
+                    if trace.enabled:
+                        trace.emit(sim.now, txn.master, "artry", addr=txn.addr)
+                    if self.retry_penalty_cycles:
+                        yield sim.timeout(self.clock.cycles(self.retry_penalty_cycles))
+                    aborted = sim.now - tenure_start
+                    self.stats.bump("bus.busy_ticks", aborted)
+                    self.stats.bump(f"bus.busy.{txn.master}", aborted)
+                    bank.release(txn.master)
+                    held = False
+                    txn.retries += 1
+                    state.retries = txn.retries
+                    self._check_retry_ceiling(txn)
+                    state.phase = "backed-off"
+                    state.since = sim.now
+                    state.waiting_on = tuple(name for name, _ in retriers)
+                    yield sim.all_of([r.completion for _, r in retriers])
+                    state.waiting_on = ()
+                    state.phase = "arbitrating"
+                    state.since = sim.now
+                    priority = Priority.RETRY
+                    continue
+                shared = any(
+                    r.action in (SnoopAction.SHARED, SnoopAction.SUPPLY)
+                    for _, r in replies
+                )
+                supplier = next(
+                    (r for _, r in replies if r.action is SnoopAction.SUPPLY), None
+                )
+                state.phase = "data"
+                state.since = sim.now
+                data, cycles = self._data_phase(txn, supplier)
+                yield sim.timeout(self.clock.cycles(cycles))
+                result = BusResult(
+                    data=data,
+                    shared=shared,
+                    retries=txn.retries,
+                    start_time=start,
+                    end_time=sim.now,
+                    supplied=supplier is not None,
+                )
+                if commit is not None:
+                    commit(result)
+                if trace.enabled:
+                    trace.emit(
+                        sim.now, txn.master, "complete",
+                        op=txn.op.value, addr=txn.addr, shared=shared,
+                        supplied=result.supplied, retries=txn.retries,
+                    )
+                tenure = sim.now - tenure_start
+                self.stats.bump("bus.busy_ticks", tenure)
+                self.stats.bump(f"bus.busy.{txn.master}", tenure)
+                bank.release(txn.master)
+                held = False
+                self._note_completion(txn)
+                return result
+        finally:
+            del self._inflight[id(txn)]
+            if held:
+                bank.release(txn.master)
+
+    # -- internals ----------------------------------------------------------
+    def _directory_window(self, txn: Transaction) -> List[Tuple[str, SnoopReply]]:
+        """Consult the directory and forward the snoop point-to-point.
+
+        Equivalent to the broadcast window: caches absent from the
+        presence set hold the line INVALID and would answer MISS/OK.
+        Both the snooper list and the sharer set are snapshotted before
+        the walk — a forwarded invalidation mutates the presence set
+        (the remove listener fires), and fault-proxy teardown can
+        detach a snooper mid-window.
+        """
+        base = self._line_base(txn.addr)
+        sharers = frozenset(self._presence.get(base, ()))
+        self.stats.bump("fabric.dir.lookups")
+        replies: List[Tuple[str, SnoopReply]] = []
+        trace = self._trace_bus
+        snoopers = tuple(self.snoopers)
+        for snooper in snoopers:
+            # Passive taps stay broadcast: the snoop-logic TAG CAM must
+            # see its own master's transactions to track allocations.
+            snooper.observe(txn)
+        for snooper in snoopers:
+            name = snooper.master_name
+            if name == txn.master or name not in sharers:
+                continue
+            self.stats.bump("fabric.dir.forwards")
+            reply = snooper.snoop(txn)
+            if reply.action is not SnoopAction.OK and trace.enabled:
+                trace.emit(
+                    self.sim.now, name, "snoop",
+                    op=txn.op.value, addr=txn.addr, action=reply.action.value,
+                )
+            replies.append((name, reply))
+        return replies

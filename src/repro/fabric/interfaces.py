@@ -1,0 +1,128 @@
+"""The fabric contract: what a coherence interconnect must provide.
+
+The *model* — protocol tables, cache controllers, wrappers, snoop
+logic — speaks to the interconnect through a small surface: transact a
+bus operation, attach/detach snoopers, register masters, report
+in-flight tenures.  A **fabric** is one interconnect organisation
+behind that surface (see ``docs/fabrics.md``):
+
+``atomic``
+    The paper's atomic-tenure snoopy ASB: one bus, one tenure at a
+    time, broadcast snooping.  The default, byte-identical to the
+    committed golden trace.
+``split``
+    A split-transaction bus: address and data phases decoupled into
+    pipelined tenures behind a bounded in-flight window.  Coherence
+    actions still serialise in address-grant order.
+``directory``
+    A directory interconnect: a per-line-home directory tracks which
+    caches hold each line and forwards snoops point-to-point instead
+    of broadcasting, with per-home-bank concurrency.
+
+This package never imports :mod:`repro.core.platform` (the fabric
+*vocabulary* lives there, mirroring ``ENGINE_NAMES``), and the bus
+model never imports this package — the ``fabric-contract`` lint rule
+enforces both directions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["FabricCapabilities", "IFabric"]
+
+
+@dataclass(frozen=True)
+class FabricCapabilities:
+    """What a fabric can and cannot promise.
+
+    ``broadcast``
+        Every snooper sees every coherent transaction's address phase
+        (snoopy organisation).  Directory fabrics forward point-to-
+        point instead.
+    ``atomic_tenure``
+        A transaction holds its arbitration domain from address phase
+        through data phase; nothing else interleaves on that domain.
+    ``pipelined``
+        Data tenures overlap the next transaction's arbitration and
+        address phase (split-transaction organisation).
+    ``point_to_point``
+        Snoops are forwarded only to caches the directory records as
+        holding the line.
+    """
+
+    broadcast: bool
+    atomic_tenure: bool
+    pipelined: bool
+    point_to_point: bool
+
+
+class IFabric(ABC):
+    """One interconnect organisation for the coherence model.
+
+    Concrete fabrics additionally provide the bus surface the model
+    already speaks (``attach_snooper`` / ``detach_snooper`` /
+    ``register_master`` / ``inflight_tenures`` / ``arbiter`` /
+    ``completions``) — in practice by deriving from
+    :class:`~repro.bus.asb.AsbBus`, whose semantics are the reference.
+    The ``fabric-contract`` lint rule validates the full surface of
+    every registered fabric.
+    """
+
+    #: registry key; must match the entry in ``platform.FABRIC_NAMES``
+    name: str = "?"
+    #: bumped whenever the fabric's observable behaviour changes
+    version: int = 0
+
+    @classmethod
+    @abstractmethod
+    def capabilities(cls) -> FabricCapabilities:
+        """The promises this fabric makes."""
+
+    @classmethod
+    @abstractmethod
+    def build(
+        cls,
+        sim,
+        clock,
+        controller,
+        *,
+        arbiter_factory,
+        tracer=None,
+        stats=None,
+        max_retries=1000,
+        line_bytes=32,
+    ) -> "IFabric":
+        """Construct a fabric instance for one platform.
+
+        ``arbiter_factory`` builds one arbiter of the configured
+        service discipline per call — fabrics with internal concurrency
+        (the directory's home banks) call it more than once.
+        """
+
+    @abstractmethod
+    def transact(self, txn, priority=None, commit=None, validate=None):
+        """Run one transaction to completion (a process generator).
+
+        Semantics contract (``AsbBus.transact`` is the reference): the
+        snoop window and all coherence state changes happen while the
+        transaction's arbitration domain is held, serialised per
+        address; ``validate`` is consulted at grant time and a False
+        answer cancels the tenure (``None`` returned, no snooper
+        consulted); ARTRY backs the master off until the retrying
+        snoopers' drains complete.
+        """
+
+    @abstractmethod
+    def snapshot(self) -> dict:
+        """Diagnostic view of the fabric (JSON-serialisable)."""
+
+    @classmethod
+    @abstractmethod
+    def fingerprint(cls) -> Dict[str, object]:
+        """Identity embedded in bench baselines."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} v{self.version}>"

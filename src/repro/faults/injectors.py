@@ -316,6 +316,15 @@ class StarvationFault(FaultInjector):
         if self.spec.master is None:
             raise ConfigError("arbiter.starve needs an explicit master")
         arbiter = platform.bus.arbiter
+        # A banked interconnect (the directory fabric) exposes its
+        # per-home arbiters as `.banks`; the fault must starve the
+        # target on every bank or a transaction to an unpatched home
+        # would slip through.  A single snoopy arbiter is the
+        # degenerate one-bank case.
+        for bank in getattr(arbiter, "banks", (arbiter,)):
+            self._patch_select(bank)
+
+    def _patch_select(self, arbiter) -> None:
         original = arbiter._select
 
         def starving_select():

@@ -58,6 +58,8 @@ class CampaignConfig:
     p_deadlock: float = 0.1
     p_unwrapped: float = 0.3
     p_fault: float = 0.15
+    #: coherence fabric every trace case runs on
+    fabric: str = "atomic"
 
     def __post_init__(self):
         if self.n_cases < 1:
@@ -191,6 +193,7 @@ def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
         p_deadlock=config.p_deadlock,
         p_unwrapped=config.p_unwrapped,
         p_fault=config.p_fault,
+        fabric=config.fabric,
     )
     result = CampaignResult(seed=config.seed, n_cases=config.n_cases)
     counts: Counter = Counter()

@@ -22,7 +22,7 @@ from functools import lru_cache
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.deadlock import SOLUTIONS, run_deadlock_demo
-from ..core.platform import Platform, PlatformConfig
+from ..core.platform import FABRIC_NAMES, Platform, PlatformConfig
 from ..core.reduction import WrapperPolicy
 from ..cpu.presets import preset_generic
 from ..errors import (
@@ -91,6 +91,8 @@ class FuzzCase:
         default_factory=lambda: {"kind": "racy", "n": 20, "seed": 1}
     )
     fault: Optional[Dict[str, Any]] = None
+    #: coherence fabric for trace cases ("atomic" | "split" | "directory")
+    fabric: str = "atomic"
     # -- deadlock scenario ------------------------------------------------
     solution: str = "none"
     max_events: int = DEFAULT_MAX_EVENTS
@@ -101,6 +103,8 @@ class FuzzCase:
         if self.scenario == "deadlock" and self.solution not in SOLUTIONS:
             raise ConfigError(f"unknown lock solution {self.solution!r}")
         if self.scenario == "trace":
+            if self.fabric not in FABRIC_NAMES:
+                raise ConfigError(f"unknown fuzz fabric {self.fabric!r}")
             for name in self.protocols:
                 if name not in FUZZ_PROTOCOLS:
                     raise ConfigError(f"unknown fuzz protocol {name!r}")
@@ -123,8 +127,14 @@ class FuzzCase:
         return replace(self, **changes)
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serialisable form (lists instead of tuples)."""
-        return {
+        """JSON-serialisable form (lists instead of tuples).
+
+        ``fabric`` is emitted only when non-default, so every
+        historical case dict (and its JSON reproducer) stays
+        byte-identical — the same convention the workload ``procs``
+        key follows.
+        """
+        data = {
             "seed": self.seed,
             "scenario": self.scenario,
             "protocols": list(self.protocols),
@@ -136,6 +146,9 @@ class FuzzCase:
             "solution": self.solution,
             "max_events": self.max_events,
         }
+        if self.fabric != "atomic":
+            data["fabric"] = self.fabric
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FuzzCase":
@@ -149,6 +162,7 @@ class FuzzCase:
             cache_ways=tuple(data.get("cache_ways", (2, 2))),
             workload=data.get("workload", {"kind": "racy", "n": 20, "seed": 1}),
             fault=data.get("fault"),
+            fabric=data.get("fabric", "atomic"),
             solution=data.get("solution", "none"),
             max_events=data.get("max_events", DEFAULT_MAX_EVENTS),
         )
@@ -159,9 +173,10 @@ class FuzzCase:
             return f"deadlock[{self.solution}] seed={self.seed}"
         mode = "wrapped" if self.wrapped else "UNWRAPPED"
         fault = f" fault={self.fault['site']}" if self.fault else ""
+        fabric = f" fabric={self.fabric}" if self.fabric != "atomic" else ""
         return (
             f"{'+'.join(self.protocols)} {mode} "
-            f"{self.workload.get('kind', '?')} seed={self.seed}{fault}"
+            f"{self.workload.get('kind', '?')} seed={self.seed}{fault}{fabric}"
         )
 
 
@@ -355,7 +370,12 @@ def _trace_platform(case: FuzzCase) -> Platform:
     if case.fault is not None:
         faults = (FaultSpec(**case.fault),)
     platform = Platform(
-        PlatformConfig(cores=cores, hardware_coherence=True, faults=faults)
+        PlatformConfig(
+            cores=cores,
+            hardware_coherence=True,
+            faults=faults,
+            fabric=case.fabric,
+        )
     )
     if not case.wrapped:
         for wrapper in platform.wrappers:

@@ -42,6 +42,9 @@ def add_fuzz_arguments(parser) -> None:
                    help="shrink each unexpected case before reporting it")
     p.add_argument("--masters", type=int, default=2, metavar="N",
                    help="masters per trace case (default: 2)")
+    p.add_argument("--fabric", default="atomic",
+                   choices=("atomic", "split", "directory"),
+                   help="coherence fabric for trace cases (default: atomic)")
     p.add_argument("--p-deadlock", type=float, default=0.1,
                    help="fraction of Fig 4 deadlock-scenario cases")
     p.add_argument("--p-unwrapped", type=float, default=0.3,
@@ -88,6 +91,7 @@ def _cmd_run(args) -> int:
         p_deadlock=args.p_deadlock,
         p_unwrapped=args.p_unwrapped,
         p_fault=args.p_fault,
+        fabric=args.fabric,
     )
 
     def progress(done, total, entry):

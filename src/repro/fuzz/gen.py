@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 from typing import Iterator, Optional
 
-from ..core.platform import SHARED_BASE
+from ..core.platform import FABRIC_NAMES, SHARED_BASE
 from .case import FUZZ_PROTOCOLS, DEFAULT_MAX_EVENTS, FuzzCase
 
 __all__ = ["CaseGenerator"]
@@ -53,6 +53,13 @@ class CaseGenerator:
     the n=2 sampling path consumes the rng stream in exactly the
     original order.  Deadlock-scenario cases always run the canonical
     two-core Fig 4 platform regardless of ``n_masters``.
+
+    ``fabric`` is a *fixed* campaign parameter, not an rng axis: every
+    trace case of the campaign runs on that fabric, and the rng stream
+    is untouched, so ``(seed, index)`` keeps mapping to the same
+    protocols/workload it always did — only the interconnect differs.
+    (Deadlock-scenario cases ignore it; the Fig 4 demo is a fixed
+    platform.)
     """
 
     def __init__(
@@ -62,16 +69,22 @@ class CaseGenerator:
         p_deadlock: float = 0.1,
         p_unwrapped: float = 0.3,
         p_fault: float = 0.15,
+        fabric: str = "atomic",
     ):
-        if n_masters < 2:
-            from ..errors import ConfigError
+        from ..errors import ConfigError
 
+        if n_masters < 2:
             raise ConfigError(f"need at least 2 masters, got {n_masters}")
+        if fabric not in FABRIC_NAMES:
+            raise ConfigError(
+                f"unknown fabric {fabric!r}; pick from {list(FABRIC_NAMES)}"
+            )
         self.seed = seed
         self.n_masters = n_masters
         self.p_deadlock = p_deadlock
         self.p_unwrapped = p_unwrapped
         self.p_fault = p_fault
+        self.fabric = fabric
 
     def case(self, index: int) -> FuzzCase:
         """The ``index``-th case of this campaign."""
@@ -96,6 +109,7 @@ class CaseGenerator:
             cache_ways=tuple(rng.choice(_CACHE_WAYS) for _ in range(n)),
             workload=self._workload(rng),
             fault=fault,
+            fabric=self.fabric,
             max_events=DEFAULT_MAX_EVENTS,
         )
 

@@ -1,0 +1,209 @@
+"""``fabric-contract`` — the model/fabric split, statically enforced.
+
+The swappable-fabric architecture (:mod:`repro.fabric`,
+``docs/fabrics.md``) carries the same two obligations as the engine
+split, plus one of its own:
+
+* **surface completeness** — every name in
+  :data:`repro.core.platform.FABRIC_NAMES` is registered, and every
+  registered fabric class provides the full :class:`IFabric` surface
+  (``name``, ``version``, ``capabilities``, ``build``, ``transact``,
+  ``snapshot``, ``fingerprint``) plus the bus surface the model
+  already speaks (``attach_snooper`` / ``detach_snooper`` /
+  ``register_master`` / ``inflight_tenures``).
+* **import direction** — the bus and cache model never imports the
+  fabric package; the sanctioned consumers are the platform assembler
+  (``core/platform``), the experiment layer, the CLI and this lint
+  suite.  A snooper or controller reaching into ``repro.fabric`` would
+  tie the reference semantics to one interconnect organisation.
+* **no vocabulary cycle** — the fabric package never imports
+  ``repro.core.platform``: the name vocabulary flows model → fabric
+  only, so configurations validate without loading any fabric code.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from typing import Iterable, List, Tuple
+
+from .core import AstRule, Finding, ModuleSource, Project, register
+
+__all__ = ["FabricContractRule", "validate_fabric_surface"]
+
+#: the IFabric surface every registered fabric class must provide
+REQUIRED_SURFACE = ("name", "version", "capabilities", "build", "transact",
+                    "snapshot", "fingerprint")
+
+#: the bus surface the model speaks, provided by deriving from AsbBus
+BUS_SURFACE = ("attach_snooper", "detach_snooper", "register_master",
+               "inflight_tenures")
+
+#: path fragments allowed to import repro.fabric (POSIX, relative to
+#: src/repro); everything else in the package is model code
+_FABRIC_CONSUMERS = ("fabric/", "core/platform", "exp/", "lint/", "__main__")
+
+
+def validate_fabric_surface() -> List[Tuple[str, int, str]]:
+    """Problems with the fabric registry ([] = sound).
+
+    Returns ``(path, line, message)`` tuples anchored to the offending
+    class definitions, importing the live registry so a stub that
+    merely parses cannot pass.
+    """
+    from ..core.platform import FABRIC_NAMES
+    from ..fabric.interfaces import FabricCapabilities, IFabric
+    from ..fabric.registry import _REGISTRY, fabric_names
+
+    problems: List[Tuple[str, int, str]] = []
+
+    def anchor(cls) -> Tuple[str, int]:
+        try:
+            path = inspect.getsourcefile(cls) or "fabric/registry.py"
+            line = inspect.getsourcelines(cls)[1]
+        except (OSError, TypeError):  # pragma: no cover - C extension
+            return "fabric/registry.py", 1
+        marker = "repro/"
+        cut = path.rfind(marker)
+        return (path[cut + len(marker):] if cut >= 0 else path), line
+
+    registered = tuple(fabric_names())
+    if registered != tuple(FABRIC_NAMES):
+        problems.append((
+            "fabric/registry.py", 1,
+            f"fabric registry {registered} does not match "
+            f"platform.FABRIC_NAMES {tuple(FABRIC_NAMES)}",
+        ))
+    for name, fabric in _REGISTRY.items():
+        path, line = anchor(fabric)
+        if not (isinstance(fabric, type) and issubclass(fabric, IFabric)):
+            problems.append((path, line,
+                             f"fabric {name!r} is not an IFabric class"))
+            continue
+        for attr in REQUIRED_SURFACE + BUS_SURFACE:
+            member = getattr(fabric, attr, None)
+            if member is None:
+                problems.append((
+                    path, line,
+                    f"fabric {name!r} lacks required member {attr!r}",
+                ))
+            elif attr not in ("name", "version") and not callable(member):
+                problems.append((
+                    path, line,
+                    f"fabric {name!r}: {attr!r} must be callable",
+                ))
+        if getattr(fabric, "name", None) != name:
+            problems.append((
+                path, line,
+                f"fabric registered as {name!r} reports name "
+                f"{getattr(fabric, 'name', None)!r}",
+            ))
+        version = getattr(fabric, "version", None)
+        if not isinstance(version, int) or version < 1:
+            problems.append((
+                path, line,
+                f"fabric {name!r}: version must be a positive int, "
+                f"got {version!r}",
+            ))
+        try:
+            caps = fabric.capabilities()
+        except Exception as exc:  # noqa: BLE001 - report, don't crash lint
+            problems.append((path, line,
+                             f"fabric {name!r}: capabilities() raised {exc!r}"))
+            continue
+        if not isinstance(caps, FabricCapabilities):
+            problems.append((
+                path, line,
+                f"fabric {name!r}: capabilities() returned "
+                f"{type(caps).__name__}, not FabricCapabilities",
+            ))
+        if caps.broadcast and caps.point_to_point:
+            problems.append((
+                path, line,
+                f"fabric {name!r}: broadcast and point_to_point are "
+                "mutually exclusive organisations",
+            ))
+        fp = fabric.fingerprint()
+        if not {"name", "version"} <= set(fp):
+            problems.append((
+                path, line,
+                f"fabric {name!r}: fingerprint() must carry name and "
+                f"version (bench baselines depend on them), got {sorted(fp)}",
+            ))
+    return problems
+
+
+@register
+class FabricContractRule(AstRule):
+    """Fabrics implement the full surface; model code never imports them."""
+
+    id = "fabric-contract"
+    description = (
+        "every registered fabric implements the full IFabric surface, "
+        "model code never imports repro.fabric, and the fabric package "
+        "never imports the platform vocabulary back"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        # Surface completeness: only meaningful when linting the real
+        # package (a partial path selection may not include fabric/).
+        if project.module("fabric/registry.py") is not None:
+            for path, line, message in validate_fabric_surface():
+                yield self.finding(path, line, message)
+        yield from super().check(project)
+
+    def visit_module(self, module: ModuleSource) -> Iterable[Finding]:
+        if "fabric/" in module.path:
+            yield from self._vocabulary_cycle(module)
+            return
+        if any(fragment in module.path for fragment in _FABRIC_CONSUMERS):
+            return
+        for node, name in self._fabric_imports(module):
+            yield self.finding(
+                module.path, node.lineno,
+                f"model code imports fabric internals ({name}); the "
+                "dependency is one-way — fabrics wrap the bus model, "
+                "never the reverse",
+            )
+
+    def _vocabulary_cycle(self, module: ModuleSource) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                names = [a.name for a in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                target = node.module or ""
+                if node.level > 0:
+                    target = "." * node.level + target
+                names = [target]
+            else:
+                continue
+            for name in names:
+                bare = name.lstrip(".")
+                if bare == "core.platform" or bare.startswith(
+                    ("core.platform.", "repro.core.platform")
+                ):
+                    yield self.finding(
+                        module.path, node.lineno,
+                        f"fabric package imports the platform ({name}); "
+                        "the name vocabulary flows model -> fabric only",
+                    )
+
+    def _fabric_imports(self, module: ModuleSource):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "repro.fabric" or alias.name.startswith(
+                        "repro.fabric."
+                    ):
+                        yield node, alias.name
+            elif isinstance(node, ast.ImportFrom):
+                target = node.module or ""
+                if node.level == 0 and (
+                    target == "repro.fabric"
+                    or target.startswith("repro.fabric.")
+                ):
+                    yield node, target
+                elif node.level > 0 and (
+                    target == "fabric" or target.startswith("fabric.")
+                ):
+                    yield node, "." * node.level + target

@@ -7,6 +7,7 @@ selecting rules, so callers never need to know the individual modules.
 
 from . import determinism  # noqa: F401
 from . import engine_contract  # noqa: F401
+from . import fabric_contract  # noqa: F401
 from . import fault_proxy  # noqa: F401
 from . import process_yield  # noqa: F401
 from . import slots  # noqa: F401

@@ -28,6 +28,13 @@ True
 False
 >>> check_system(["MESI", "MEI", "MOESI"]).ok      # N-way reduction
 True
+>>> check_system(["MESI", "MEI", "MOESI"], directory=True).ok
+True
+
+``directory=True`` re-runs the exploration over the directory fabric's
+point-to-point consult (only recorded sharers are snooped, with the
+sharer bits as explicit model state) and adds a fourth property,
+**dir-miss**: the directory never forgets a valid copy.
 
 The abstract state is ``(states, fresh-bits, mem_fresh)`` — a few
 dozen reachable states for a pair, a few hundred for a triple — so the
@@ -69,12 +76,17 @@ class ModelState:
 
     ``fresh``/``mem_fresh`` record whether each copy (and memory) holds
     the value of the most recent write; they are the symbolic stand-in
-    for data.
+    for data.  Under ``directory=True`` exploration, ``present`` is the
+    directory's per-cache sharer bit, updated by the same install/
+    remove listener discipline the real fabric uses — it is *separate*
+    state precisely so the checker can prove it never diverges from
+    line validity (the ``dir-miss`` property).  Empty on snoopy runs.
     """
 
     states: Tuple[State, ...]
     fresh: Tuple[bool, ...]
     mem_fresh: bool
+    present: Tuple[bool, ...] = ()
 
     def describe(self) -> str:
         """Compact human-readable rendering."""
@@ -87,6 +99,11 @@ class ModelState:
             )
             cells.append(f"P{index}:{self.states[index]}{stale}")
         cells.append(f"mem:{'fresh' if self.mem_fresh else 'stale'}")
+        if self.present:
+            sharers = ",".join(
+                f"P{i}" for i, bit in enumerate(self.present) if bit
+            )
+            cells.append(f"dir:[{sharers}]")
         return " ".join(cells)
 
 
@@ -94,7 +111,7 @@ class ModelState:
 class Violation:
     """A safety violation plus the event path that reaches it."""
 
-    kind: str           # "stale-read" | "swmr" | "lost-data"
+    kind: str           # "stale-read" | "swmr" | "lost-data" | "dir-miss"
     state: ModelState
     path: Tuple[str, ...]
 
@@ -112,6 +129,7 @@ class CheckResult:
     wrapped: bool
     reachable_states: int
     violations: List[Violation]
+    directory: bool = False
 
     @property
     def ok(self) -> bool:
@@ -121,9 +139,12 @@ class CheckResult:
     def render(self) -> str:
         """Summary plus the first few witnesses."""
         status = "SAFE" if self.ok else "UNSAFE"
+        flavour = "wrapped" if self.wrapped else "unwrapped"
+        if self.directory:
+            flavour += ", directory"
         lines = [
             f"{'+'.join(self.protocols)} "
-            f"({'wrapped' if self.wrapped else 'unwrapped'}): {status}, "
+            f"({flavour}): {status}, "
             f"{self.reachable_states} reachable states"
         ]
         lines += [f"  {v.describe()}" for v in self.violations[:3]]
@@ -131,12 +152,27 @@ class CheckResult:
 
 
 class _SystemModel:
-    """Transition function for N protocol FSMs under wrapper policies."""
+    """Transition function for N protocol FSMs under wrapper policies.
 
-    def __init__(self, names: Sequence[str], policies: Sequence[WrapperPolicy]):
+    ``directory=True`` swaps the broadcast snoop window for the
+    directory fabric's point-to-point consult: only caches whose
+    presence bit is set get snooped, and the presence bits are kept by
+    the fabric's listener discipline (set on fill/install, cleared on
+    any transition to INVALID).  The exhaustive exploration then proves
+    that skipping absent caches loses no invalidation — i.e. that the
+    presence set is always a superset of the valid copies.
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        policies: Sequence[WrapperPolicy],
+        directory: bool = False,
+    ):
         self.protocols = tuple(make_protocol(name) for name in names)
         self.policies = tuple(policies)
         self.n = len(self.protocols)
+        self.directory = directory
 
     # -- policy application (mirrors Wrapper.snoop / shared_filter) --------
     def _snoop_op(self, snooper: int, op: SnoopOp) -> SnoopOp:
@@ -153,12 +189,14 @@ class _SystemModel:
             return False
         return actual
 
-    def _snoop_one(self, states, fresh, mem_fresh, snooper, op):
+    def _snoop_one(self, states, fresh, mem_fresh, snooper, op, present=None):
         """Apply one snooped operation to one non-acting cache.
 
         Returns ``(mem_fresh, supplied_fresh, assert_shared)`` where
         ``supplied_fresh`` is the freshness of cache-to-cache data (None
-        when no supply happened).
+        when no supply happened).  ``present`` is the directory's
+        sharer-bit list (None on snoopy runs): any transition to
+        INVALID fires the remove listener.
         """
         if states[snooper] is State.INVALID:
             return mem_fresh, None, False
@@ -173,6 +211,8 @@ class _SystemModel:
             states[snooper] = outcome.next_state
             if outcome.next_state is State.INVALID:
                 fresh[snooper] = False
+                if present is not None:
+                    present[snooper] = False
                 return mem_fresh, None, False
             outcome = self.protocols[snooper].snoop(states[snooper], effective_op)
             assert not outcome.drain, "FSM demanded a second drain"
@@ -180,10 +220,12 @@ class _SystemModel:
         states[snooper] = outcome.next_state
         if outcome.next_state is State.INVALID:
             fresh[snooper] = False
+            if present is not None:
+                present[snooper] = False
         return mem_fresh, supplied_fresh, outcome.assert_shared
 
-    def _snoop(self, states, fresh, mem_fresh, actor, op):
-        """Broadcast one operation to every non-acting cache.
+    def _snoop(self, states, fresh, mem_fresh, actor, op, present=None):
+        """Deliver one operation to every non-acting cache.
 
         Snoopers react in ascending index order (the combinational
         address phase resolves them all within one tenure).  Data comes
@@ -191,14 +233,23 @@ class _SystemModel:
         cache owns the line, so order cannot matter; on an unsafe one
         any choice yields a witness.  SHARED is the wired-OR of every
         snooper's assertion.
+
+        Broadcast on snoopy runs; with ``present`` (directory mode)
+        only caches whose sharer bit is set are consulted — exactly the
+        fabric's point-to-point forward.  A valid-but-absent cache is
+        *not* patched over here: it is surfaced as a ``dir-miss``
+        violation by the explorer, since a real directory would lose
+        the invalidation.
         """
         supplied_fresh = None
         shared = False
         for snooper in range(self.n):
             if snooper == actor:
                 continue
+            if present is not None and not present[snooper]:
+                continue
             mem_fresh, supply, asserted = self._snoop_one(
-                states, fresh, mem_fresh, snooper, op
+                states, fresh, mem_fresh, snooper, op, present
             )
             if supplied_fresh is None and supply is not None:
                 supplied_fresh = supply
@@ -216,54 +267,71 @@ class _SystemModel:
             return self._write(model, actor)
         return self._evict(model, actor)
 
+    def _present_list(self, model: ModelState):
+        return list(model.present) if self.directory else None
+
+    @staticmethod
+    def _pack_present(present) -> Tuple[bool, ...]:
+        return tuple(present) if present is not None else ()
+
     def _read(self, model: ModelState, actor: int):
         states = list(model.states)
         fresh = list(model.fresh)
+        present = self._present_list(model)
         mem_fresh = model.mem_fresh
         if states[actor] is not State.INVALID:
             # Hit: returns the cached copy — a stale copy is the bug.
             violation = None if fresh[actor] else "stale-read"
             return model, violation
         mem_fresh, supplied_fresh, shared_actual = self._snoop(
-            states, fresh, mem_fresh, actor, SnoopOp.READ
+            states, fresh, mem_fresh, actor, SnoopOp.READ, present
         )
         shared = self._filtered_shared(actor, shared_actual)
         states[actor] = self.protocols[actor].fill_state(False, shared)
+        if present is not None:
+            present[actor] = True  # install listener: line filled
         source_fresh = supplied_fresh if supplied_fresh is not None else mem_fresh
         fresh[actor] = source_fresh
-        next_model = ModelState(tuple(states), tuple(fresh), mem_fresh)
+        next_model = ModelState(
+            tuple(states), tuple(fresh), mem_fresh, self._pack_present(present)
+        )
         return next_model, None if source_fresh else "stale-read"
 
     def _write(self, model: ModelState, actor: int):
         states = list(model.states)
         fresh = list(model.fresh)
+        present = self._present_list(model)
         mem_fresh = model.mem_fresh
         write_through = False
         if states[actor] is State.INVALID:
             if State.MODIFIED not in self.protocols[actor].states:
                 # Write-through no-allocate (SI): the word goes to memory.
                 mem_fresh, _s, _sh = self._snoop(
-                    states, fresh, mem_fresh, actor, SnoopOp.WRITE
+                    states, fresh, mem_fresh, actor, SnoopOp.WRITE, present
                 )
                 write_through = True
             else:
                 # RWITM fill.
                 mem_fresh, _s, _sh = self._snoop(
-                    states, fresh, mem_fresh, actor, SnoopOp.READ_EXCL
+                    states, fresh, mem_fresh, actor, SnoopOp.READ_EXCL, present
                 )
                 states[actor] = self.protocols[actor].fill_state(True, False)
+                if present is not None:
+                    present[actor] = True  # install listener: line filled
         else:
             new_state, action = self.protocols[actor].write_hit(states[actor])
             if action is WriteAction.UPGRADE:
                 mem_fresh, _s, _sh = self._snoop(
-                    states, fresh, mem_fresh, actor, SnoopOp.INVALIDATE
+                    states, fresh, mem_fresh, actor, SnoopOp.INVALIDATE, present
                 )
             elif action is WriteAction.WRITE_THROUGH:
                 mem_fresh, _s, _sh = self._snoop(
-                    states, fresh, mem_fresh, actor, SnoopOp.WRITE
+                    states, fresh, mem_fresh, actor, SnoopOp.WRITE, present
                 )
                 write_through = True
             states[actor] = new_state
+            if present is not None and new_state is State.INVALID:
+                present[actor] = False  # remove listener
         # The write retires: this value is now the latest.  Any other
         # valid copy is stale (no update protocols in this model);
         # memory is fresh only for a write-through retirement.
@@ -272,11 +340,15 @@ class _SystemModel:
             if other != actor and states[other] is not State.INVALID:
                 fresh[other] = False
         mem_fresh = write_through
-        return ModelState(tuple(states), tuple(fresh), mem_fresh), None
+        next_model = ModelState(
+            tuple(states), tuple(fresh), mem_fresh, self._pack_present(present)
+        )
+        return next_model, None
 
     def _evict(self, model: ModelState, actor: int):
         states = list(model.states)
         fresh = list(model.fresh)
+        present = self._present_list(model)
         mem_fresh = model.mem_fresh
         if states[actor] is State.INVALID:
             return model, None
@@ -292,7 +364,12 @@ class _SystemModel:
             return model, "lost-data"
         states[actor] = State.INVALID
         fresh[actor] = False
-        return ModelState(tuple(states), tuple(fresh), mem_fresh), None
+        if present is not None:
+            present[actor] = False  # remove listener: line evicted
+        next_model = ModelState(
+            tuple(states), tuple(fresh), mem_fresh, self._pack_present(present)
+        )
+        return next_model, None
 
 
 #: the N=2 name, kept for the model-vs-simulator differential tests
@@ -308,16 +385,34 @@ def _swmr_violated(states: Tuple[State, ...]) -> bool:
     return owners > 1
 
 
+def _dir_mirror_broken(model: ModelState) -> bool:
+    """A valid copy the directory does not know about.
+
+    The unsafe direction of the valid<->present mirror: a forward to an
+    absent cache is harmless (it would answer MISS), but a valid copy
+    with no sharer bit means a future invalidation never reaches it.
+    """
+    return any(
+        state is not State.INVALID and not bit
+        for state, bit in zip(model.states, model.present)
+    )
+
+
 def check_system(
     protocols: Sequence[str],
     wrapped: bool = True,
     max_violations: int = 8,
+    directory: bool = False,
 ) -> CheckResult:
     """Exhaustively explore one ordered N-protocol configuration.
 
     ``wrapped=True`` uses the policies from :func:`reduce_protocols`;
     ``wrapped=False`` uses identity policies (native snooping), which is
     expected to fail for the paper's incompatible combinations.
+    ``directory=True`` runs the same exploration over the directory
+    fabric's point-to-point consult instead of broadcast, with the
+    sharer bits tracked as explicit state and a ``dir-miss`` check that
+    the directory never forgets a valid copy.
     """
     names = tuple(protocols)
     n = len(names)
@@ -325,11 +420,12 @@ def check_system(
         policies = reduce_protocols(names).policies
     else:
         policies = tuple(WrapperPolicy() for _ in names)
-    model = _SystemModel(names, policies)
+    model = _SystemModel(names, policies, directory=directory)
     initial = ModelState(
         tuple(State.INVALID for _ in range(n)),
         tuple(False for _ in range(n)),
         mem_fresh=True,
+        present=tuple(False for _ in range(n)) if directory else (),
     )
     events = _events_for(n)
     seen: Dict[ModelState, Tuple[str, ...]] = {initial: ()}
@@ -343,6 +439,8 @@ def check_system(
             next_state, bad = model.step(current, event)
             if bad is None and _swmr_violated(next_state.states):
                 bad = "swmr"
+            if bad is None and directory and _dir_mirror_broken(next_state):
+                bad = "dir-miss"
             if bad is not None:
                 witness = (bad, next_state)
                 if witness not in flagged and len(violations) < max_violations:
@@ -359,6 +457,7 @@ def check_system(
         wrapped=wrapped,
         reachable_states=len(seen),
         violations=violations,
+        directory=directory,
     )
 
 

@@ -265,3 +265,62 @@ class TestRegistry:
             [("a", Priority.NORMAL), ("b", Priority.NORMAL), ("a", Priority.NORMAL)],
         )
         assert arbiter.grants_by_master == {"a": 2, "b": 1}
+
+
+class TestRoundRobinPruning:
+    """A master that stops requesting must not keep a rotation slot."""
+
+    def _settle(self, sim, arbiter, masters):
+        """One batch of NORMAL requests, drained to completion."""
+        return grants_in_order(
+            sim, arbiter, [(m, Priority.NORMAL) for m in masters]
+        )
+
+    def test_retired_master_is_pruned(self, sim):
+        arbiter = RoundRobinArbiter(sim)
+        self._settle(sim, arbiter, ["a", "b", "r"])
+        assert "r" in arbiter._rotation
+        # r retires; a and b keep the bus busy.  After a rotation's
+        # worth of selections scanning over idle r, it is dropped.
+        for _ in range(4):
+            self._settle(sim, arbiter, ["a", "b"])
+        assert "r" not in arbiter._rotation
+        assert "r" not in arbiter._known
+
+    def test_live_masters_keep_alternating_after_a_prune(self, sim):
+        # The fairness regression: pruning must not disturb the
+        # rotation pointer — the survivors keep strict alternation.
+        arbiter = RoundRobinArbiter(sim)
+        self._settle(sim, arbiter, ["a", "b", "r"])
+        for _ in range(4):
+            self._settle(sim, arbiter, ["a", "b"])
+        assert "r" not in arbiter._rotation
+        order = self._settle(sim, arbiter, ["a", "a", "b", "b"])
+        assert order == ["a", "b", "a", "b"]
+
+    def test_pruned_master_rejoins_at_the_tail(self, sim):
+        arbiter = RoundRobinArbiter(sim)
+        self._settle(sim, arbiter, ["a", "b", "r"])
+        for _ in range(4):
+            self._settle(sim, arbiter, ["a", "b"])
+        assert "r" not in arbiter._rotation
+        order = self._settle(sim, arbiter, ["r", "a", "b"])
+        assert sorted(order) == ["a", "b", "r"]
+        assert arbiter._rotation[-1] == "r"
+
+    def test_requesting_master_is_never_pruned(self, sim):
+        # A master whose request is merely queued (not yet granted)
+        # resets its idle count on every selection.
+        arbiter = RoundRobinArbiter(sim)
+        for _ in range(8):
+            self._settle(sim, arbiter, ["a", "b", "c"])
+        assert sorted(arbiter._rotation) == ["a", "b", "c"]
+
+    def test_prune_waits_a_full_rotation(self, sim):
+        # One idle batch is not enough: the horizon is a full
+        # rotation's worth of selections, so a briefly-quiet master
+        # keeps its slot (and its rotation position).
+        arbiter = RoundRobinArbiter(sim)
+        self._settle(sim, arbiter, ["a", "b", "r"])
+        self._settle(sim, arbiter, ["a", "b"])
+        assert "r" in arbiter._rotation

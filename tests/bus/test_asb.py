@@ -285,3 +285,108 @@ class TestStats:
         sim, _memory, bus = make_bus()
         run_txn(sim, bus, Transaction(BusOp.READ, 0x0, "m"))
         assert bus.stats.get("bus.busy_ticks") == 160
+
+
+class TestCancellationAccounting:
+    """Grant-time validate-cancels are not ARTRYs and count separately."""
+
+    def test_cancel_counts_separately_from_artry(self):
+        sim, _memory, bus = make_bus()
+        proc = sim.process(
+            bus.transact(
+                Transaction(BusOp.READ, 0x0, "m"), validate=lambda: False
+            )
+        )
+        sim.run()
+        assert proc.value is None
+        assert bus.stats.get("bus.cancelled") == 1
+        assert bus.stats.get("bus.retries") == 0
+        assert bus.completions == 0
+
+    def test_cancellation_storm_raises_its_own_livelock(self):
+        # A master whose tenure premise keeps vanishing at grant time
+        # makes no progress, but txn.retries never moves (no ARTRY is
+        # involved) — the old ceiling was blind to it.  The message
+        # must name the actual failure, not a retry loop.
+        sim, _memory, bus = make_bus(max_retries=5)
+
+        def driver():
+            while True:
+                result = yield from bus.transact(
+                    Transaction(BusOp.READ, 0x0, "m"), validate=lambda: False
+                )
+                assert result is None
+
+        sim.process(driver())
+        with pytest.raises(LivelockError) as exc_info:
+            sim.run()
+        error = exc_info.value
+        assert error.master == "m"
+        assert error.retries == 0  # zero ARTRYs: the counts disagree
+        message = str(error)
+        assert "cancellation storm" in message
+        assert "validate-cancelled at grant 6 consecutive times" in message
+        assert "ARTRY count: 0" in message
+        assert "not an ARTRY retry loop" in message
+
+    def test_completion_resets_the_cancel_streak(self):
+        sim, _memory, bus = make_bus(max_retries=5)
+
+        def driver():
+            for _ in range(4):
+                yield from bus.transact(
+                    Transaction(BusOp.READ, 0x0, "m"), validate=lambda: False
+                )
+            yield from bus.transact(Transaction(BusOp.READ, 0x0, "m"))
+            for _ in range(4):
+                yield from bus.transact(
+                    Transaction(BusOp.READ, 0x0, "m"), validate=lambda: False
+                )
+
+        sim.process(driver())
+        sim.run()  # 4 + 4 cancels with a completion between: no storm
+        assert bus.stats.get("bus.cancelled") == 8
+        assert bus.completions == 1
+
+    def test_artry_ceiling_message_reports_cancel_count(self):
+        # The converse disagreement-proofing: an ARTRY livelock report
+        # states how many grant-time cancels the master had, so the two
+        # counters can never be conflated when reading a failure.
+        sim, _memory, bus = make_bus(max_retries=2)
+        bus.attach_snooper(StormSnooper(sim))
+        sim.process(bus.transact(Transaction(BusOp.READ, 0x40, "m")))
+        with pytest.raises(LivelockError) as exc_info:
+            sim.run()
+        message = str(exc_info.value)
+        assert "livelocked retry loop" in message
+        assert "validate-cancellations for m: 0" in message
+
+
+class TestDetachDuringSnoopWindow:
+    def test_detach_mid_window_keeps_the_window_consistent(self):
+        # A snooper that detaches another snooper while the combinational
+        # window resolves (fault-proxy teardown does this).  The window
+        # iterates a snapshot, so every cache attached at the *start* of
+        # the address phase is still consulted this tenure.
+        sim, _memory, bus = make_bus()
+        second = StubSnooper("second")
+
+        class Detacher(Snooper):
+            master_name = "detacher"
+
+            def snoop(self, txn):
+                if second in bus.snoopers:
+                    bus.detach_snooper(second)
+                return SnoopReply.OK
+
+            def observe(self, txn):
+                pass
+
+        bus.attach_snooper(Detacher())
+        bus.attach_snooper(second)
+        run_txn(sim, bus, Transaction(BusOp.READ, 0x100, "m"))
+        assert second.seen == [(BusOp.READ, 0x100)]
+        assert second not in bus.snoopers
+        # The next tenure really does skip the detached snooper.
+        run_txn(sim, bus, Transaction(BusOp.READ, 0x200, "m"))
+        assert second.seen == [(BusOp.READ, 0x100)]

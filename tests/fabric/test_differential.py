@@ -1,0 +1,165 @@
+"""Cross-fabric faithfulness: the split bus is coherence-identical.
+
+The split-transaction bus pipelines *occupancy*, not semantics: every
+coherence commit still lands at address-phase end in grant order, so on
+any serialised trace every counter except the timing-only ``bus.busy*``
+keys and the fabric-specific ``fabric.*`` keys must match the atomic
+bus exactly, as must the final per-master line-state occupancy and
+every per-access value.  This suite runs that comparison over all five
+generated workload families crossed with all six protocols (the same
+sweep the batch engine's faithfulness suite uses), plus heterogeneous
+wrapper mixes.
+
+The directory fabric consults only recorded sharers, which changes the
+ARTRY/drain interleaving — its counters legitimately differ — so its
+contract here is semantic: a clean :class:`CoherenceChecker` on the
+contended workloads, on every arbitration discipline.  The 16-master
+mixed-protocol acceptance run at the bottom covers both alternative
+fabrics at scale.
+"""
+
+import pytest
+
+from repro.core.platform import Platform, PlatformConfig
+from repro.cpu.presets import preset_generic, preset_intel486
+from repro.engines import get_engine, serialize_workload
+from repro.verify.checker import CoherenceChecker
+from repro.workloads.tracegen import false_sharing_traces, replay_parallel
+
+#: counters a fabric may legitimately move: channel occupancy timing
+#: and the fabric's own ``fabric.`` namespace
+TIMING_PREFIXES = ("bus.busy", "fabric.")
+
+PROTOCOLS = ("MEI", "MSI", "MESI", "MOESI", "DRAGON")
+
+FAMILIES = {
+    "racy": {"kind": "racy", "n": 120, "footprint_words": 16, "seed": 11},
+    "false-sharing": {"kind": "false-sharing", "n": 120, "lines": 3,
+                      "seed": 5},
+    "lock-contention": {"kind": "lock-contention", "n_acquires": 10,
+                        "seed": 3},
+    "hotspot": {"kind": "hotspot", "n": 150, "footprint_words": 64,
+                "seed": 7},
+    "producer-consumer": {"kind": "producer-consumer", "n_items": 30},
+}
+
+_PROTOCOL_CYCLE = ("MESI", "MOESI", "MSI", "MEI")
+
+
+def _strip_timing(stats):
+    return {
+        k: v for k, v in stats.items()
+        if not any(k.startswith(p) for p in TIMING_PREFIXES)
+    }
+
+
+def _pair_config(p0, p1):
+    cores = (
+        preset_generic("p0", p0, cache_size=1024).with_(cache_ways=2),
+        preset_generic("p1", p1, cache_size=1024).with_(cache_ways=2),
+    )
+    return PlatformConfig(cores=cores, hardware_coherence=True)
+
+
+def assert_split_matches_atomic(config, workload):
+    accesses = serialize_workload(workload)
+    atomic = get_engine("exact").run(config, accesses)
+    split = get_engine("exact").run(config.with_(fabric="split"), accesses)
+    assert split.accesses == atomic.accesses == len(accesses)
+    assert _strip_timing(split.stats) == _strip_timing(atomic.stats)
+    assert split.line_states == atomic.line_states
+    assert split.values == atomic.values
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_family_protocol_sweep(protocol, family):
+    assert_split_matches_atomic(
+        _pair_config(protocol, protocol), FAMILIES[family]
+    )
+
+
+@pytest.mark.parametrize(
+    "pair", [("MESI", "MEI"), ("MOESI", "MSI"), ("MOESI", "MEI")]
+)
+def test_heterogeneous_mixes_through_the_wrappers(pair):
+    assert_split_matches_atomic(
+        _pair_config(*pair),
+        {"kind": "false-sharing", "n": 140, "lines": 4, "seed": 9},
+    )
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_i486_split_writeback_writethrough(family):
+    # The sixth protocol: SI, entering through the i486's protocol_wt.
+    config = PlatformConfig(
+        cores=(
+            preset_intel486("i486").with_(cache_size=1024, cache_ways=2),
+            preset_generic("p1", "MESI", cache_size=1024).with_(cache_ways=2),
+        ),
+        hardware_coherence=True,
+    )
+    assert_split_matches_atomic(config, FAMILIES[family])
+
+
+def _mixed_platform(n_masters, fabric, discipline):
+    cores = tuple(
+        preset_generic(f"p{i}", _PROTOCOL_CYCLE[i % len(_PROTOCOL_CYCLE)])
+        for i in range(n_masters)
+    )
+    return Platform(
+        PlatformConfig(
+            cores=cores,
+            hardware_coherence=True,
+            arbitration=discipline,
+            drain_policy="window",
+            fabric=fabric,
+        )
+    )
+
+
+@pytest.mark.parametrize("discipline", ("fcfs", "priority", "round-robin"))
+def test_directory_contended_runs_are_coherent(discipline):
+    platform = _mixed_platform(4, "directory", discipline)
+    checker = CoherenceChecker(platform)
+    traces = false_sharing_traces(60, procs=4, lines=2, seed=11)
+    replay_parallel(platform, traces)
+    checker.check_all_lines()
+    assert checker.clean, checker.violations[:3]
+
+
+@pytest.mark.parametrize("fabric", ("split", "directory"))
+@pytest.mark.parametrize("discipline", ("fcfs", "priority", "round-robin"))
+def test_sixteen_master_acceptance(fabric, discipline):
+    # The acceptance bar: a 16-master mixed-protocol contended
+    # false-sharing workload completes on both alternative fabrics
+    # under every arbitration discipline with a clean checker.
+    platform = _mixed_platform(16, fabric, discipline)
+    checker = CoherenceChecker(platform)
+    traces = false_sharing_traces(40, procs=16, lines=2, seed=11)
+    result = replay_parallel(platform, traces)
+    assert result.elapsed_ns > 0
+    checker.check_all_lines()
+    assert checker.clean, checker.violations[:3]
+
+
+def test_window_drain_redirty_race_is_refused():
+    # Regression for the lost-update race on "window" drains: a
+    # port-free drain captures line content at address-phase end, the
+    # CPU re-dirties the line before the drain's data phase commits,
+    # and the commit used to invalidate the fresh store.  The fix
+    # snapshots content and refuses the state flip, counting
+    # ``drain_redirties``.  This configuration hits the race
+    # deterministically; without the refusal it reads stale data.
+    platform = _mixed_platform(4, "atomic", "priority")
+    checker = CoherenceChecker(platform)
+    traces = false_sharing_traces(40, procs=4, lines=2, seed=11)
+    replay_parallel(platform, traces)
+    checker.check_all_lines()
+    assert checker.clean, checker.violations[:3]
+    redirties = sum(
+        count
+        for key, count in platform.stats.as_dict().items()
+        if key.endswith("drain_redirties")
+    )
+    assert redirties >= 1

@@ -394,3 +394,52 @@ class TestEngineContract:
     def test_model_import_of_the_model_is_silent(self, make_project):
         src = "from repro.core.platform import ENGINE_NAMES\n"
         assert _run(make_project, {"core/x.py": src}, ["engine-contract"]) == []
+
+
+class TestFabricContract:
+    def test_absolute_import_in_model_code_fires(self, make_project):
+        src = "import repro.fabric\n"
+        findings = _run(make_project, {"bus/x.py": src}, ["fabric-contract"])
+        assert [f.rule for f in findings] == ["fabric-contract"]
+        assert "one-way" in findings[0].message
+
+    def test_from_import_fires(self, make_project):
+        src = "from repro.fabric.split import SplitBus\n"
+        findings = _run(make_project, {"cache/x.py": src}, ["fabric-contract"])
+        assert len(findings) == 1
+        assert "repro.fabric.split" in findings[0].message
+
+    def test_relative_import_fires(self, make_project):
+        src = "from ..fabric import make_fabric\n"
+        findings = _run(make_project, {"bus/x.py": src}, ["fabric-contract"])
+        assert len(findings) == 1
+        assert "..fabric" in findings[0].message
+
+    def test_sanctioned_consumers_are_silent(self, make_project):
+        src = "from repro.fabric import make_fabric\n"
+        files = {
+            "fabric/x.py": src,
+            "core/platform.py": src,
+            "exp/x.py": src,
+            "__main__.py": src,
+        }
+        assert _run(make_project, files, ["fabric-contract"]) == []
+
+    def test_vocabulary_cycle_fires(self, make_project):
+        # The fabric package must not import the platform back.
+        src = "from ..core.platform import FABRIC_NAMES\n"
+        findings = _run(
+            make_project, {"fabric/x.py": src}, ["fabric-contract"]
+        )
+        assert len(findings) == 1
+        assert "vocabulary" in findings[0].message
+
+    def test_fabric_importing_the_bus_is_silent(self, make_project):
+        src = "from ..bus.asb import AsbBus\n"
+        files = {"fabric/x.py": src}
+        assert _run(make_project, files, ["fabric-contract"]) == []
+
+    def test_live_registry_surface_is_sound(self):
+        from repro.lint.fabric_contract import validate_fabric_surface
+
+        assert validate_fabric_surface() == []

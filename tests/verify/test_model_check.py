@@ -151,3 +151,42 @@ class TestNWaySystems:
         assert [v.kind for v in direct.violations] == [
             v.kind for v in system.violations
         ]
+
+
+class TestDirectoryMode:
+    """Presence bits as model state: the directory's listener discipline."""
+
+    def test_every_wrapped_triple_safe_under_directory(self):
+        for triple in itertools.product(NAMES, repeat=3):
+            result = check_system(triple, wrapped=True, directory=True)
+            assert result.ok, (triple, result.violations[:1])
+
+    def test_incompatible_pairs_still_caught(self):
+        # Tracking sharers must not mask the protocol-mix bugs the
+        # broadcast model finds.
+        result = check_system(("MESI", "MEI"), wrapped=False, directory=True)
+        assert not result.ok
+
+    def test_presence_adds_no_states(self):
+        # The presence vector exactly mirrors line validity, so the
+        # directory-mode state space is isomorphic to the snoopy one —
+        # the proof that consulting only recorded sharers is complete.
+        for triple in (("MESI",) * 3, ("MOESI",) * 3, ("MSI", "MESI", "MOESI")):
+            snoopy = check_system(triple, wrapped=True)
+            directory = check_system(triple, wrapped=True, directory=True)
+            assert directory.reachable_states == snoopy.reachable_states
+
+    def test_result_carries_the_directory_flag(self):
+        result = check_system(("MEI", "MEI"), directory=True)
+        assert result.directory
+        assert "directory" in result.render()
+        assert not check_system(("MEI", "MEI")).directory
+
+    def test_describe_renders_presence_bits(self):
+        state = ModelState(
+            (State.SHARED, State.INVALID),
+            (False, False),
+            mem_fresh=True,
+            present=(True, False),
+        )
+        assert "dir:" in state.describe()
