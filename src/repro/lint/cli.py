@@ -13,11 +13,20 @@ Exit codes (stable, relied on by CI and shell pipelines):
 
 from __future__ import annotations
 
+import glob
+import os
+import subprocess
 import sys
-from typing import Optional, Sequence, TextIO
+from typing import List, Optional, Sequence, TextIO
 
 from .core import RULES, Severity, load_project, run_rules
-from .report import filter_baseline, load_baseline, render_json, render_text
+from .report import (
+    filter_baseline,
+    load_baseline,
+    render_json,
+    render_sarif,
+    render_text,
+)
 
 __all__ = ["run_lint", "add_lint_arguments"]
 
@@ -31,7 +40,26 @@ def add_lint_arguments(parser) -> None:
     parser.add_argument(
         "paths",
         nargs="*",
-        help="files or directories to lint (default: the repro package)",
+        help=(
+            "files, directories or globs to lint "
+            "(default: the repro package)"
+        ),
+    )
+    parser.add_argument(
+        "--paths",
+        dest="extra_paths",
+        nargs="+",
+        metavar="GLOB",
+        default=[],
+        help="additional files/directories/globs to lint",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "lint only Python files changed relative to HEAD "
+            "(uncommitted edits plus untracked files, per git)"
+        ),
     )
     parser.add_argument(
         "--rules",
@@ -41,9 +69,12 @@ def add_lint_arguments(parser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (json is also the baseline format)",
+        help=(
+            "report format (json is also the baseline format; "
+            "sarif is SARIF 2.1.0 for code-scanning UIs)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -62,6 +93,52 @@ def add_lint_arguments(parser) -> None:
     )
 
 
+def _expand_paths(raw_paths: Sequence[str]) -> List[str]:
+    """Resolve each command-line entry, treating non-paths as globs.
+
+    A literal existing file or directory passes through unchanged; any
+    other entry is expanded with :func:`glob.glob` (``**`` recurses).
+    An entry matching nothing raises ``ValueError`` — a typo'd glob
+    silently linting zero files would read as a clean run.
+    """
+    expanded: List[str] = []
+    for raw in raw_paths:
+        if os.path.exists(raw):
+            expanded.append(raw)
+            continue
+        matches = sorted(glob.glob(raw, recursive=True))
+        if not matches:
+            raise ValueError(f"path or glob matched nothing: {raw!r}")
+        expanded.extend(matches)
+    return expanded
+
+
+def _changed_python_files() -> List[str]:
+    """Python files changed vs HEAD plus untracked ones, per git.
+
+    Raises ``RuntimeError`` when git is unavailable or the working
+    directory is not a repository.
+    """
+    files: List[str] = []
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = getattr(exc, "stderr", "") or str(exc)
+            raise RuntimeError(
+                f"{' '.join(cmd)} failed: {detail.strip()}"
+            ) from exc
+        files.extend(line for line in proc.stdout.splitlines() if line)
+    return sorted(
+        {f for f in files if f.endswith(".py") and os.path.exists(f)}
+    )
+
+
 def run_lint(args, stdout: Optional[TextIO] = None, stderr: Optional[TextIO] = None) -> int:
     """Execute one lint run from parsed ``args``; returns the exit code."""
     out = stdout if stdout is not None else sys.stdout
@@ -77,8 +154,31 @@ def run_lint(args, stdout: Optional[TextIO] = None, stderr: Optional[TextIO] = N
             out.write(f"{rule_id:<{width}}  {rule.description}\n")
         return EXIT_CLEAN
 
+    raw_paths = list(args.paths) + list(getattr(args, "extra_paths", []) or [])
+    if getattr(args, "changed_only", False):
+        if raw_paths:
+            err.write(
+                "repro lint: --changed-only and explicit paths are "
+                "mutually exclusive\n"
+            )
+            return EXIT_USAGE
+        try:
+            raw_paths = _changed_python_files()
+        except RuntimeError as exc:
+            err.write(f"repro lint: --changed-only needs git: {exc}\n")
+            return EXIT_USAGE
+        if not raw_paths:
+            out.write("repro lint: clean (no changed Python files)\n")
+            return EXIT_CLEAN
+    else:
+        try:
+            raw_paths = _expand_paths(raw_paths)
+        except ValueError as exc:
+            err.write(f"repro lint: {exc}\n")
+            return EXIT_USAGE
+
     try:
-        project = load_project(args.paths or None)
+        project = load_project(raw_paths or None)
     except (OSError, SyntaxError) as exc:
         err.write(f"repro lint: cannot load sources: {exc}\n")
         return EXIT_USAGE
@@ -109,6 +209,8 @@ def run_lint(args, stdout: Optional[TextIO] = None, stderr: Optional[TextIO] = N
 
     if args.format == "json":
         render_json(findings, out)
+    elif args.format == "sarif":
+        render_sarif(findings, out)
     else:
         render_text(findings, out)
         if baselined:

@@ -1,0 +1,103 @@
+"""``wait-cycle``: cycles in the static waits-for graph.
+
+The graph's vertices are the registry's resources; its edges come in
+two strengths (built by :meth:`ConcurAnalysis.wait_edges`):
+
+* **hold edges** (may): some process holds ``src`` while blocking on
+  ``dst`` — directly or through a ``yield from`` chain (the controller
+  holding its port through ``transact`` contributes
+  ``cache-port -> bus-tenure`` and ``cache-port -> drain-completion``).
+* **provider edges** (must): *every* path by which ``src`` is provided
+  (its completion succeeded / its slot released) first blocks on
+  ``dst``.  These are strong: if the drain worker can only succeed a
+  completion after taking the cache port on all paths, then
+  ``drain-completion -> cache-port`` holds unconditionally.  A bypass
+  branch — the ``drain_needs_port`` drain-policy check — makes the
+  edge conditional and drops it, which is exactly how the PR 6 fix
+  breaks the cycle.
+
+A cycle is reported unless some edge on it is **ceiling-guarded**: a
+re-request wait for an arbiter/slot resource inside a loop anchored by
+the retry ceiling resolves as a diagnosed ``LivelockError``, never a
+silent deadlock.  Completion waits are never ceiling-breakable — a
+back-off on ``all_of(completions)`` has no retry bound.
+
+The finding anchors at a strong edge's blocking site when the cycle
+has one (that is where the fix goes), else at the first hold edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..core import Finding, Project, Rule, register
+from .model import ConcurAnalysis, WaitEdge
+
+__all__ = ["WaitCycleRule"]
+
+
+def _representative_edges(edges: List[WaitEdge]) -> Dict[str, Dict[str, WaitEdge]]:
+    """Pick one edge per (src, dst): a deadlock needs only one concrete
+    unguarded instance, so an unguarded edge beats a ceiling-guarded
+    one; among equals, a strong edge (better anchor) beats a hold edge."""
+    adjacency: Dict[str, Dict[str, WaitEdge]] = {}
+    for edge in edges:
+        slot = adjacency.setdefault(edge.src, {})
+        existing = slot.get(edge.dst)
+        if existing is None:
+            slot[edge.dst] = edge
+            continue
+        better = (not edge.ceiling, edge.strong) > (not existing.ceiling, existing.strong)
+        if better:
+            slot[edge.dst] = edge
+    return adjacency
+
+
+def _elementary_cycles(adjacency: Dict[str, Dict[str, WaitEdge]], cap: int = 8):
+    """All elementary cycles up to ``cap`` edges, each reported once
+    (rooted at its lexicographically smallest vertex)."""
+    cycles = []
+    vertices = sorted(adjacency)
+    for start in vertices:
+        stack = [(start, [start])]
+        while stack:
+            current, path = stack.pop()
+            for nxt in sorted(adjacency.get(current, ())):
+                if nxt == start:
+                    cycles.append(list(path))
+                elif nxt > start and nxt not in path and len(path) < cap:
+                    stack.append((nxt, path + [nxt]))
+    return cycles
+
+
+@register
+class WaitCycleRule(Rule):
+    id = "wait-cycle"
+    description = (
+        "the static waits-for graph between process types has no cycle "
+        "unbroken by a retry ceiling or a drain-policy bypass"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        analysis = ConcurAnalysis.of(project)
+        adjacency = _representative_edges(analysis.wait_edges())
+        findings: List[Finding] = []
+        for cycle in sorted(_elementary_cycles(adjacency)):
+            edges = [
+                adjacency[cycle[i]][cycle[(i + 1) % len(cycle)]]
+                for i in range(len(cycle))
+            ]
+            if any(edge.ceiling for edge in edges):
+                continue  # bounded by the retry ceiling: livelock, not deadlock
+            anchor = next((e for e in edges if e.strong), edges[0])
+            ring = " -> ".join(cycle + [cycle[0]])
+            detail = "; ".join(edge.describe() for edge in edges)
+            findings.append(
+                self.finding(
+                    anchor.path,
+                    anchor.line,
+                    f"static waits-for cycle: {ring} — {detail}; no retry "
+                    f"ceiling or drain-policy bypass breaks it",
+                )
+            )
+        return findings

@@ -1,0 +1,76 @@
+"""``resource-release``: every acquire reaches a release on all paths.
+
+The PR 3 bus bug in rule form: a tenure that released the arbiter on
+the normal completion paths but leaked it when a snoop window raised
+mid-tenure.  The fix — release in a ``finally`` guarded by ``held`` —
+is exactly what the pass recognises: a release anywhere inside a
+``finally`` suite kills the resource at the suite's exit on both the
+normal and the exception continuation (the *syntactic kill*, see
+:mod:`.cfg`), and a release in a post-``try`` dominator covers the
+normal paths.
+
+Per acquire key the pass checks the function's two exits:
+
+* held at the **normal** exit — some return path skips the release;
+* held at the **raise** exit — an exception between acquire and
+  release escapes with the resource held (release belongs in a
+  ``finally``).
+
+A blocking acquire's own exception edge does not count as held — a
+``yield arbiter.request(...)`` that raises never granted.  Ownership
+explicitly handed to a spawned process (a ``transfer_methods`` call,
+e.g. the split bus passing its window slot to the data tenure) is a
+transfer, not a leak.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..core import Finding, Project, Rule, register
+from .model import ConcurAnalysis
+
+__all__ = ["ResourceReleaseRule"]
+
+
+@register
+class ResourceReleaseRule(Rule):
+    id = "resource-release"
+    description = (
+        "every resource acquire (bus tenure, cache port, window slot, bank) "
+        "reaches a release on all paths, including exception edges"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        analysis = ConcurAnalysis.of(project)
+        findings: List[Finding] = []
+        for fi in analysis.functions:
+            if not fi.acquire_sites:
+                continue
+            held_in = analysis.may_held(fi)
+            cfg = fi.cfg
+            held_raise = held_in.get(cfg.raise_exit) or frozenset()
+            held_exit = held_in.get(cfg.exit) or frozenset()
+            # One finding per leaked key: the exception-path wording
+            # wins when both exits leak (a finally fixes both).
+            for key in sorted(held_raise | held_exit):
+                sid, receiver = key
+                line = fi.acquire_sites.get(key, fi.node.lineno)
+                if key in held_raise:
+                    how = "when an exception escapes"
+                    hint = "move the release into a finally"
+                else:
+                    how = "on a normal return path"
+                    hint = (
+                        "release it on every return path "
+                        "(a post-try dominator or a finally)"
+                    )
+                findings.append(
+                    self.finding(
+                        fi.path,
+                        line,
+                        f"{sid} acquired here (receiver {receiver!r}) is "
+                        f"still held {how} of {fi.qualname}; {hint}",
+                    )
+                )
+        return findings

@@ -153,11 +153,19 @@ class ModuleSource:
             return True
         return False
 
-    def unused_suppression_findings(self) -> List[Finding]:
-        """A warning per waiver that silenced nothing this run."""
+    def unused_suppression_findings(
+        self, known_rules: Optional[Set[str]] = None
+    ) -> List[Finding]:
+        """A warning per waiver that silenced nothing this run.
+
+        Waivers naming a rule outside ``known_rules`` are excluded —
+        they are reported separately (as errors, not unused warnings).
+        """
         findings = []
         for line, rules in sorted(self.suppressions.items()):
             for rule in sorted(rules):
+                if known_rules is not None and rule not in known_rules:
+                    continue
                 if (line, rule) not in self.used_suppressions:
                     findings.append(
                         Finding(
@@ -166,6 +174,31 @@ class ModuleSource:
                             line=line,
                             message=f"unused suppression for rule {rule!r}",
                             severity=Severity.WARNING,
+                        )
+                    )
+        return findings
+
+    def unknown_suppression_findings(self, known_rules: Set[str]) -> List[Finding]:
+        """An error per waiver naming a rule that does not exist.
+
+        A typo'd waiver (``lint-ok[hold-accross-yield]``) would
+        otherwise sit dead forever while the finding it meant to
+        silence fails the run — or worse, silently stop waiving after
+        a rule rename.
+        """
+        findings = []
+        for line, rules in sorted(self.suppressions.items()):
+            for rule in sorted(rules):
+                if rule not in known_rules:
+                    findings.append(
+                        Finding(
+                            rule=SUPPRESSION_RULE_ID,
+                            path=self.path,
+                            line=line,
+                            message=(
+                                f"suppression names unknown rule {rule!r} "
+                                f"(no such rule is registered)"
+                            ),
                         )
                     )
         return findings
@@ -214,8 +247,13 @@ def load_project(paths: Optional[Sequence[str]] = None) -> Project:
 
     With no ``paths`` the package's own source tree (``src/repro``) is
     used, located relative to this file so the lint run works from any
-    working directory.
+    working directory.  Files under the package root always get the
+    same package-relative label regardless of how they were named on
+    the command line — baselines and waiver paths stay stable across
+    ``repro lint``, ``repro lint src/repro/bus`` and ``--changed-only``
+    runs.
     """
+    package_root = Path(__file__).resolve().parents[1]  # .../src/repro
     if paths:
         files: List[Path] = []
         for raw in paths:
@@ -227,15 +265,22 @@ def load_project(paths: Optional[Sequence[str]] = None) -> Project:
         root = Path(paths[0])
         root = root if root.is_dir() else root.parent
     else:
-        root = Path(__file__).resolve().parents[1]  # .../src/repro
+        root = package_root
         files = sorted(root.rglob("*.py"))
     project = Project(root=root)
+    seen: Set[str] = set()
     for file in files:
+        resolved = file.resolve()
         try:
-            relative = file.resolve().relative_to(root.resolve())
-            label = relative.as_posix()
+            label = resolved.relative_to(package_root).as_posix()
         except ValueError:
-            label = file.as_posix()
+            try:
+                label = resolved.relative_to(root.resolve()).as_posix()
+            except ValueError:
+                label = file.as_posix()
+        if label in seen:  # a file named twice on the command line
+            continue
+        seen.add(label)
         project.modules.append(ModuleSource(label, file.read_text()))
     return project
 
@@ -327,9 +372,11 @@ def run_rules(
             if module is not None and module.is_suppressed(finding):
                 continue
             findings.append(finding)
+    known_rules = set(RULES) | {SUPPRESSION_RULE_ID}
     for module in project.modules:
         findings.extend(module.suppression_findings)
+        findings.extend(module.unknown_suppression_findings(known_rules))
         if rule_ids is None:
-            findings.extend(module.unused_suppression_findings())
+            findings.extend(module.unused_suppression_findings(known_rules))
     findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
     return findings

@@ -1,11 +1,15 @@
 """Reporters and the baseline mechanism for ``repro lint``.
 
-Two output formats:
+Three output formats:
 
 * **text** — one ``path:line: [severity] rule: message`` per finding,
   grouped by file, plus a summary line.  This is the human format.
 * **json** — a stable machine-readable document (schema below) that CI
   uploads as an artifact and the baseline machinery consumes.
+* **sarif** — SARIF 2.1.0, the interchange format code-scanning UIs
+  ingest (GitHub annotates PR diffs from it).  SARIF is *not* the
+  baseline format — its result objects carry no stable identity across
+  runs; the JSON format remains canonical for baselines.
 
 A *baseline* is a JSON report from a previous run.  With
 ``--baseline FILE`` only findings absent from that file fail the run —
@@ -24,13 +28,22 @@ from .core import Finding, Severity
 __all__ = [
     "render_text",
     "render_json",
+    "render_sarif",
     "load_baseline",
     "filter_baseline",
     "JSON_SCHEMA_VERSION",
+    "SARIF_VERSION",
 ]
 
 #: bumped whenever the JSON document shape changes incompatibly
 JSON_SCHEMA_VERSION = 1
+
+#: the SARIF spec version ``render_sarif`` emits
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(findings: Sequence[Finding], stream: TextIO) -> None:
@@ -69,6 +82,69 @@ def render_json(findings: Sequence[Finding], stream: TextIO) -> None:
                 "message": f.message,
             }
             for f in findings
+        ],
+    }
+    json.dump(document, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def render_sarif(findings: Sequence[Finding], stream: TextIO) -> None:
+    """Write a SARIF 2.1.0 log with one run covering all findings.
+
+    The rule metadata comes from the live registry so code-scanning
+    UIs can show each rule's description; findings from rules not in
+    the registry (the synthetic ``suppression`` id) still get a rules
+    entry, built from the findings themselves.
+    """
+    from .core import RULES, SUPPRESSION_RULE_ID
+
+    descriptions = {rid: rule.description for rid, rule in RULES.items()}
+    descriptions.setdefault(
+        SUPPRESSION_RULE_ID, "hygiene of the lint-ok waiver comments themselves"
+    )
+    rule_ids = sorted(set(descriptions) | {f.rule for f in findings})
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": rid,
+            "shortDescription": {"text": descriptions.get(rid, rid)},
+        }
+        for rid in rule_ids
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": "error" if f.severity is Severity.ERROR else "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(f.line, 1)},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    document = {
+        "$schema": _SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
         ],
     }
     json.dump(document, stream, indent=2, sort_keys=True)

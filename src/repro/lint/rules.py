@@ -6,6 +6,9 @@ selecting rules, so callers never need to know the individual modules.
 """
 
 from . import determinism  # noqa: F401
+from .concur import cycle  # noqa: F401
+from .concur import hold  # noqa: F401
+from .concur import release  # noqa: F401
 from . import engine_contract  # noqa: F401
 from . import fabric_contract  # noqa: F401
 from . import fault_proxy  # noqa: F401

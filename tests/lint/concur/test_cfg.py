@@ -1,0 +1,210 @@
+"""Unit tests for the yield-point CFG and the may-held dataflow."""
+
+import textwrap
+
+import pytest
+
+from repro.lint.concur.model import ConcurAnalysis
+
+
+def analyze(make_project, source, path="bus.py"):
+    project = make_project({path: textwrap.dedent(source)})
+    return ConcurAnalysis(project)
+
+
+def func(analysis, name):
+    (fi,) = analysis.by_name[name]
+    return fi
+
+
+class TestCfgShape:
+    def test_straight_line_reaches_exit(self, make_project):
+        analysis = analyze(
+            make_project,
+            """
+            class Bus:
+                def transact(self, txn):
+                    yield self.sim.timeout(1)
+                    return None
+            """,
+        )
+        fi = func(analysis, "transact")
+        cfg = fi.cfg
+        assert fi.is_generator
+        # Entry reaches exit through the statement nodes.
+        reachable = set()
+        work = [cfg.entry]
+        while work:
+            node = work.pop()
+            if node in reachable:
+                continue
+            reachable.add(node)
+            work.extend(succ for succ, _kind in node.succ)
+        assert cfg.exit in reachable
+        assert cfg.raise_exit in reachable  # the yield may raise
+
+    def test_loop_has_back_edge(self, make_project):
+        analysis = analyze(
+            make_project,
+            """
+            class Bus:
+                def spin(self):
+                    while True:
+                        yield self.sim.timeout(1)
+            """,
+        )
+        cfg = func(analysis, "spin").cfg
+        # Some node's successor set points back at an already-seen node.
+        seen = []
+        work = [cfg.entry]
+        back = False
+        while work:
+            node = work.pop()
+            if node in seen:
+                continue
+            seen.append(node)
+            for succ, _kind in node.succ:
+                if succ in seen:
+                    back = True
+                work.append(succ)
+        assert back
+
+
+class TestMayHeld:
+    def test_finally_release_kills_exception_edge(self, make_project):
+        analysis = analyze(
+            make_project,
+            """
+            class Bus:
+                def transact(self, txn):
+                    yield self.arbiter.request(txn, 0)
+                    try:
+                        yield self.sim.timeout(1)
+                    finally:
+                        self.arbiter.release(txn)
+            """,
+        )
+        fi = func(analysis, "transact")
+        held = analysis.may_held(fi)
+        assert not held[fi.cfg.exit]
+        assert not held[fi.cfg.raise_exit]
+
+    def test_unguarded_hold_leaks_on_exception(self, make_project):
+        analysis = analyze(
+            make_project,
+            """
+            class Bus:
+                def transact(self, txn):
+                    yield self.arbiter.request(txn, 0)
+                    yield self.sim.timeout(1)
+                    self.arbiter.release(txn)
+            """,
+        )
+        fi = func(analysis, "transact")
+        held = analysis.may_held(fi)
+        assert not held[fi.cfg.exit]  # the normal path does release
+        assert {key[0] for key in held[fi.cfg.raise_exit]} == {"bus-tenure"}
+
+    def test_blocking_acquire_own_failure_is_not_held(self, make_project):
+        analysis = analyze(
+            make_project,
+            """
+            class Bus:
+                def transact(self, txn):
+                    yield self.arbiter.request(txn, 0)
+                    self.arbiter.release(txn)
+            """,
+        )
+        fi = func(analysis, "transact")
+        held = analysis.may_held(fi)
+        # The only exception edges are the request's own (never granted)
+        # and the release call's; only the latter carries the grant.
+        assert {key[0] for key in held[fi.cfg.raise_exit]} <= {"bus-tenure"}
+        assert not held[fi.cfg.exit]
+
+    def test_transfer_clears_held_on_normal_path(self, make_project):
+        analysis = analyze(
+            make_project,
+            """
+            class Split:
+                def transact(self, txn):
+                    yield self._acquire_slot()
+                    self.sim.process(self._data_tenure(txn))
+                    return None
+            """,
+        )
+        fi = func(analysis, "transact")
+        held = analysis.may_held(fi)
+        assert not held[fi.cfg.exit]  # handed off, not leaked
+
+    def test_acquire_sites_record_first_line(self, make_project):
+        analysis = analyze(
+            make_project,
+            """
+            class Bus:
+                def transact(self, txn):
+                    yield self.arbiter.request(txn, 0)
+                    self.arbiter.release(txn)
+            """,
+        )
+        fi = func(analysis, "transact")
+        (key,) = fi.acquire_sites
+        assert key[0] == "bus-tenure"
+        assert fi.acquire_sites[key] == 4
+
+
+class TestSummaries:
+    def test_waits_summary_follows_yield_from(self, make_project):
+        analysis = analyze(
+            make_project,
+            """
+            class Bus:
+                def transact(self, txn):
+                    yield self.arbiter.request(txn, 0)
+                    self.arbiter.release(txn)
+
+            class Ctrl:
+                def read(self, addr):
+                    value = yield from self.bus.transact(addr)
+                    return value
+            """,
+        )
+        fi = func(analysis, "read")
+        assert "bus-tenure" in analysis.waits_summary(fi)
+
+    def test_must_waits_meets_over_branches(self, make_project):
+        analysis = analyze(
+            make_project,
+            """
+            class Worker:
+                def run(self, fast):
+                    if fast:
+                        yield self.sim.timeout(1)
+                    else:
+                        yield self.arbiter.request(fast, 0)
+                        self.arbiter.release(fast)
+            """,
+        )
+        fi = func(analysis, "run")
+        # One branch never arbitrates: nothing is a must-wait.
+        assert analysis.must_waits(fi) == {}
+
+    def test_ceiling_loop_marks_statements(self, make_project):
+        analysis = analyze(
+            make_project,
+            """
+            class Ctrl:
+                def read(self, addr):
+                    while True:
+                        yield self.arbiter.request(addr, 0)
+                        self.arbiter.release(addr)
+                        self._check_retry_ceiling(addr)
+                        break
+            """,
+        )
+        fi = func(analysis, "read")
+        assert fi.ceiling_stmts
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,162 @@
+"""The lint CLI surface: path globs, --changed-only, SARIF output.
+
+Exit-code semantics are unchanged by the new flags and pinned here:
+0 clean (including a --changed-only run with nothing changed),
+1 findings, 2 usage/configuration problems (bad glob, no git).
+"""
+
+import argparse
+import io
+import json
+import subprocess
+
+import pytest
+
+from repro.lint.cli import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    add_lint_arguments,
+    run_lint,
+)
+
+# A module the determinism rule flags wherever it lives (set iteration).
+VIOLATION = "items = {1, 2, 3}\ntotal = 0\nfor item in items:\n    total += item\n"
+CLEAN = "items = (1, 2, 3)\ntotal = sum(items)\n"
+
+
+def lint(argv):
+    parser = argparse.ArgumentParser()
+    add_lint_arguments(parser)
+    out, err = io.StringIO(), io.StringIO()
+    code = run_lint(parser.parse_args(argv), stdout=out, stderr=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+def git(tmp_path, *argv):
+    return subprocess.run(
+        ["git", "-C", str(tmp_path),
+         "-c", "user.email=t@example.com", "-c", "user.name=t",
+         *argv],
+        capture_output=True, text=True, check=True,
+    )
+
+
+class TestPathGlobs:
+    def test_glob_expansion_lints_the_matches(self, tmp_path):
+        (tmp_path / "hot.py").write_text(VIOLATION)
+        (tmp_path / "cold.py").write_text(CLEAN)
+        code, out, _err = lint(["--paths", str(tmp_path / "*.py")])
+        assert code == EXIT_FINDINGS
+        assert "hot.py" in out and "cold.py" not in out
+
+    def test_positional_paths_also_take_globs(self, tmp_path):
+        (tmp_path / "hot.py").write_text(VIOLATION)
+        code, out, _err = lint([str(tmp_path / "h*.py")])
+        assert code == EXIT_FINDINGS
+        assert "hot.py" in out
+
+    def test_unmatched_glob_is_a_usage_error(self, tmp_path):
+        code, _out, err = lint(["--paths", str(tmp_path / "nope" / "*.py")])
+        assert code == EXIT_USAGE
+        assert "matched nothing" in err
+
+    def test_directory_passes_through(self, tmp_path):
+        (tmp_path / "cold.py").write_text(CLEAN)
+        code, out, _err = lint([str(tmp_path)])
+        assert code == EXIT_CLEAN
+        assert "clean" in out
+
+
+class TestChangedOnly:
+    def test_exclusive_with_explicit_paths(self, tmp_path):
+        code, _out, err = lint(["--changed-only", str(tmp_path)])
+        assert code == EXIT_USAGE
+        assert "mutually exclusive" in err
+
+    def test_outside_a_repo_is_a_usage_error(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code, _out, err = lint(["--changed-only"])
+        assert code == EXIT_USAGE
+        assert "needs git" in err
+
+    def test_nothing_changed_reports_clean(self, tmp_path, monkeypatch):
+        git(tmp_path, "init", "-q")
+        (tmp_path / "hot.py").write_text(VIOLATION)
+        git(tmp_path, "add", ".")
+        git(tmp_path, "commit", "-qm", "seed")
+        monkeypatch.chdir(tmp_path)
+        code, out, _err = lint(["--changed-only"])
+        assert code == EXIT_CLEAN
+        assert "no changed Python files" in out
+
+    def test_modified_and_untracked_files_are_linted(
+        self, tmp_path, monkeypatch
+    ):
+        git(tmp_path, "init", "-q")
+        (tmp_path / "tracked.py").write_text(CLEAN)
+        (tmp_path / "notes.txt").write_text("not python\n")
+        git(tmp_path, "add", ".")
+        git(tmp_path, "commit", "-qm", "seed")
+        (tmp_path / "tracked.py").write_text(VIOLATION)  # modified
+        (tmp_path / "fresh.py").write_text(VIOLATION)  # untracked
+        (tmp_path / "notes.txt").write_text("still not python\n")
+        monkeypatch.chdir(tmp_path)
+        code, out, _err = lint(["--changed-only"])
+        assert code == EXIT_FINDINGS
+        assert "tracked.py" in out and "fresh.py" in out
+        assert "notes.txt" not in out
+
+    def test_deleted_file_is_skipped(self, tmp_path, monkeypatch):
+        git(tmp_path, "init", "-q")
+        (tmp_path / "gone.py").write_text(CLEAN)
+        git(tmp_path, "add", ".")
+        git(tmp_path, "commit", "-qm", "seed")
+        (tmp_path / "gone.py").unlink()
+        monkeypatch.chdir(tmp_path)
+        code, out, _err = lint(["--changed-only"])
+        assert code == EXIT_CLEAN
+        assert "no changed Python files" in out
+
+
+class TestSarifOutput:
+    def test_sarif_document_shape(self, tmp_path):
+        (tmp_path / "hot.py").write_text(VIOLATION)
+        code, out, _err = lint([str(tmp_path), "--format", "sarif"])
+        assert code == EXIT_FINDINGS
+        doc = json.loads(out)
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert any(r["ruleId"] == "determinism" for r in run["results"])
+
+    def test_clean_sarif_has_empty_results(self, tmp_path):
+        (tmp_path / "cold.py").write_text(CLEAN)
+        code, out, _err = lint([str(tmp_path), "--format", "sarif"])
+        assert code == EXIT_CLEAN
+        assert json.loads(out)["runs"][0]["results"] == []
+
+
+class TestLabelStability:
+    def test_package_files_keep_package_relative_labels(self):
+        # Naming a package file directly must not change its label:
+        # waivers and baselines key on the package-relative path.
+        from pathlib import Path
+
+        import repro
+        from repro.lint.core import load_project
+
+        kernel = Path(repro.__file__).parent / "sim" / "kernel.py"
+        project = load_project([str(kernel)])
+        assert [m.path for m in project.modules] == ["sim/kernel.py"]
+
+    def test_outside_files_fall_back_to_root_relative(self, tmp_path):
+        from repro.lint.core import load_project
+
+        (tmp_path / "mod.py").write_text(CLEAN)
+        project = load_project([str(tmp_path)])
+        assert [m.path for m in project.modules] == ["mod.py"]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

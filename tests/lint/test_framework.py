@@ -18,6 +18,7 @@ from repro.lint.report import (
     filter_baseline,
     load_baseline,
     render_json,
+    render_sarif,
     render_text,
 )
 
@@ -67,6 +68,37 @@ class TestSuppressions:
         module = ModuleSource("core/doc.py", src)
         assert module.suppressions == {}
 
+    def test_unknown_rule_waiver_is_an_error(self, make_project):
+        src = "x = 1  # repro: lint-ok[hold-accross-yield]\n"
+        project = make_project({"core/util.py": src})
+        findings = run_rules(project, ["slots"])  # even on partial runs
+        (finding,) = findings
+        assert finding.rule == "suppression"
+        assert finding.severity is Severity.ERROR
+        assert "unknown rule 'hold-accross-yield'" in finding.message
+
+    def test_unknown_rule_waiver_not_double_reported(self, make_project):
+        src = "x = 1  # repro: lint-ok[no-such-rule]\n"
+        project = make_project({"core/util.py": src})
+        findings = run_rules(project)  # full run: unused warnings active
+        assert [f for f in findings if "unknown rule" in f.message]
+        assert not [f for f in findings if "unused" in f.message]
+
+    def test_blanket_waiver_on_a_yield_is_an_error(self, make_project):
+        src = (
+            "class Bus:\n"
+            "    def transact(self, txn):\n"
+            "        yield self.arbiter.request(txn, 0)  # repro: lint-ok\n"
+            "        self.arbiter.release(txn)\n"
+        )
+        project = make_project({"bus/asb.py": src})
+        findings = run_rules(project, ["resource-release"])
+        blanket = [f for f in findings if f.rule == "suppression"]
+        assert blanket and blanket[0].severity is Severity.ERROR
+        assert "blanket" in blanket[0].message
+        # And it silenced nothing: the leak is still reported.
+        assert [f for f in findings if f.rule == "resource-release"]
+
 
 class TestReporters:
     def _findings(self):
@@ -102,6 +134,36 @@ class TestReporters:
             "severity": "error",
             "message": "class A has no __slots__",
         }
+
+    def test_sarif_report(self):
+        out = io.StringIO()
+        render_sarif(self._findings(), out)
+        doc = json.loads(out.getvalue())
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert "slots" in rule_ids and "suppression" in rule_ids
+        first, second = run["results"]
+        assert first["ruleId"] == "slots"
+        assert first["level"] == "error"
+        assert rule_ids[first["ruleIndex"]] == "slots"
+        location = first["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "a.py"
+        assert location["region"]["startLine"] == 3
+        assert second["level"] == "warning"
+
+    def test_sarif_rule_index_covers_unregistered_rules(self):
+        out = io.StringIO()
+        render_sarif(
+            [Finding("ad-hoc", "a.py", 1, "one-off")], out
+        )
+        doc = json.loads(out.getvalue())
+        (run,) = doc["runs"]
+        rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        (result,) = run["results"]
+        assert rule_ids[result["ruleIndex"]] == "ad-hoc"
 
 
 class TestBaseline:
