@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Campaign-service gate: dedup, load shedding and cache replay.
+
+Run from the repository root (the package must be importable, e.g.
+``PYTHONPATH=src python benchmarks/bench_service.py``).  Without flags
+it runs the full saturation study (overlapping clients, a starved
+fleet under a probe flood, a cache-sharing replay), prints the
+comparison against the committed ``BENCH_service.json`` baseline, and
+rewrites that file.  Only deterministic admission counters are
+compared — wall-clock throughput is recorded for humans, never gated
+on — so CI uses ``--smoke`` (3 concurrent clients submitting the same
+sweep+fuzz campaign; hard assertions on dedup and a clean drain) or
+``--quick --check --output /tmp/...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service.bench import (  # noqa: E402
+    BENCH_FILE,
+    check_regression,
+    load_results,
+    render_comparison,
+    run_smoke,
+    run_suite,
+)
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate only: concurrent overlapping clients, "
+                             "assert dedup + clean drain, no baseline I/O")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller probe flood (CI smoke)")
+    parser.add_argument("--baseline", default=os.path.join(REPO_ROOT, BENCH_FILE),
+                        help="baseline JSON to compare against")
+    parser.add_argument("--output", default=None,
+                        help="where to write results (default: the baseline path)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="do not write a result file")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when checked counters drift")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        failures = run_smoke()
+        if failures:
+            for failure in failures:
+                print(f"SMOKE FAIL {failure}", file=sys.stderr)
+            return 1
+        print("service smoke: dedup exact, every unique job simulated "
+              "once, clean drain")
+        return 0
+
+    baseline = load_results(args.baseline)
+    current = run_suite(quick=args.quick)
+    print(render_comparison(current, baseline))
+
+    if not args.no_write:
+        output = args.output or args.baseline
+        with open(output, "w") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"results written to {output}")
+
+    if args.check and baseline is not None:
+        failures = check_regression(current, baseline)
+        if failures:
+            for failure in failures:
+                print(f"SERVICE DRIFT {failure}", file=sys.stderr)
+            return 1
+        print("all checked counters match the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

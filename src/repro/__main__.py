@@ -41,6 +41,23 @@ Commands
     snoopy-vs-directory headline — against the committed
     ``BENCH_fabrics.json`` baseline.  All metrics are simulated, so
     ``--check`` compares exactly by default.
+``bench service``
+    Run the campaign-service saturation study (dedup under concurrent
+    clients, load shedding at a starved fleet, cache replay) and
+    compare its deterministic admission counters against the committed
+    ``BENCH_service.json`` baseline.  ``--quick`` shrinks the probe
+    flood; ``--check`` exits non-zero on drift.
+``serve``
+    Boot the crash-safe campaign job service (:mod:`repro.service`):
+    a stdlib asyncio HTTP API that accepts sweep / fuzz / shrink jobs
+    as JSON, dedups identical submissions, answers repeats from the
+    sharded result cache, sheds load beyond a bounded queue, and
+    recovers from ``kill -9`` via its JSONL journal.  See
+    ``docs/service.md``.
+``submit PAYLOAD``
+    Submit one job (inline JSON, ``@file.json`` or ``-``) to a running
+    service; ``--wait`` long-polls to the terminal state, ``--follow``
+    streams the SSE feed.
 ``verify``
     Exhaustively model-check every protocol pair, wrapped and
     unwrapped, and print the verdict matrix.
@@ -97,6 +114,13 @@ from .errors import ConfigError, IntegrationError, ReproError
 from .exp import SweepRunner
 from .fuzz.cli import add_fuzz_arguments, run_fuzz
 from .lint.cli import add_lint_arguments, run_lint
+from .service.cli import (
+    add_serve_arguments,
+    add_submit_arguments,
+    run_bench_service,
+    run_serve,
+    run_submit,
+)
 from .verify.model_check import check_matrix
 from .workloads import MicrobenchSpec, run_microbench, table2_demo, table3_demo
 
@@ -169,10 +193,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lint", help="run the static-analysis suite")
     add_lint_arguments(p)
 
+    p = sub.add_parser(
+        "serve", help="run the crash-safe campaign job service"
+    )
+    add_serve_arguments(p)
+
+    p = sub.add_parser("submit", help="submit a job to a running service")
+    add_submit_arguments(p)
+
     p = sub.add_parser("bench", help="run one microbenchmark configuration")
     p.add_argument("scenario",
                    choices=("wcs", "tcs", "bcs", "hotpath", "scaleout",
-                            "fabrics"))
+                            "fabrics", "service"))
     p.add_argument("solution", nargs="?", default=None,
                    choices=("disabled", "software", "proposed"))
     p.add_argument("--lines", type=int, default=8)
@@ -440,6 +472,8 @@ def _cmd_bench(args) -> int:
         return _cmd_bench_scaleout(args)
     if args.scenario == "fabrics":
         return _cmd_bench_fabrics(args)
+    if args.scenario == "service":
+        return run_bench_service(args)
     if args.solution is None:
         print(f"bench {args.scenario}: a solution "
               "(disabled/software/proposed) is required", file=sys.stderr)
@@ -495,6 +529,8 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "fuzz": run_fuzz,
     "lint": _cmd_lint,
+    "serve": run_serve,
+    "submit": run_submit,
 }
 
 

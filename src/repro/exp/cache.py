@@ -1,7 +1,11 @@
 """On-disk result cache, content-addressed by payload + version + engine.
 
-Every cache entry is one JSON file ``<root>/<sha256>.json`` whose key
-is the SHA-256 of the canonical JSON encoding of::
+Every cache entry is one JSON file ``<root>/<kk>/<sha256>.json`` —
+**sharded** by the first two hex digits ``kk`` of its key, so a
+campaign-scale cache (hundreds of thousands of entries) never turns
+one directory into a linear-scan bottleneck, and so the campaign
+service can spread shards across stores later without rehashing.  The
+key is the SHA-256 of the canonical JSON encoding of::
 
     {"version": <repro.__version__>,
      "engine": {"name": <engine>, "version": <engine version>},
@@ -22,9 +26,16 @@ Writes go through a temp file + :func:`os.replace` so a crashed or
 concurrent run never leaves a torn entry.  Reads *validate*: an entry
 that fails to JSON-decode or does not look like a cache entry (a dict
 with ``version``/``job``/``result`` keys) is **quarantined** — moved to
-``<root>/corrupt/`` for post-mortem — and reported as a miss, so one
-torn or truncated file costs one re-simulation, never a crash and
-never a poisoned figure.
+``<root>/corrupt/<kk>/`` (the quarantine respects the shard layout)
+for post-mortem — and reported as a miss, so one torn or truncated
+file costs one re-simulation, never a crash and never a poisoned
+figure.
+
+Caches written before the shard layout stored entries flat at
+``<root>/<sha256>.json``; those migrate transparently: a read that
+misses in the shard checks the legacy flat path and relocates the file
+(atomic :func:`os.replace`) into its shard before validating it, and
+:meth:`ResultCache.migrate` sweeps everything in one pass.
 """
 
 from __future__ import annotations
@@ -37,6 +48,7 @@ from typing import Any, Dict, Optional
 
 __all__ = [
     "DEFAULT_ENGINE",
+    "SHARD_PREFIX_LEN",
     "ResultCache",
     "canonical_payload",
     "content_key",
@@ -90,8 +102,12 @@ def content_key(
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+#: number of hex digits of the key that name an entry's shard directory
+SHARD_PREFIX_LEN = 2
+
+
 class ResultCache:
-    """A directory of content-addressed JSON result files."""
+    """A sharded directory of content-addressed JSON result files."""
 
     def __init__(
         self,
@@ -105,7 +121,14 @@ class ResultCache:
         self.engine = engine_tag(engine)
         #: entries moved to <root>/corrupt/ by this instance
         self.quarantined = 0
+        #: legacy flat entries relocated into shards by this instance
+        self.migrated = 0
         os.makedirs(self.root, exist_ok=True)
+
+    @staticmethod
+    def shard_of(key: str) -> str:
+        """The shard directory name (2 hex digits) owning ``key``."""
+        return key[:SHARD_PREFIX_LEN]
 
     def key_for(self, payload: Dict[str, Any]) -> str:
         """The cache key of ``payload`` under this cache's version+engine."""
@@ -115,7 +138,17 @@ class ResultCache:
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def path_for(self, key: str) -> str:
-        """Filesystem path of the entry for ``key``."""
+        """Filesystem path of the (sharded) entry for ``key``.
+
+        The shard directory is created on demand so callers may write
+        to the returned path directly.
+        """
+        shard = os.path.join(self.root, self.shard_of(key))
+        os.makedirs(shard, exist_ok=True)
+        return os.path.join(shard, f"{key}.json")
+
+    def _legacy_path_for(self, key: str) -> str:
+        """Pre-shard flat location of ``key`` (migration source only)."""
         return os.path.join(self.root, f"{key}.json")
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
@@ -124,9 +157,19 @@ class ResultCache:
         A present-but-unreadable entry (truncated write, disk hiccup,
         manual tampering) is quarantined rather than crashing the sweep
         or silently masking the damage: the file moves to
-        ``<root>/corrupt/`` and the caller re-simulates.
+        ``<root>/corrupt/<shard>/`` and the caller re-simulates.
         """
         path = self.path_for(key)
+        if not os.path.exists(path):
+            legacy = self._legacy_path_for(key)
+            if os.path.exists(legacy):
+                # Transparent migration: relocate the flat entry into
+                # its shard, then validate it like any other read.
+                try:
+                    os.replace(legacy, path)
+                    self.migrated += 1
+                except OSError:
+                    return None
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 raw = handle.read()
@@ -154,8 +197,14 @@ class ResultCache:
         )
 
     def _quarantine(self, path: str) -> None:
-        """Move a corrupt entry to ``<root>/corrupt/`` (best effort)."""
-        corrupt_dir = os.path.join(self.root, "corrupt")
+        """Move a corrupt entry to ``<root>/corrupt/<shard>/`` (best effort).
+
+        The quarantine mirrors the shard layout so a forensic sweep of
+        one shard's corruption never has to scan every other shard's
+        casualties.
+        """
+        key = os.path.basename(path).rsplit(".", 1)[0]
+        corrupt_dir = os.path.join(self.root, "corrupt", self.shard_of(key))
         try:
             os.makedirs(corrupt_dir, exist_ok=True)
             os.replace(path, os.path.join(corrupt_dir, os.path.basename(path)))
@@ -179,11 +228,12 @@ class ResultCache:
             "job": payload,
             "result": result,
         }
-        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        path = self.path_for(key)  # creates the shard directory
+        fd, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(entry, handle, indent=1, sort_keys=True)
-            os.replace(tmp_path, self.path_for(key))
+            os.replace(tmp_path, path)
         except BaseException:
             try:
                 os.unlink(tmp_path)
@@ -191,6 +241,41 @@ class ResultCache:
                 pass
             raise
 
+    def migrate(self) -> int:
+        """Relocate every legacy flat entry into its shard; count moved.
+
+        Reads already migrate lazily; this sweeps the whole root in one
+        pass (used at service startup so a warmed pre-shard cache is
+        fully available before traffic arrives).
+        """
+        moved = 0
+        for name in sorted(os.listdir(self.root)):
+            if not name.endswith(".json"):
+                continue
+            key = name.rsplit(".", 1)[0]
+            target = self.path_for(key)
+            try:
+                os.replace(os.path.join(self.root, name), target)
+                moved += 1
+            except OSError:
+                continue
+        self.migrated += moved
+        return moved
+
+    def _shard_dirs(self):
+        """Existing shard directories (never ``corrupt/``)."""
+        for name in sorted(os.listdir(self.root)):
+            path = os.path.join(self.root, name)
+            if (
+                len(name) == SHARD_PREFIX_LEN
+                and os.path.isdir(path)
+                and name != "corrupt"
+            ):
+                yield path
+
     def __len__(self) -> int:
-        """Number of entries currently on disk."""
-        return sum(1 for n in os.listdir(self.root) if n.endswith(".json"))
+        """Number of entries currently on disk (all shards + legacy)."""
+        count = sum(1 for n in os.listdir(self.root) if n.endswith(".json"))
+        for shard in self._shard_dirs():
+            count += sum(1 for n in os.listdir(shard) if n.endswith(".json"))
+        return count

@@ -22,12 +22,19 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
-from ..errors import ConfigError
+from ..errors import ConfigError, ReproError
 from ..workloads.microbench import MicrobenchSpec
 
-__all__ = ["SimJob", "MicrobenchJob", "SequenceJob", "job_from_payload"]
+__all__ = [
+    "SimJob",
+    "MicrobenchJob",
+    "SequenceJob",
+    "job_from_payload",
+    "job_kinds",
+    "register_job_kind",
+]
 
 
 class SimJob:
@@ -38,9 +45,14 @@ class SimJob:
     JSON-serialisable description — the cache key input), ``label`` (a
     short human-readable tag for manifests) and :meth:`run` (execute the
     simulation, return a JSON-serialisable ``dict``).
+
+    ``cacheable`` says whether the content-addressed result cache may
+    store and serve this job's result; every real simulation is
+    cacheable, only diagnostic jobs (the service's probe jobs) opt out.
     """
 
     kind: str = "abstract"
+    cacheable: bool = True
 
     def payload(self) -> Dict[str, Any]:
         """Canonical JSON-serialisable description of this job."""
@@ -162,19 +174,70 @@ class SequenceJob(SimJob):
         }
 
 
+def _microbench_from_payload(payload: Dict[str, Any]) -> SimJob:
+    return MicrobenchJob(
+        spec=MicrobenchSpec(**payload["spec"]),
+        miss_penalty=payload.get("miss_penalty"),
+        arbitration=payload.get("arbitration"),
+        arm_interrupt_entry_cycles=payload.get("arm_interrupt_entry_cycles"),
+    )
+
+
+def _sequence_from_payload(payload: Dict[str, Any]) -> SimJob:
+    return SequenceJob(
+        protocols=tuple(payload["protocols"]),
+        wrapped=payload.get("wrapped", True),
+    )
+
+
+#: job kind -> payload-dict builder; extended via :func:`register_job_kind`
+_JOB_KINDS: Dict[str, Callable[[Dict[str, Any]], SimJob]] = {
+    "microbench": _microbench_from_payload,
+    "sequence": _sequence_from_payload,
+}
+
+
+def register_job_kind(
+    kind: str, builder: Callable[[Dict[str, Any]], SimJob]
+) -> None:
+    """Register a payload builder for a new job family.
+
+    Lets downstream packages (``repro.fuzz.jobs``, the campaign
+    service's probe jobs) plug their job kinds into
+    :func:`job_from_payload` — and therefore into the sweep runner, the
+    result cache and the service — without this module importing them.
+    Re-registering a kind with a different builder is a configuration
+    error; re-registering the same builder is an idempotent no-op (the
+    import-time registration pattern hits this on re-import).
+    """
+    existing = _JOB_KINDS.get(kind)
+    if existing is not None and existing is not builder:
+        raise ConfigError(f"job kind {kind!r} is already registered")
+    _JOB_KINDS[kind] = builder
+
+
+def job_kinds() -> Tuple[str, ...]:
+    """The registered job families, sorted."""
+    return tuple(sorted(_JOB_KINDS))
+
+
 def job_from_payload(payload: Dict[str, Any]) -> SimJob:
-    """Rebuild a job from its :meth:`SimJob.payload` dict."""
+    """Rebuild a job from its :meth:`SimJob.payload` dict.
+
+    Malformed payloads (missing/mistyped fields) surface as
+    :class:`~repro.errors.ConfigError` no matter how the builder
+    chokes, so callers taking untrusted payloads (the campaign
+    service) can map every rebuild failure to "bad request".
+    """
     kind = payload.get("kind")
-    if kind == "microbench":
-        return MicrobenchJob(
-            spec=MicrobenchSpec(**payload["spec"]),
-            miss_penalty=payload.get("miss_penalty"),
-            arbitration=payload.get("arbitration"),
-            arm_interrupt_entry_cycles=payload.get("arm_interrupt_entry_cycles"),
+    builder = _JOB_KINDS.get(kind)
+    if builder is None:
+        raise ConfigError(f"unknown job kind {kind!r}")
+    try:
+        return builder(payload)
+    except ReproError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ConfigError(
+            f"malformed {kind!r} payload: {exc.__class__.__name__}: {exc}"
         )
-    if kind == "sequence":
-        return SequenceJob(
-            protocols=tuple(payload["protocols"]),
-            wrapped=payload.get("wrapped", True),
-        )
-    raise ConfigError(f"unknown job kind {kind!r}")

@@ -10,28 +10,53 @@ costs exactly one job:
   time, so the parent always knows which job a dead or wedged worker
   was running;
 * a job past its deadline gets its worker killed and is **requeued**
-  (bounded attempts, linear backoff) or reported as ``"timeout"``;
+  (bounded attempts, capped exponential backoff) or reported as
+  ``"timeout"``;
 * a worker that dies mid-job is replaced and the job is requeued the
   same way, ending in ``"crash"`` when the attempts run out;
 * an exception *raised* by the job function is deterministic, so it is
   reported once as ``"error"`` (traceback text attached), not retried;
 * results stream back **unordered** as they complete, so callers can
   persist each one immediately — a SIGINT then loses nothing that
-  already finished.
+  already finished;
+* a worker orphaned by a parent ``kill -9`` (which tears down no
+  children) notices the reparenting within a second and exits on its
+  own — no leaked fleet idling forever.
+
+The pool has two modes sharing one engine:
+
+* **batch** — :meth:`map_unordered` runs a fixed item list to
+  completion (the sweep runner and fuzz campaigns use this); every
+  item yields exactly one :class:`PoolResult`;
+* **persistent** — :meth:`start` boots a long-lived worker fleet,
+  :meth:`submit` feeds it one item at a time, :meth:`poll` drives one
+  monitor iteration and returns at most one terminal result, and
+  :meth:`close` tears the fleet down — ``close(drain=True)`` finishes
+  every in-flight and queued job first (graceful drain), the default
+  ``drain=False`` is the kill-oriented teardown batch mode always had.
+  The campaign service's worker bridge is built on this mode.
+
+Requeue backoff is **deterministic**: attempt ``k`` of a job waits
+``min(backoff_s * 2**(k-1), backoff_cap_s)`` seconds before it becomes
+runnable again — no jitter, no randomness — so a replayed schedule of
+submissions produces the same retry timeline.
 
 The pool is deliberately dumb about scheduling (first idle worker
-wins) and smart about accounting: every item passed to
-:meth:`map_unordered` yields exactly one :class:`PoolResult`.
+wins) and smart about accounting: every submitted item eventually
+yields exactly one :class:`PoolResult`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import queue
+import signal
+import threading
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["PoolResult", "ResilientPool"]
 
@@ -51,6 +76,10 @@ class PoolResult:
     wall_s: float
     pid: Optional[int]
     attempts: int
+    #: the pool's attempt ceiling this job ran under (diagnostic)
+    max_attempts: int = 1
+    #: total deterministic backoff delay scheduled across requeues
+    backoff_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -58,11 +87,39 @@ class PoolResult:
         return self.status == "ok"
 
 
-def _worker_main(fn: Callable[[Any], Any], task_queue, result_queue) -> None:
-    """Worker loop: one task at a time, sentinel ``None`` stops it."""
+def _worker_main(
+    fn: Callable[[Any], Any], task_queue, result_queue, owner_pid: int
+) -> None:
+    """Worker loop: one task at a time, sentinel ``None`` stops it.
+
+    ``owner_pid`` is the pool owner's pid *captured in the parent
+    before the fork* — reading ``os.getppid()`` here instead would
+    race: a child first scheduled after its parent already died
+    records init's pid and can never notice the orphaning.
+    """
+    # A forked worker inherits the parent's signal plumbing.  When the
+    # parent is an asyncio process with ``add_signal_handler`` installed
+    # (the campaign service), SIGTERM delivery is a byte written to a
+    # wakeup socketpair — *shared* across fork.  Left as-is, killing a
+    # hung worker with terminate() would inject a phantom SIGTERM into
+    # the parent's event loop (graceful-draining the whole service) and
+    # the worker itself would swallow the signal instead of dying.
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
     pid = os.getpid()
     while True:
-        task = task_queue.get()
+        # Block in short slices so a worker orphaned by a parent
+        # ``kill -9`` (which tears down no children) notices the
+        # reparenting and exits instead of idling forever.
+        try:
+            task = task_queue.get(timeout=1.0)
+        except queue.Empty:
+            if os.getppid() != owner_pid:
+                break
+            continue
         if task is None:
             break
         index, item = task
@@ -91,7 +148,7 @@ class _Worker:
         self.task_queue = multiprocessing.Queue()
         self.process = multiprocessing.Process(
             target=_worker_main,
-            args=(fn, self.task_queue, result_queue),
+            args=(fn, self.task_queue, result_queue, os.getpid()),
             daemon=True,
         )
         self.process.start()
@@ -128,7 +185,14 @@ class ResilientPool:
     ``timeout_s`` is the per-attempt deadline (None = no deadline);
     ``max_attempts`` bounds how often a hung or crashed job is requeued
     before it is reported as ``"timeout"`` / ``"crash"``;
-    ``backoff_s`` delays each requeue by ``backoff_s * attempt``.
+    ``backoff_s`` seeds the capped exponential requeue delay
+    (attempt ``k`` waits ``min(backoff_s * 2**(k-1), backoff_cap_s)``).
+
+    Batch mode (:meth:`map_unordered`) is self-contained.  Persistent
+    mode is ``start()`` + ``submit()`` + ``poll()`` + ``close()``;
+    ``submit`` may be called from a different thread than the one
+    driving ``poll`` (the service's HTTP loop submits while the worker
+    bridge polls) — shared accounting is lock-protected.
     """
 
     def __init__(
@@ -138,6 +202,7 @@ class ResilientPool:
         timeout_s: Optional[float] = None,
         max_attempts: int = 2,
         backoff_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -148,8 +213,102 @@ class ResilientPool:
         self.timeout_s = timeout_s
         self.max_attempts = int(max_attempts)
         self.backoff_s = backoff_s
-        #: terminal non-ok outcomes observed across map_unordered calls
+        self.backoff_cap_s = backoff_cap_s
+        #: terminal non-ok outcomes observed across the pool's lifetime
         self.failures: List[PoolResult] = []
+        # -- engine state (persistent + batch share it) --------------------
+        self._lock = threading.Lock()
+        self._result_queue: Any = None
+        self._pool: List[_Worker] = []
+        self._ready: List[Tuple[int, Any, int]] = []  # LIFO, retries first
+        self._retries: List[Tuple[float, Tuple[int, Any, int]]] = []
+        self._done: set = set()
+        self._backoff_spent: Dict[int, float] = {}
+        self._outstanding = 0
+        self._next_index = 0
+        self._started = False
+        self._replaced_workers = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """True between :meth:`start` and :meth:`close`."""
+        return self._started
+
+    @property
+    def outstanding(self) -> int:
+        """Submitted items that have not yet reached a terminal result."""
+        return self._outstanding
+
+    @property
+    def queued(self) -> int:
+        """Submitted items waiting for a worker (ready + backing off)."""
+        with self._lock:
+            return len(self._ready) + len(self._retries)
+
+    @property
+    def replaced_workers(self) -> int:
+        """Workers killed-and-replaced (crash or timeout) so far."""
+        return self._replaced_workers
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Deterministic requeue delay before attempt ``attempt + 1``."""
+        return min(self.backoff_s * (2 ** (attempt - 1)), self.backoff_cap_s)
+
+    def start(self, n_workers: Optional[int] = None) -> None:
+        """Boot the worker fleet (idempotent)."""
+        if self._started:
+            return
+        self._result_queue = multiprocessing.Queue()
+        self._pool = [
+            _Worker(self.fn, self._result_queue)
+            for _ in range(n_workers if n_workers is not None else self.workers)
+        ]
+        self._started = True
+
+    def submit(self, item: Any) -> int:
+        """Queue one item; returns its pool index (submission order).
+
+        Legal before :meth:`start` — the item waits in the ready queue
+        until a fleet exists (recovery replays submissions this way).
+        """
+        with self._lock:
+            index = self._next_index
+            self._next_index += 1
+            self._outstanding += 1
+            self._ready.insert(0, (index, item, 1))
+        return index
+
+    def close(
+        self, drain: bool = False, timeout_s: Optional[float] = None
+    ) -> List[PoolResult]:
+        """Tear the fleet down; with ``drain=True`` finish all work first.
+
+        Draining polls until every outstanding job reached a terminal
+        result (collected and returned), or ``timeout_s`` elapsed —
+        whatever is still running then is abandoned with the workers.
+        The default is the kill-oriented teardown: workers are stopped
+        where they stand and outstanding jobs are simply dropped.
+        """
+        drained: List[PoolResult] = []
+        if drain and self._started:
+            deadline = (
+                time.monotonic() + timeout_s if timeout_s is not None else None
+            )
+            while self._outstanding:
+                if deadline is not None and time.monotonic() > deadline:
+                    break
+                result = self.poll()
+                if result is not None:
+                    drained.append(result)
+        for worker in self._pool:
+            worker.stop()
+        self._pool = []
+        if self._result_queue is not None:
+            self._result_queue.close()
+            self._result_queue = None
+        self._started = False
+        return drained
 
     # -- execution -----------------------------------------------------------
     def map_unordered(self, items: Sequence[Any]) -> Iterator[PoolResult]:
@@ -157,97 +316,117 @@ class ResilientPool:
         items = list(items)
         if not items:
             return
-        result_queue: Any = multiprocessing.Queue()
-        pool: List[_Worker] = [
-            _Worker(self.fn, result_queue)
-            for _ in range(min(self.workers, len(items)))
-        ]
-        ready: List[Tuple[int, Any, int]] = [
-            (index, item, 1) for index, item in reversed(list(enumerate(items)))
-        ]
-        retries: List[Tuple[float, Tuple[int, Any, int]]] = []
-        done = set()
-        outstanding = len(items)
+        self.start(n_workers=min(self.workers, len(items)))
         try:
-            while outstanding:
-                now = time.monotonic()
-                for due, job in list(retries):
-                    if due <= now:
-                        retries.remove((due, job))
-                        ready.append(job)
-                for worker in pool:
-                    if worker.idle and ready:
-                        worker.assign(ready.pop())
-                result = self._poll(result_queue, pool)
+            for item in items:
+                self.submit(item)
+            while self._outstanding:
+                result = self.poll()
                 if result is not None:
-                    if result.index in done:
-                        continue  # stale duplicate from a timed-out attempt
-                    done.add(result.index)
-                    outstanding -= 1
-                    if not result.ok:
-                        self.failures.append(result)
                     yield result
-                    continue
-                for slot, worker in enumerate(pool):
-                    if worker.current is None:
-                        if not worker.process.is_alive():
-                            # An idle worker died (e.g. an external kill):
-                            # replace it so capacity is not lost.
-                            worker.stop()
-                            pool[slot] = _Worker(self.fn, result_queue)
-                        continue
-                    recovered = self._reap(worker, now)
-                    if recovered is None:
-                        continue
-                    pool[slot] = _Worker(self.fn, result_queue)
-                    job, status = recovered
-                    index, item, attempt = job
-                    if index in done:
-                        continue
-                    if attempt < self.max_attempts:
-                        retries.append(
-                            (now + self.backoff_s * attempt,
-                             (index, item, attempt + 1))
-                        )
-                    else:
-                        done.add(index)
-                        outstanding -= 1
-                        failure = PoolResult(
-                            index=index,
-                            status=status,
-                            value=(
-                                f"job {status} after {attempt} attempt(s)"
-                                + (f" (deadline {self.timeout_s}s)"
-                                   if status == "timeout" else "")
-                            ),
-                            wall_s=now - worker.assigned_at,
-                            pid=None,
-                            attempts=attempt,
-                        )
-                        self.failures.append(failure)
-                        yield failure
         finally:
-            for worker in pool:
-                worker.stop()
-            result_queue.close()
+            self.close()
+
+    def poll(self, timeout: float = _POLL_S) -> Optional[PoolResult]:
+        """One monitor iteration: assign, reap, wait up to ``timeout``.
+
+        Returns a terminal :class:`PoolResult` when one completed, else
+        None.  Call repeatedly; each submitted item produces exactly
+        one result across calls.
+        """
+        now = time.monotonic()
+        with self._lock:
+            for due, job in list(self._retries):
+                if due <= now:
+                    self._retries.remove((due, job))
+                    self._ready.append(job)  # retries jump the line
+            for worker in self._pool:
+                if worker.idle and self._ready:
+                    worker.assign(self._ready.pop())
+        result = self._poll_queue(timeout)
+        if result is not None:
+            if result.index in self._done:
+                return None  # stale duplicate from a timed-out attempt
+            self._done.add(result.index)
+            with self._lock:
+                self._outstanding -= 1
+            if not result.ok:
+                self.failures.append(result)
+            return result
+        return self._reap_workers(time.monotonic())
+
+    def _reap_workers(self, now: float) -> Optional[PoolResult]:
+        """Detect crashed/overdue workers; at most one terminal result."""
+        for slot, worker in enumerate(self._pool):
+            if worker.current is None:
+                if not worker.process.is_alive():
+                    # An idle worker died (e.g. an external kill):
+                    # replace it so capacity is not lost.
+                    worker.stop()
+                    self._pool[slot] = _Worker(self.fn, self._result_queue)
+                    self._replaced_workers += 1
+                continue
+            recovered = self._reap(worker, now)
+            if recovered is None:
+                continue
+            self._pool[slot] = _Worker(self.fn, self._result_queue)
+            self._replaced_workers += 1
+            job, status = recovered
+            index, item, attempt = job
+            if index in self._done:
+                continue
+            if attempt < self.max_attempts:
+                delay = self.backoff_delay(attempt)
+                with self._lock:
+                    self._backoff_spent[index] = (
+                        self._backoff_spent.get(index, 0.0) + delay
+                    )
+                    self._retries.append((now + delay, (index, item, attempt + 1)))
+                continue
+            self._done.add(index)
+            with self._lock:
+                self._outstanding -= 1
+                backoff_spent = self._backoff_spent.get(index, 0.0)
+            failure = PoolResult(
+                index=index,
+                status=status,
+                value=(
+                    f"job {status} after {attempt} attempt(s)"
+                    + (f" (deadline {self.timeout_s}s)"
+                       if status == "timeout" else "")
+                ),
+                wall_s=now - worker.assigned_at,
+                pid=None,
+                attempts=attempt,
+                max_attempts=self.max_attempts,
+                backoff_s=backoff_spent,
+            )
+            self.failures.append(failure)
+            return failure
+        return None
 
     # -- monitoring ----------------------------------------------------------
-    def _poll(self, result_queue, pool) -> Optional[PoolResult]:
+    def _poll_queue(self, timeout: float) -> Optional[PoolResult]:
         """One bounded wait on the result queue; releases the sender."""
         try:
-            pid, index, status, value, wall_s = result_queue.get(timeout=_POLL_S)
+            pid, index, status, value, wall_s = self._result_queue.get(
+                timeout=timeout
+            )
         except Exception:  # queue.Empty (raised lazily via multiprocessing)
             return None
         attempts = 1
-        for worker in pool:
+        for worker in self._pool:
             if worker.process.pid == pid and worker.current is not None:
                 if worker.current[0] == index:
                     attempts = worker.current[2]
                     worker.current = None
                 break
+        with self._lock:
+            backoff_spent = self._backoff_spent.get(index, 0.0)
         return PoolResult(
             index=index, status=status, value=value,
             wall_s=wall_s, pid=pid, attempts=attempts,
+            max_attempts=self.max_attempts, backoff_s=backoff_spent,
         )
 
     def _reap(self, worker: _Worker, now: float):
@@ -271,3 +450,32 @@ class ResilientPool:
                 worker.process.join(timeout=1.0)
             return job, "timeout"
         return None
+
+    # -- introspection -------------------------------------------------------
+    def worker_snapshot(self) -> List[Dict[str, Any]]:
+        """Parent-side view of every worker (for /stats and watchdogs)."""
+        snapshot = []
+        now = time.monotonic()
+        for worker in self._pool:
+            current = worker.current
+            snapshot.append(
+                {
+                    "pid": worker.process.pid,
+                    "alive": worker.process.is_alive(),
+                    "index": current[0] if current is not None else None,
+                    "attempt": current[2] if current is not None else None,
+                    "busy_s": (
+                        round(now - worker.assigned_at, 6)
+                        if current is not None else 0.0
+                    ),
+                }
+            )
+        return snapshot
+
+    def active_indices(self) -> List[int]:
+        """Pool indices currently assigned to a live worker."""
+        return [
+            worker.current[0]
+            for worker in self._pool
+            if worker.current is not None and worker.process.is_alive()
+        ]

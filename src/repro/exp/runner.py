@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -226,13 +227,28 @@ class SweepRunner:
         }
 
     def write_manifest(self, path: str) -> None:
-        """Write :meth:`manifest` as JSON to ``path``."""
-        directory = os.path.dirname(path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.manifest(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        """Write :meth:`manifest` as JSON to ``path``, atomically.
+
+        Concurrent writers (two sweep processes sharing a manifest
+        path, or a crash mid-dump) must never leave a torn half-JSON
+        file behind: the manifest is staged in a temp file next to the
+        target and published with one :func:`os.replace`, so readers
+        only ever see a complete old or complete new manifest.
+        """
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self.manifest(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     def summary(self) -> str:
         """One-line human summary of the manifest totals."""

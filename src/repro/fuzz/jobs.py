@@ -1,0 +1,197 @@
+"""Fuzzing as sweep jobs: the campaign-as-job adapter.
+
+The campaign service (and the plain sweep runner) speak
+:class:`~repro.exp.jobs.SimJob`.  This module gives the fuzz package
+that vocabulary, so a fuzz case or a shrink request is just another
+content-addressed, cacheable, crash-recoverable job:
+
+* :class:`FuzzCaseJob` — run one :class:`~repro.fuzz.case.FuzzCase`
+  and classify it against its oracle.  The case is named either
+  explicitly (a full case dict — what a reproducer file carries) or
+  generatively (``(seed, index)`` plus the
+  :class:`~repro.fuzz.gen.CaseGenerator` shape parameters — what a
+  campaign submits), and generation is index-stable, so the payload is
+  deterministic either way and safe to hash into a cache key.
+* :class:`ShrinkJob` — ddmin-minimise an explicit failing case while
+  preserving its outcome class.
+
+Importing this module registers both kinds with
+:func:`~repro.exp.jobs.register_job_kind`; worker subprocesses import
+it before rebuilding payloads, so the registry is populated on both
+sides of the process boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..errors import ConfigError
+from ..exp.jobs import SimJob, register_job_kind
+from .case import FuzzCase, run_case
+from .gen import CaseGenerator
+from .shrink import shrink_case
+
+__all__ = ["FuzzCaseJob", "ShrinkJob"]
+
+
+def _frozen(data: Optional[Dict[str, Any]]) -> Optional[str]:
+    """Canonical JSON for embedding a dict in a frozen dataclass."""
+    import json
+
+    if data is None:
+        return None
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _thaw(blob: Optional[str]) -> Optional[Dict[str, Any]]:
+    import json
+
+    if blob is None:
+        return None
+    return json.loads(blob)
+
+
+@dataclass(frozen=True)
+class FuzzCaseJob(SimJob):
+    """One fuzz case as a sweep/service job.
+
+    Exactly one of ``case_json`` (explicit case dict, canonical JSON)
+    or ``(seed, index)`` + generator shape must be provided; the
+    explicit form wins when both are present (a shrunk reproducer
+    replayed through the service).
+    """
+
+    case_json: Optional[str] = None
+    seed: int = 0
+    index: int = 0
+    n_masters: int = 2
+    p_deadlock: float = 0.1
+    p_unwrapped: float = 0.3
+    p_fault: float = 0.15
+    fabric: str = "atomic"
+    explicit: bool = field(default=False)
+
+    kind = "fuzz_case"
+
+    @classmethod
+    def from_case(cls, case: FuzzCase) -> "FuzzCaseJob":
+        """Wrap an explicit case (reproducer replay)."""
+        return cls(case_json=_frozen(case.to_dict()), explicit=True)
+
+    def resolve_case(self) -> FuzzCase:
+        """The concrete case this job runs."""
+        if self.explicit:
+            if self.case_json is None:
+                raise ConfigError("explicit fuzz job carries no case")
+            return FuzzCase.from_dict(_thaw(self.case_json))
+        generator = CaseGenerator(
+            self.seed,
+            n_masters=self.n_masters,
+            p_deadlock=self.p_deadlock,
+            p_unwrapped=self.p_unwrapped,
+            p_fault=self.p_fault,
+            fabric=self.fabric,
+        )
+        return generator.case(self.index)
+
+    def payload(self) -> Dict[str, Any]:
+        if self.explicit:
+            return {
+                "kind": self.kind,
+                "case": _thaw(self.case_json),
+            }
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "index": self.index,
+            "n_masters": self.n_masters,
+            "p_deadlock": self.p_deadlock,
+            "p_unwrapped": self.p_unwrapped,
+            "p_fault": self.p_fault,
+            "fabric": self.fabric,
+        }
+
+    @property
+    def label(self) -> str:
+        if self.explicit:
+            return f"fuzz {self.resolve_case().describe()}"
+        return f"fuzz seed={self.seed} index={self.index}"
+
+    def run(self) -> Dict[str, Any]:
+        case = self.resolve_case()
+        result = run_case(case)
+        out = result.to_dict()
+        out["case"] = case.to_dict()
+        return out
+
+
+@dataclass(frozen=True)
+class ShrinkJob(SimJob):
+    """Minimise one explicit failing case (ddmin + config passes)."""
+
+    case_json: str = ""
+    target_outcome: Optional[str] = None
+    max_tests: int = 500
+
+    kind = "shrink"
+
+    @classmethod
+    def from_case(
+        cls,
+        case: FuzzCase,
+        target_outcome: Optional[str] = None,
+        max_tests: int = 500,
+    ) -> "ShrinkJob":
+        return cls(
+            case_json=_frozen(case.to_dict()),
+            target_outcome=target_outcome,
+            max_tests=max_tests,
+        )
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "case": _thaw(self.case_json),
+            "target_outcome": self.target_outcome,
+            "max_tests": self.max_tests,
+        }
+
+    @property
+    def label(self) -> str:
+        return f"shrink {FuzzCase.from_dict(_thaw(self.case_json)).describe()}"
+
+    def run(self) -> Dict[str, Any]:
+        case = FuzzCase.from_dict(_thaw(self.case_json))
+        result = shrink_case(
+            case, target_outcome=self.target_outcome, max_tests=self.max_tests
+        )
+        return result.to_dict()
+
+
+def _fuzz_case_from_payload(payload: Dict[str, Any]) -> SimJob:
+    if "case" in payload and payload["case"] is not None:
+        return FuzzCaseJob(case_json=_frozen(payload["case"]), explicit=True)
+    return FuzzCaseJob(
+        seed=payload.get("seed", 0),
+        index=payload.get("index", 0),
+        n_masters=payload.get("n_masters", 2),
+        p_deadlock=payload.get("p_deadlock", 0.1),
+        p_unwrapped=payload.get("p_unwrapped", 0.3),
+        p_fault=payload.get("p_fault", 0.15),
+        fabric=payload.get("fabric", "atomic"),
+    )
+
+
+def _shrink_from_payload(payload: Dict[str, Any]) -> SimJob:
+    if not payload.get("case"):
+        raise ConfigError("shrink job payload carries no case")
+    return ShrinkJob(
+        case_json=_frozen(payload["case"]),
+        target_outcome=payload.get("target_outcome"),
+        max_tests=payload.get("max_tests", 500),
+    )
+
+
+register_job_kind("fuzz_case", _fuzz_case_from_payload)
+register_job_kind("shrink", _shrink_from_payload)

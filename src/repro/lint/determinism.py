@@ -129,7 +129,7 @@ class DeterminismRule(AstRule):
         "no set iteration, id()-based ordering, global random, or "
         "wall-clock reads in simulator logic"
     )
-    exempt_paths = ("exp/", "lint/")
+    exempt_paths = ("exp/", "lint/", "service/")
 
     def visit_module(self, module: ModuleSource) -> Iterable[Finding]:
         set_symbols = _collect_set_symbols(module.tree)

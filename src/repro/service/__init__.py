@@ -1,0 +1,63 @@
+"""The campaign service: sweeps, fuzzing and shrinking as async jobs.
+
+This package promotes the experiment stack's primitives — the
+content-addressed sharded :class:`~repro.exp.cache.ResultCache`, the
+crash-proof :class:`~repro.exp.procpool.ResilientPool`, and the
+resumable JSONL manifest discipline of the fuzz campaigns — into one
+long-running, crash-safe HTTP job service ("many clients submitting
+overlapping simulation campaigns and mostly hitting cache"):
+
+* a **stdlib-only asyncio HTTP API** (hand-rolled on
+  :func:`asyncio.start_server`, no third-party deps) accepting any
+  registered :class:`~repro.exp.jobs.SimJob` payload — microbench and
+  sequence sweeps, fuzz cases, shrink requests — as JSON;
+* **in-flight dedup**: identical jobs from different clients share one
+  execution (the job id *is* the content-addressed cache key);
+* **bounded admission**: a full queue sheds load with ``429`` +
+  ``Retry-After`` instead of growing without bound, and a draining
+  service answers ``503``;
+* a persistent :class:`~repro.exp.procpool.ResilientPool` worker
+  fleet with per-job timeout and deterministic capped exponential
+  retry backoff;
+* **progress streaming** via Server-Sent Events and long-polling;
+* a **journal** (append-only JSONL, one flushed line per transition)
+  that makes ``kill -9`` + restart lose nothing: completed results
+  live in the sharded cache, the journal replays every submission, and
+  recovery re-simulates only jobs that never finished anywhere;
+* graceful SIGTERM **drain** (finish in-flight work, flush the
+  journal, refuse new work) and ``/healthz`` / ``/readyz`` /
+  ``/stats`` wired to a service-level watchdog reusing the fault
+  harness's heartbeat pattern (stalled-worker detection).
+
+Entry points: ``python -m repro serve`` boots a service,
+``python -m repro submit`` talks to one, ``python -m repro bench
+service`` runs the saturation study.  See ``docs/service.md``.
+"""
+
+from .client import ServiceClient, ServiceHTTPError
+from .config import ServiceConfig
+from .jobs import ProbeJob
+from .scheduler import DrainingError, QueueFullError, Scheduler
+from .server import CampaignService, serve
+from .state import (
+    TERMINAL_STATUSES,
+    Journal,
+    load_journal,
+    service_manifest,
+)
+
+__all__ = [
+    "CampaignService",
+    "DrainingError",
+    "Journal",
+    "ProbeJob",
+    "QueueFullError",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceHTTPError",
+    "TERMINAL_STATUSES",
+    "load_journal",
+    "serve",
+    "service_manifest",
+]

@@ -1,0 +1,177 @@
+"""Argument wiring for ``repro serve`` / ``repro submit`` /
+``repro bench service`` (kept here so :mod:`repro.__main__` stays a
+table of thin delegations)."""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from ..core.platform import ENGINE_NAMES
+from ..errors import IntegrationError
+from .client import ServiceClient, ServiceHTTPError
+from .config import ServiceConfig
+
+__all__ = [
+    "add_serve_arguments",
+    "add_submit_arguments",
+    "run_bench_service",
+    "run_serve",
+    "run_submit",
+]
+
+
+def add_serve_arguments(parser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (default: 0 = pick a free one; the "
+                             "bound port is published in DATA_DIR/service.json)")
+    parser.add_argument("--data-dir", default="service-data", metavar="DIR",
+                        help="journal + cache + announce file root")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache root (default: DATA_DIR/cache; "
+                             "point it at a sweep cache to share results)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="simulation worker processes (default: 2)")
+    parser.add_argument("--max-queue", type=int, default=64,
+                        help="admitted-but-not-running bound; beyond it "
+                             "submissions are shed with 429 (default: 64)")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        metavar="SECONDS", dest="timeout_s",
+                        help="per-attempt job deadline (default: 300)")
+    parser.add_argument("--max-attempts", type=int, default=2,
+                        help="attempts per hung/crashed job (default: 2)")
+    parser.add_argument("--engine", default="exact", choices=ENGINE_NAMES,
+                        help="simulation engine tag for the result cache")
+    parser.add_argument("--allow-probe", action="store_true",
+                        help="admit diagnostic probe jobs (chaos drills "
+                             "and smoke benchmarks only)")
+
+
+def run_serve(args) -> int:
+    from .server import serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        timeout_s=args.timeout_s,
+        max_attempts=args.max_attempts,
+        engine=args.engine,
+        allow_probe=args.allow_probe,
+    )
+    return serve(config)
+
+
+def add_submit_arguments(parser) -> None:
+    parser.add_argument("payload",
+                        help="job payload: inline JSON, @file.json, or "
+                             "'-' for stdin")
+    parser.add_argument("--host", default=None,
+                        help="service host (default: from --data-dir's "
+                             "announce file)")
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--data-dir", default="service-data", metavar="DIR",
+                        help="read host/port from DIR/service.json when "
+                             "--host/--port are not given")
+    parser.add_argument("--wait", type=float, default=None, metavar="SECONDS",
+                        help="block until the job is terminal (long-polling)")
+    parser.add_argument("--follow", action="store_true",
+                        help="stream the job's SSE feed until terminal")
+
+
+def _resolve_endpoint(args) -> tuple:
+    if args.host is not None and args.port is not None:
+        return args.host, args.port
+    announce_path = os.path.join(args.data_dir, "service.json")
+    try:
+        with open(announce_path) as handle:
+            announce = json.load(handle)
+    except (OSError, ValueError):
+        raise IntegrationError(
+            f"no --host/--port and no announce file at {announce_path} "
+            "(is the service running?)"
+        )
+    return (
+        args.host if args.host is not None else announce["host"],
+        args.port if args.port is not None else announce["port"],
+    )
+
+
+def _load_payload(spec: str):
+    if spec == "-":
+        raw = sys.stdin.read()
+    elif spec.startswith("@"):
+        with open(spec[1:]) as handle:
+            raw = handle.read()
+    else:
+        raw = spec
+    try:
+        return json.loads(raw)
+    except ValueError as exc:
+        raise IntegrationError(f"payload is not JSON: {exc}")
+
+
+def run_submit(args) -> int:
+    host, port = _resolve_endpoint(args)
+    client = ServiceClient(host, port)
+    payload = _load_payload(args.payload)
+    try:
+        verdict = client.submit(payload)
+    except ServiceHTTPError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        if exc.retry_after_s is not None:
+            print(f"retry after {exc.retry_after_s}s", file=sys.stderr)
+        return 1
+    job_id = verdict["job_id"]
+    if args.follow:
+        for frame in client.events(job_id):
+            print(json.dumps(frame, sort_keys=True), flush=True)
+        return 0
+    if args.wait is not None:
+        state = client.wait(job_id, timeout_s=args.wait)
+        print(json.dumps(state, indent=1, sort_keys=True))
+        return 0 if state.get("status") == "done" else 1
+    print(json.dumps(verdict, indent=1, sort_keys=True))
+    return 0
+
+
+def run_bench_service(args) -> int:
+    from pathlib import Path
+
+    from . import bench
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        for candidate in (
+            Path.cwd() / bench.BENCH_FILE,
+            Path(__file__).resolve().parents[3] / bench.BENCH_FILE,
+        ):
+            if candidate.is_file():
+                baseline_path = str(candidate)
+                break
+    baseline = bench.load_results(baseline_path) if baseline_path else None
+    if args.check and baseline is None:
+        print("bench service --check: no baseline found -- run "
+              "benchmarks/bench_service.py to commit one", file=sys.stderr)
+        return 2
+    current = bench.run_suite(quick=args.quick)
+    print(bench.render_comparison(current, baseline))
+    if baseline is None:
+        print("(no baseline found -- run benchmarks/bench_service.py "
+              "to commit one)")
+        return 0
+    if args.check:
+        # Only deterministic admission counters are compared; wall
+        # clock is reported but never gated on.
+        failures = bench.check_regression(current, baseline)
+        if failures:
+            for failure in failures:
+                print(f"SERVICE DRIFT {failure}", file=sys.stderr)
+            return 1
+        print("all checked counters match the baseline")
+    return 0

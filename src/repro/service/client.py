@@ -1,0 +1,159 @@
+"""A blocking stdlib client for the campaign service.
+
+Built on :mod:`http.client` — the service speaks one-request-per-
+connection HTTP/1.1, so each call opens a fresh connection.  Used by
+the CLI (``repro submit``), the benchmarks and the test suite; kept
+free of any service-internal imports so it could be lifted wholesale
+into an external script.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import IntegrationError
+
+__all__ = ["ServiceClient", "ServiceHTTPError"]
+
+
+class ServiceHTTPError(IntegrationError):
+    """A non-2xx answer, with the decoded body attached."""
+
+    def __init__(self, status: int, payload: Any, retry_after_s: Optional[int]):
+        detail = ""
+        if isinstance(payload, dict) and "error" in payload:
+            detail = f": {payload['error']}"
+        super().__init__(f"service answered {status}{detail}")
+        self.status = status
+        self.payload = payload
+        self.retry_after_s = retry_after_s
+
+
+class ServiceClient:
+    """Talk to one campaign service instance."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- plumbing ------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        ok: Tuple[int, ...] = (200, 202),
+    ) -> Any:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body)
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else None
+            except ValueError:
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            if response.status not in ok:
+                retry_after = response.getheader("Retry-After")
+                raise ServiceHTTPError(
+                    response.status,
+                    decoded,
+                    int(retry_after) if retry_after else None,
+                )
+            return decoded
+        except (ConnectionError, OSError, http.client.HTTPException) as exc:
+            if isinstance(exc, ServiceHTTPError):
+                raise
+            raise IntegrationError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            )
+        finally:
+            conn.close()
+
+    # -- API -----------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> Dict[str, Any]:
+        """Raises :class:`ServiceHTTPError` (503) when not ready."""
+        return self._request("GET", "/readyz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit one job; the verdict carries ``job_id`` + ``status``."""
+        return self._request("POST", "/jobs", body=payload)
+
+    def job(self, job_id: str, wait_s: float = 0.0) -> Dict[str, Any]:
+        """One job's state; ``wait_s`` long-polls until terminal."""
+        path = f"/jobs/{job_id}"
+        if wait_s:
+            path += f"?wait={wait_s}"
+        return self._request("GET", path)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def drain(self) -> Dict[str, Any]:
+        return self._request("POST", "/drain")
+
+    def wait(
+        self, job_id: str, timeout_s: float = 120.0, poll_s: float = 5.0
+    ) -> Dict[str, Any]:
+        """Long-poll until the job is terminal (or the deadline hits)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise IntegrationError(
+                    f"job {job_id} not terminal after {timeout_s}s"
+                )
+            state = self.job(job_id, wait_s=min(poll_s, max(remaining, 0.1)))
+            if state.get("status") in ("done", "error", "timeout", "crash"):
+                return state
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Stream one job's SSE feed; yields each frame's decoded data.
+
+        The generator ends when the service closes the stream (after
+        the terminal event) — a plain ``for`` loop over it runs to the
+        job's conclusion.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    decoded = json.loads(raw.decode("utf-8"))
+                except ValueError:
+                    decoded = {"error": raw.decode("utf-8", "replace")}
+                raise ServiceHTTPError(response.status, decoded, None)
+            data_lines: List[str] = []
+            while True:
+                raw_line = response.fp.readline()
+                if not raw_line:
+                    break  # server closed the stream
+                line = raw_line.decode("utf-8").rstrip("\n")
+                if line.startswith("data: "):
+                    data_lines.append(line[len("data: "):])
+                elif not line and data_lines:
+                    yield json.loads("\n".join(data_lines))
+                    data_lines = []
+        finally:
+            conn.close()

@@ -1,0 +1,123 @@
+"""Service job vocabulary: the registry bridge and the probe kind.
+
+Importing this module makes every job family the service understands
+available to :func:`~repro.exp.jobs.job_from_payload`:
+
+* ``microbench`` / ``sequence`` — the sweep jobs (registered by
+  :mod:`repro.exp.jobs` itself);
+* ``fuzz_case`` / ``shrink`` — the fuzzing adapter
+  (:mod:`repro.fuzz.jobs`);
+* ``probe`` — a diagnostic job that misbehaves on demand (sleep past a
+  deadline, die hard, raise, or die once and recover), used by chaos
+  drills and the service smoke benchmark.  Probes are **not
+  cacheable** (their whole point is to execute) and are only admitted
+  when :class:`~repro.service.config.ServiceConfig.allow_probe` is
+  set.
+
+:func:`execute_submission` is the worker-pool body: top-level for
+pickling, and it re-imports this module so a freshly spawned worker
+subprocess has the same registry the parent used to validate the
+payload.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from ..errors import ConfigError
+from ..exp.jobs import SimJob, job_from_payload, register_job_kind
+from ..fuzz import jobs as _fuzz_jobs  # noqa: F401  (registers fuzz kinds)
+
+__all__ = ["ProbeJob", "execute_submission"]
+
+
+@dataclass(frozen=True)
+class ProbeJob(SimJob):
+    """A job that fails the way you ask it to.
+
+    ``behavior``:
+
+    * ``"ok"`` — return ``{"value": value}`` immediately;
+    * ``"sleep"`` — sleep ``sleep_s`` then return (drive per-job
+      timeouts by sleeping past the service deadline);
+    * ``"error"`` — raise ``RuntimeError`` (deterministic job error,
+      reported once, never retried);
+    * ``"crash"`` — ``os._exit(13)`` (the worker dies as if SIGKILLed);
+    * ``"crash-once"`` — die hard unless ``marker`` (a filesystem
+      path) already exists; the first attempt creates it, so the
+      pool's requeue succeeds — the worker-killed-and-recovered drill.
+
+    ``nonce`` exists to make otherwise-identical probes distinct under
+    content addressing, so a chaos schedule can submit ten independent
+    sleepers without the dedup layer folding them into one.
+    """
+
+    behavior: str = "ok"
+    sleep_s: float = 0.0
+    value: int = 0
+    marker: str = ""
+    nonce: int = 0
+
+    kind = "probe"
+    cacheable = False
+
+    def __post_init__(self):
+        if self.behavior not in ("ok", "sleep", "error", "crash", "crash-once"):
+            raise ConfigError(f"unknown probe behavior {self.behavior!r}")
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "behavior": self.behavior,
+            "sleep_s": self.sleep_s,
+            "value": self.value,
+            "marker": self.marker,
+            "nonce": self.nonce,
+        }
+
+    @property
+    def label(self) -> str:
+        return f"probe {self.behavior} nonce={self.nonce}"
+
+    def run(self) -> Dict[str, Any]:
+        if self.behavior == "error":
+            raise RuntimeError(f"probe error (nonce={self.nonce})")
+        if self.behavior == "crash":
+            os._exit(13)
+        if self.behavior == "crash-once":
+            if not os.path.exists(self.marker):
+                with open(self.marker, "w", encoding="utf-8") as handle:
+                    handle.write("1")
+                os._exit(13)
+        if self.behavior == "sleep" and self.sleep_s > 0:
+            time.sleep(self.sleep_s)
+        return {"value": self.value, "behavior": self.behavior}
+
+
+def _probe_from_payload(payload: Dict[str, Any]) -> SimJob:
+    return ProbeJob(
+        behavior=payload.get("behavior", "ok"),
+        sleep_s=payload.get("sleep_s", 0.0),
+        value=payload.get("value", 0),
+        marker=payload.get("marker", ""),
+        nonce=payload.get("nonce", 0),
+    )
+
+
+register_job_kind("probe", _probe_from_payload)
+
+
+def execute_submission(
+    item: Tuple[str, Dict[str, Any]],
+) -> Tuple[str, Dict[str, Any]]:
+    """Worker-pool body: rebuild the job from its payload and run it."""
+    job_id, payload = item
+    # Spawned workers start with a clean interpreter: make sure every
+    # job kind is registered before the payload is rebuilt.
+    from . import jobs as _self  # noqa: F401
+
+    job = job_from_payload(payload)
+    return job_id, job.run()

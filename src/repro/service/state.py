@@ -1,0 +1,216 @@
+"""Crash-safe service state: the JSONL journal and restart recovery.
+
+The journal is the service's single source of truth about *what was
+asked and what happened*; the sharded result cache is the source of
+truth for *completed results*.  Every state transition appends one
+JSON line and flushes, exactly like the fuzz campaign manifests, so a
+``kill -9`` at any instant loses at most the in-flight simulations —
+never a completed result, never a submission:
+
+* ``{"event": "submitted", "job_id", "payload", "cacheable", "seq"}``
+  — written *before* the job is handed to the pool;
+* ``{"event": "terminal", "job_id", "status", "seq", ...}`` — written
+  when the job reaches ``done`` / ``error`` / ``timeout`` / ``crash``.
+  For ``done`` jobs the result lives in the cache (cacheable) or
+  inline in the line (probes); for failures ``detail`` carries the
+  diagnostic.
+
+Recovery (:func:`load_journal`) replays the file, tolerating a torn
+final line: jobs with a terminal line keep their outcome; submitted
+jobs without one are *pending* and get resubmitted — unless their
+result is already in the cache (it was written before the terminal
+line could be), in which case they complete without re-simulation.
+
+:func:`service_manifest` renders the canonical job->outcome map used
+by the restart-recovery acceptance test: an interrupted-then-recovered
+run must produce the same manifest as an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "TERMINAL_STATUSES",
+    "Journal",
+    "JournalEntry",
+    "load_journal",
+    "service_manifest",
+]
+
+#: statuses a job can end in (exactly one per job, forever)
+TERMINAL_STATUSES = ("done", "error", "timeout", "crash")
+
+
+class JournalEntry:
+    """Replayed per-job state: last known payload + outcome."""
+
+    __slots__ = ("job_id", "payload", "cacheable", "status", "detail",
+                 "result", "attempts", "served_from_cache")
+
+    def __init__(self, job_id: str, payload: Dict[str, Any], cacheable: bool):
+        self.job_id = job_id
+        self.payload = payload
+        self.cacheable = cacheable
+        self.status: Optional[str] = None  # None = pending
+        self.detail: Optional[str] = None
+        self.result: Optional[Dict[str, Any]] = None  # inline (probes) only
+        self.attempts = 0
+        self.served_from_cache = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+
+class Journal:
+    """Append-one-flushed-line-per-event JSONL writer."""
+
+    def __init__(self, path: str):
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+        self._seq = 0
+
+    def append(self, event: Dict[str, Any]) -> None:
+        """Write one event line and flush it to the OS."""
+        if self._handle is None:
+            return
+        event = dict(event)
+        event["seq"] = self._seq
+        self._seq += 1
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def submitted(
+        self, job_id: str, payload: Dict[str, Any], cacheable: bool
+    ) -> None:
+        self.append(
+            {
+                "event": "submitted",
+                "job_id": job_id,
+                "payload": payload,
+                "cacheable": cacheable,
+            }
+        )
+
+    def terminal(
+        self,
+        job_id: str,
+        status: str,
+        detail: Optional[str] = None,
+        result: Optional[Dict[str, Any]] = None,
+        attempts: int = 1,
+        served_from_cache: bool = False,
+    ) -> None:
+        event: Dict[str, Any] = {
+            "event": "terminal",
+            "job_id": job_id,
+            "status": status,
+            "attempts": attempts,
+        }
+        if detail is not None:
+            event["detail"] = detail
+        if result is not None:
+            event["result"] = result
+        if served_from_cache:
+            event["served_from_cache"] = True
+        self.append(event)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def load_journal(path: str) -> Dict[str, JournalEntry]:
+    """Replay a journal into per-job entries (submission order kept).
+
+    Unparseable lines (the torn tail of a killed run) are skipped;
+    a terminal line for an unknown job id is ignored rather than
+    invented — the submitted line it belongs to was lost with the same
+    crash, and without a payload the job cannot be served anyway.
+    """
+    entries: Dict[str, JournalEntry] = {}
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # torn write from a killed run
+            job_id = event.get("job_id")
+            if not isinstance(job_id, str):
+                continue
+            kind = event.get("event")
+            if kind == "submitted":
+                if job_id not in entries:
+                    entries[job_id] = JournalEntry(
+                        job_id,
+                        event.get("payload") or {},
+                        bool(event.get("cacheable", True)),
+                    )
+            elif kind == "terminal":
+                entry = entries.get(job_id)
+                if entry is None or event.get("status") not in TERMINAL_STATUSES:
+                    continue
+                entry.status = event["status"]
+                entry.detail = event.get("detail")
+                entry.result = event.get("result")
+                entry.attempts = int(event.get("attempts", 1))
+                entry.served_from_cache = bool(
+                    event.get("served_from_cache", False)
+                )
+    return entries
+
+
+def service_manifest(
+    journal_path: str, cache=None
+) -> Dict[str, Dict[str, Any]]:
+    """The canonical ``job_id -> outcome`` map of a service data dir.
+
+    ``cache`` (a :class:`~repro.exp.cache.ResultCache`) resolves the
+    results of cacheable done jobs; inline results come straight from
+    the journal.  Two runs that accepted the same jobs and completed
+    them — whatever the interleaving, crashes and restarts in between —
+    produce equal manifests.
+    """
+    manifest: Dict[str, Dict[str, Any]] = {}
+    for job_id, entry in load_journal(journal_path).items():
+        result = entry.result
+        if result is None and entry.terminal and entry.cacheable and cache is not None:
+            result = cache.get(job_id)
+        manifest[job_id] = {
+            "payload": entry.payload,
+            "status": entry.status,
+            "result": result,
+        }
+    return dict(sorted(manifest.items()))
+
+
+def write_announce(path: str, info: Dict[str, Any]) -> None:
+    """Publish the bound address atomically (read by wrappers/tests)."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(info, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -156,7 +156,9 @@ class TestResultCache:
         assert cache.get(key) is None
         assert cache.quarantined == 1
         assert not os.path.exists(cache.path_for(key))
-        quarantined = os.path.join(str(tmp_path), "corrupt", f"{key}.json")
+        quarantined = os.path.join(
+            str(tmp_path), "corrupt", key[:2], f"{key}.json"
+        )
         assert os.path.exists(quarantined)
         # Quarantined, the entry is a plain miss and can be overwritten.
         cache.put(key, payload, {"elapsed_ns": 5})
@@ -219,3 +221,106 @@ class TestJobPayloadRoundTrip:
         job = MicrobenchJob(spec, arm_interrupt_entry_cycles=8)
         payload = json.loads(json.dumps(job.payload()))
         assert job_from_payload(payload) == job
+
+
+def _payload(spec, **overrides):
+    """A microbench payload, optionally varied (distinct keys)."""
+    return MicrobenchJob(spec.with_(**overrides) if overrides else spec).payload()
+
+
+class TestSharding:
+    """Entries live in <root>/<kk>/ shards; legacy flat caches migrate."""
+
+    def test_entry_path_is_sharded(self, tmp_path, spec):
+        cache = ResultCache(str(tmp_path))
+        key = cache.key_for(_payload(spec))
+        path = cache.path_for(key)
+        assert path == os.path.join(str(tmp_path), key[:2], f"{key}.json")
+
+    def test_put_writes_into_the_shard(self, tmp_path, spec):
+        cache = ResultCache(str(tmp_path))
+        key = cache.key_for(_payload(spec))
+        cache.put(key, _payload(spec), {"x": 1})
+        assert os.path.exists(
+            os.path.join(str(tmp_path), key[:2], f"{key}.json")
+        )
+        assert not os.path.exists(os.path.join(str(tmp_path), f"{key}.json"))
+
+    def test_legacy_flat_entry_migrates_on_read(self, tmp_path, spec):
+        cache = ResultCache(str(tmp_path))
+        key = cache.key_for(_payload(spec))
+        # Write the entry the pre-shard way: flat at the root.
+        flat = os.path.join(str(tmp_path), f"{key}.json")
+        entry = {
+            "version": cache.version,
+            "engine": cache.engine,
+            "job": _payload(spec),
+            "result": {"migrated": True},
+        }
+        with open(flat, "w") as handle:
+            json.dump(entry, handle)
+        assert cache.get(key) == {"migrated": True}
+        assert cache.migrated == 1
+        assert not os.path.exists(flat)
+        assert os.path.exists(
+            os.path.join(str(tmp_path), key[:2], f"{key}.json")
+        )
+        # And the migrated entry keeps answering.
+        assert cache.get(key) == {"migrated": True}
+        assert cache.migrated == 1
+
+    def test_migrate_sweeps_every_flat_entry(self, tmp_path, spec):
+        cache = ResultCache(str(tmp_path))
+        keys = []
+        for i in range(5):
+            payload = _payload(spec, iterations=i + 1)
+            key = cache.key_for(payload)
+            keys.append(key)
+            entry = {
+                "version": cache.version,
+                "engine": cache.engine,
+                "job": payload,
+                "result": {"i": i},
+            }
+            with open(os.path.join(str(tmp_path), f"{key}.json"), "w") as f:
+                json.dump(entry, f)
+        assert cache.migrate() == 5
+        assert cache.migrated == 5
+        for i, key in enumerate(keys):
+            assert cache.get(key) == {"i": i}
+        # Nothing flat remains; len counts the sharded entries.
+        assert not [
+            n for n in os.listdir(str(tmp_path)) if n.endswith(".json")
+        ]
+        assert len(cache) == 5
+
+    def test_len_counts_flat_and_sharded(self, tmp_path, spec):
+        cache = ResultCache(str(tmp_path))
+        sharded_key = cache.key_for(_payload(spec))
+        cache.put(sharded_key, _payload(spec), {"a": 1})
+        flat_key = cache.key_for(_payload(spec, iterations=99))
+        with open(os.path.join(str(tmp_path), f"{flat_key}.json"), "w") as f:
+            json.dump({"version": cache.version, "engine": cache.engine,
+                       "job": {}, "result": {}}, f)
+        assert len(cache) == 2
+
+    def test_corrupt_shard_entry_quarantines_into_shard(self, tmp_path, spec):
+        cache = ResultCache(str(tmp_path))
+        key = cache.key_for(_payload(spec))
+        with open(cache.path_for(key), "w") as handle:
+            handle.write("{ torn")
+        assert cache.get(key) is None
+        assert os.path.exists(
+            os.path.join(str(tmp_path), "corrupt", key[:2], f"{key}.json")
+        )
+
+    def test_shard_prefix_distributes(self, tmp_path, spec):
+        # Distinct payloads land in (typically) distinct shards; the
+        # mapping is pure prefix, so it never depends on insert order.
+        cache = ResultCache(str(tmp_path))
+        shards = set()
+        for i in range(16):
+            key = cache.key_for(_payload(spec, iterations=i + 1))
+            shards.add(ResultCache.shard_of(key))
+            assert ResultCache.shard_of(key) == key[:2]
+        assert len(shards) > 1

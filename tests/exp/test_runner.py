@@ -170,3 +170,47 @@ class TestWorkerFailures:
         results = resumed.run([_ScriptedJob("z"), _ScriptedJob("a")])
         assert resumed.executed <= 2  # at least the crash-adjacent reruns
         assert [r["tag"] for r in results] == ["z", "a"]
+
+
+class TestManifestAtomicity:
+    """Crash mid-write must never tear an existing manifest."""
+
+    def test_interrupted_write_preserves_previous_manifest(
+        self, tmp_path, monkeypatch
+    ):
+        import json as json_module
+
+        runner = SweepRunner(jobs=1)
+        runner.run([_ScriptedJob("a")])
+        manifest_path = str(tmp_path / "manifest.json")
+        runner.write_manifest(manifest_path)
+        with open(manifest_path) as handle:
+            before = json_module.load(handle)
+
+        # Second sweep crashes mid-dump (the classic torn-write window).
+        runner.run([_ScriptedJob("b")])
+
+        def exploding_dump(*args, **kwargs):
+            handle = args[1]
+            handle.write('{"torn": ')  # bytes hit the disk...
+            raise KeyboardInterrupt  # ...then the process dies
+
+        import repro.exp.runner as runner_module
+
+        monkeypatch.setattr(runner_module.json, "dump", exploding_dump)
+        with pytest.raises(KeyboardInterrupt):
+            runner.write_manifest(manifest_path)
+        monkeypatch.undo()
+
+        # The published manifest is still the complete previous one.
+        with open(manifest_path) as handle:
+            assert json_module.load(handle) == before
+        # And no staging debris is left next to it.
+        assert [p.name for p in tmp_path.iterdir()] == ["manifest.json"]
+
+    def test_write_into_missing_directory(self, tmp_path):
+        runner = SweepRunner(jobs=1)
+        runner.run([_ScriptedJob("a")])
+        target = tmp_path / "deep" / "nested" / "manifest.json"
+        runner.write_manifest(str(target))
+        assert target.is_file()

@@ -1,0 +1,97 @@
+"""Fuzzing-as-jobs adapter: payload round-trips, determinism, registry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.exp.cache import content_key
+from repro.exp.jobs import job_from_payload, job_kinds
+from repro.fuzz.gen import CaseGenerator
+from repro.fuzz.jobs import FuzzCaseJob, ShrinkJob
+
+
+class TestRegistry:
+    def test_fuzz_kinds_are_registered(self):
+        kinds = job_kinds()
+        assert "fuzz_case" in kinds
+        assert "shrink" in kinds
+
+    def test_payload_round_trips_generative(self):
+        job = FuzzCaseJob(seed=7, index=3, n_masters=4, fabric="split")
+        rebuilt = job_from_payload(job.payload())
+        assert isinstance(rebuilt, FuzzCaseJob)
+        assert rebuilt.payload() == job.payload()
+
+    def test_payload_round_trips_explicit(self):
+        case = CaseGenerator(11, n_masters=2).case(0)
+        job = FuzzCaseJob.from_case(case)
+        rebuilt = job_from_payload(job.payload())
+        assert rebuilt.payload() == job.payload()
+        assert rebuilt.resolve_case().to_dict() == case.to_dict()
+
+    def test_shrink_round_trips(self):
+        case = CaseGenerator(11, n_masters=2).case(0)
+        job = ShrinkJob.from_case(case, max_tests=10)
+        rebuilt = job_from_payload(job.payload())
+        assert isinstance(rebuilt, ShrinkJob)
+        assert rebuilt.payload() == job.payload()
+
+    def test_shrink_without_case_rejected(self):
+        with pytest.raises(ConfigError):
+            job_from_payload({"kind": "shrink"})
+
+
+class TestContentAddressing:
+    def test_generative_key_is_stable(self):
+        a = FuzzCaseJob(seed=7, index=3).payload()
+        b = FuzzCaseJob(seed=7, index=3).payload()
+        assert content_key(a) == content_key(b)
+
+    def test_distinct_indices_get_distinct_keys(self):
+        a = FuzzCaseJob(seed=7, index=0).payload()
+        b = FuzzCaseJob(seed=7, index=1).payload()
+        assert content_key(a) != content_key(b)
+
+    def test_explicit_and_generative_forms_differ(self):
+        generative = FuzzCaseJob(seed=11, index=0)
+        explicit = FuzzCaseJob.from_case(generative.resolve_case())
+        assert content_key(generative.payload()) != content_key(
+            explicit.payload()
+        )
+
+
+class TestExecution:
+    def test_generative_case_is_index_stable(self):
+        job = FuzzCaseJob(
+            seed=2004, index=0, n_masters=2,
+            p_deadlock=0.0, p_unwrapped=0.0, p_fault=0.0,
+        )
+        assert (
+            job.resolve_case().to_dict()
+            == job.resolve_case().to_dict()
+        )
+
+    def test_run_classifies_against_the_oracle(self):
+        job = FuzzCaseJob(
+            seed=2004, index=0, n_masters=2,
+            p_deadlock=0.0, p_unwrapped=0.0, p_fault=0.0,
+        )
+        result = job.run()
+        assert "outcome" in result
+        assert result["case"] == job.resolve_case().to_dict()
+
+    def test_run_is_deterministic(self):
+        job = FuzzCaseJob(
+            seed=2004, index=1, n_masters=2,
+            p_deadlock=0.0, p_unwrapped=0.0, p_fault=0.0,
+        )
+        assert job.run() == job.run()
+
+    def test_explicit_job_without_case_rejected(self):
+        job = FuzzCaseJob(explicit=True)
+        with pytest.raises(ConfigError):
+            job.resolve_case()
+
+    def test_labels_are_informative(self):
+        assert "seed=7" in FuzzCaseJob(seed=7, index=3).label
+        case = CaseGenerator(11, n_masters=2).case(0)
+        assert ShrinkJob.from_case(case).label.startswith("shrink")

@@ -1,0 +1,157 @@
+"""The chaos acceptance drill: the ISSUE's scripted fault schedule.
+
+One run, every failure mode at once, against a real service
+subprocess:
+
+1. a worker is SIGKILLed mid-job (``crash-once`` probe) and the pool
+   replaces it — the job retries and completes;
+2. a job is forced past the per-job deadline and ends ``timeout``;
+3. a client opens an SSE stream and hangs up mid-stream;
+4. the service itself is SIGKILLed and restarted.
+
+Acceptance: every job reaches **exactly one** terminal status, no
+completed result is lost or recomputed, and the recovered manifest is
+the deterministic expected one.
+"""
+
+import http.client
+import json
+import os
+import signal
+
+from repro.exp.cache import ResultCache
+from repro.service.bench import ServiceHarness
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.state import load_journal, service_manifest
+
+from .test_recovery import spawn_service
+
+SEQUENCE = {"kind": "sequence", "protocols": ["MEI", "MESI"], "wrapped": True}
+
+
+class TestChaosSchedule:
+    def test_fault_schedule_every_job_one_terminal_status(self, tmp_path):
+        data_dir = str(tmp_path / "svc")
+        marker = str(tmp_path / "crash-once.marker")
+        process, info = spawn_service(
+            data_dir,
+            extra_args=["--workers", "1", "--timeout", "3",
+                        "--max-attempts", "2"],
+        )
+        killed = False
+        try:
+            client = ServiceClient(info["host"], info["port"])
+            # The schedule, in submission order (workers=1: serial).
+            crash_id = client.submit(
+                {"kind": "probe", "behavior": "crash-once",
+                 "marker": marker, "nonce": 1}
+            )["job_id"]
+            timeout_id = client.submit(
+                {"kind": "probe", "behavior": "sleep",
+                 "sleep_s": 30.0, "nonce": 2}
+            )["job_id"]
+            sweep_id = client.submit(SEQUENCE)["job_id"]
+
+            # Fault 1: the worker died mid-job and was replaced; the
+            # requeued attempt succeeded.
+            crashed = client.wait(crash_id, timeout_s=60.0)
+            assert crashed["status"] == "done"
+            assert crashed["attempts"] == 2
+            assert client.stats()["replaced_workers"] >= 1
+
+            # Fault 2: the sleeper blew the 3s per-job deadline on
+            # both attempts and is terminally timed out — not retried
+            # forever, not wedging the fleet.
+            timed_out = client.wait(timeout_id, timeout_s=60.0)
+            assert timed_out["status"] == "timeout"
+            assert timed_out["attempts"] == 2
+
+            sweep_before = client.wait(sweep_id, timeout_s=60.0)
+            assert sweep_before["status"] == "done"
+
+            # The last schedule entry goes in only now, so the kill
+            # below is guaranteed to land while it is in flight (it
+            # needs 5s of sleep; the kill follows within milliseconds).
+            pending_id = client.submit(
+                {"kind": "probe", "behavior": "sleep",
+                 "sleep_s": 5.0, "nonce": 3}
+            )["job_id"]
+
+            # Fault 3: a client opens the pending job's event stream,
+            # reads the preamble, hangs up mid-stream.
+            conn = http.client.HTTPConnection(
+                info["host"], info["port"], timeout=10
+            )
+            conn.request("GET", f"/jobs/{pending_id}/events")
+            response = conn.getresponse()
+            assert response.status == 200
+            response.fp.readline()
+            conn.close()
+            assert client.healthz()["status"] == "alive"
+
+            # Fault 4: kill -9 the whole service while the last probe
+            # is still in flight.
+            os.kill(process.pid, signal.SIGKILL)
+            process.wait(timeout=10)
+            killed = True
+        finally:
+            if not killed:
+                process.kill()
+                process.wait(timeout=10)
+
+        all_ids = [crash_id, timeout_id, sweep_id, pending_id]
+        entries = load_journal(os.path.join(data_dir, "journal.jsonl"))
+        assert set(entries) == set(all_ids)
+        assert not entries[pending_id].terminal  # lost in flight: re-run
+
+        # Restart and let the recovered service finish the schedule.
+        config = ServiceConfig(
+            data_dir=data_dir, workers=1, allow_probe=True, timeout_s=30.0
+        )
+        with ServiceHarness(config) as harness:
+            client = harness.client()
+            for job_id in all_ids:
+                client.wait(job_id, timeout_s=60.0)
+
+            # Terminal outcomes survived the restart exactly; the
+            # worker-crash diagnostics (attempts) did too.
+            assert client.job(crash_id)["status"] == "done"
+            assert client.job(crash_id)["attempts"] == 2
+            assert client.job(timeout_id)["status"] == "timeout"
+            assert client.job(sweep_id)["status"] == "done"
+            assert client.job(sweep_id)["result"] == sweep_before["result"]
+            assert client.job(pending_id)["status"] == "done"
+
+            # No completed result was recomputed: only the in-flight
+            # probe touched a worker after the restart.
+            counters = client.stats()["counters"]
+            assert counters["recovered_done"] == 3
+            assert counters["recovered_requeued"] == 1
+            assert counters["terminal_done"] == 1
+
+        # Exactly one terminal line per job, forever.
+        terminal_lines = {}
+        with open(os.path.join(data_dir, "journal.jsonl")) as handle:
+            for line in handle:
+                event = json.loads(line)
+                if event["event"] == "terminal":
+                    terminal_lines[event["job_id"]] = (
+                        terminal_lines.get(event["job_id"], 0) + 1
+                    )
+        assert terminal_lines == {job_id: 1 for job_id in all_ids}
+
+        # The recovered manifest is the deterministic expected one.
+        manifest = service_manifest(
+            os.path.join(data_dir, "journal.jsonl"),
+            ResultCache(os.path.join(data_dir, "cache")),
+        )
+        statuses = {job_id: manifest[job_id]["status"] for job_id in manifest}
+        assert statuses == {
+            crash_id: "done",
+            timeout_id: "timeout",
+            sweep_id: "done",
+            pending_id: "done",
+        }
+        assert manifest[sweep_id]["result"]["stale_reads"] == 0
+        assert manifest[timeout_id]["result"] is None

@@ -1,0 +1,152 @@
+"""The hand-rolled HTTP layer: parsing, limits, serialisation."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    MAX_BODY,
+    MAX_HEADERS,
+    HttpError,
+    HttpRequest,
+    json_response,
+    read_request,
+    response_bytes,
+    sse_event,
+    sse_preamble,
+)
+
+
+def parse(raw: bytes):
+    """Feed raw bytes through a StreamReader into read_request."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestParsing:
+    def test_get_with_query(self):
+        request = parse(b"GET /jobs/abc?wait=5&x=y HTTP/1.1\r\nHost: h\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/jobs/abc"
+        assert request.query == {"wait": "5", "x": "y"}
+        assert request.headers["host"] == "h"
+        assert request.body == b""
+
+    def test_post_with_body(self):
+        body = b'{"kind": "probe"}'
+        raw = (
+            b"POST /jobs HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.body == body
+        assert request.json() == {"kind": "probe"}
+
+    def test_header_names_lowercased(self):
+        request = parse(b"GET / HTTP/1.1\r\nX-ThInG: V\r\n\r\n")
+        assert request.headers["x-thing"] == "V"
+
+    def test_bare_lf_line_endings_accepted(self):
+        request = parse(b"GET /healthz HTTP/1.1\nHost: h\n\n")
+        assert request.path == "/healthz"
+
+    def test_clean_eof_is_none(self):
+        assert parse(b"") is None
+
+    def test_percent_encoded_path_decoded(self):
+        request = parse(b"GET /jobs/a%62c HTTP/1.1\r\n\r\n")
+        assert request.path == "/jobs/abc"
+
+
+class TestRejections:
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"NONSENSE\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_wrong_protocol(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"GET / SPDY/3\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_truncated_headers(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"GET / HTTP/1.1\r\nHost: h\r\n")  # no blank line
+        assert exc.value.status == 400
+
+    def test_too_many_headers(self):
+        headers = "".join(f"H{i}: v\r\n" for i in range(MAX_HEADERS + 1))
+        with pytest.raises(HttpError) as exc:
+            parse(b"GET / HTTP/1.1\r\n" + headers.encode() + b"\r\n")
+        assert exc.value.status == 413
+
+    def test_oversized_body_rejected(self):
+        raw = (
+            b"POST / HTTP/1.1\r\n"
+            + f"Content-Length: {MAX_BODY + 1}\r\n\r\n".encode()
+        )
+        with pytest.raises(HttpError) as exc:
+            parse(raw)
+        assert exc.value.status == 413
+
+    def test_negative_content_length(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_truncated_body(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        assert exc.value.status == 400
+
+    def test_chunked_rejected(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_non_json_body(self):
+        request = HttpRequest(method="POST", path="/", body=b"not json")
+        with pytest.raises(HttpError) as exc:
+            request.json()
+        assert exc.value.status == 400
+
+    def test_empty_body_json(self):
+        request = HttpRequest(method="POST", path="/")
+        with pytest.raises(HttpError) as exc:
+            request.json()
+        assert exc.value.status == 400
+
+
+class TestResponses:
+    def test_response_shape(self):
+        raw = response_bytes(200, b"hi", content_type="text/plain")
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 2" in head
+        assert b"Connection: close" in head
+        assert body == b"hi"
+
+    def test_extra_headers(self):
+        raw = response_bytes(429, b"{}", extra_headers={"Retry-After": "7"})
+        assert b"Retry-After: 7" in raw
+        assert raw.startswith(b"HTTP/1.1 429 Too Many Requests")
+
+    def test_json_response_round_trips(self):
+        raw = json_response(200, {"b": 2, "a": 1})
+        _, _, body = raw.partition(b"\r\n\r\n")
+        assert json.loads(body) == {"a": 1, "b": 2}
+
+    def test_sse_preamble_and_event(self):
+        assert b"text/event-stream" in sse_preamble()
+        frame = sse_event({"status": "done"}, event="result")
+        assert frame == b'event: result\ndata: {"status": "done"}\n\n'

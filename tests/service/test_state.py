@@ -1,0 +1,153 @@
+"""Journal discipline: append, replay, torn tails, manifests."""
+
+import json
+import os
+
+from repro.service.state import (
+    TERMINAL_STATUSES,
+    Journal,
+    load_journal,
+    service_manifest,
+    write_announce,
+)
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = Journal(path)
+        journal.submitted("j1", {"kind": "probe"}, cacheable=False)
+        journal.submitted("j2", {"kind": "sequence"}, cacheable=True)
+        journal.terminal("j1", "done", result={"value": 1}, attempts=1)
+        journal.close()
+        entries = load_journal(path)
+        assert set(entries) == {"j1", "j2"}
+        assert entries["j1"].terminal
+        assert entries["j1"].result == {"value": 1}
+        assert not entries["j2"].terminal  # pending: needs re-run
+        assert entries["j2"].cacheable
+
+    def test_every_line_carries_a_sequence_number(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = Journal(path)
+        journal.submitted("a", {}, True)
+        journal.terminal("a", "done")
+        journal.close()
+        with open(path) as handle:
+            seqs = [json.loads(line)["seq"] for line in handle]
+        assert seqs == [0, 1]
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = Journal(path)
+        journal.submitted("a", {"kind": "x"}, True)
+        journal.terminal("a", "done")
+        journal.close()
+        with open(path, "a") as handle:
+            handle.write('{"event": "submitted", "job_id": "b", "pay')
+        entries = load_journal(path)
+        assert set(entries) == {"a"}
+        assert entries["a"].status == "done"
+
+    def test_terminal_for_unknown_job_ignored(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = Journal(path)
+        journal.terminal("ghost", "done")
+        journal.close()
+        assert load_journal(path) == {}
+
+    def test_bogus_status_ignored(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = Journal(path)
+        journal.submitted("a", {}, True)
+        journal.append({"event": "terminal", "job_id": "a", "status": "weird"})
+        journal.close()
+        assert not load_journal(path)["a"].terminal
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_journal(str(tmp_path / "nope.jsonl")) == {}
+
+    def test_reopen_appends(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        first = Journal(path)
+        first.submitted("a", {}, True)
+        first.close()
+        second = Journal(path)
+        second.terminal("a", "done")
+        second.close()
+        assert load_journal(path)["a"].status == "done"
+
+    def test_statuses_cover_the_pool_vocabulary(self):
+        assert set(TERMINAL_STATUSES) == {"done", "error", "timeout", "crash"}
+
+
+class _FakeCache:
+    def __init__(self, entries):
+        self.entries = entries
+
+    def get(self, key):
+        return self.entries.get(key)
+
+
+class TestManifest:
+    def test_inline_and_cached_results_resolve(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = Journal(path)
+        journal.submitted("cacheable", {"kind": "sequence"}, True)
+        journal.submitted("probe", {"kind": "probe"}, False)
+        journal.terminal("cacheable", "done")
+        journal.terminal("probe", "done", result={"value": 9})
+        journal.close()
+        cache = _FakeCache({"cacheable": {"stale_reads": 0}})
+        manifest = service_manifest(path, cache)
+        assert manifest["cacheable"]["result"] == {"stale_reads": 0}
+        assert manifest["probe"]["result"] == {"value": 9}
+
+    def test_manifest_is_sorted_by_job_id(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = Journal(path)
+        for job_id in ("zz", "aa", "mm"):
+            journal.submitted(job_id, {}, False)
+            journal.terminal(job_id, "done", result={})
+        journal.close()
+        assert list(service_manifest(path)) == ["aa", "mm", "zz"]
+
+    def test_interrupted_equals_uninterrupted(self, tmp_path):
+        """The restart-recovery equality, journal-level.
+
+        An interrupted journal (pending tail) whose pending job is
+        completed by a recovered service produces the same manifest as
+        one uninterrupted run.
+        """
+        clean = str(tmp_path / "clean.jsonl")
+        journal = Journal(clean)
+        journal.submitted("a", {"kind": "x"}, False)
+        journal.terminal("a", "done", result={"v": 1})
+        journal.submitted("b", {"kind": "y"}, False)
+        journal.terminal("b", "done", result={"v": 2})
+        journal.close()
+
+        crashed = str(tmp_path / "crashed.jsonl")
+        journal = Journal(crashed)
+        journal.submitted("a", {"kind": "x"}, False)
+        journal.terminal("a", "done", result={"v": 1})
+        journal.submitted("b", {"kind": "y"}, False)
+        journal.close()  # crash: b never got its terminal line
+        # ...restart: the recovered service re-runs b and journals it.
+        journal = Journal(crashed)
+        journal.terminal("b", "done", result={"v": 2})
+        journal.close()
+
+        assert service_manifest(clean) == service_manifest(crashed)
+
+
+class TestAnnounce:
+    def test_write_and_read_back(self, tmp_path):
+        path = str(tmp_path / "svc" / "service.json")
+        write_announce(path, {"host": "127.0.0.1", "port": 12345})
+        with open(path) as handle:
+            assert json.load(handle)["port"] == 12345
+        assert not [
+            name for name in os.listdir(os.path.dirname(path))
+            if name.endswith(".tmp")
+        ]
